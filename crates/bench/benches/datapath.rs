@@ -1,0 +1,57 @@
+//! Criterion: the real wall-clock gap between the two interleave
+//! implementations — the measured counterpart of the paper's "C
+//! enhancement" (§4.2, up to 343% improvement; Fig. 11–13 model the
+//! system-level effect, this bench measures the function itself).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use simkit::cost::DataPath;
+use upmem_sim::interleave;
+use vpim::backend::datapath::transform_roundtrip;
+
+fn bench_interleave(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interleave");
+    for size in [4 << 10, 64 << 10, 1 << 20] {
+        let src: Vec<u8> = (0..size).map(|i| (i % 251) as u8).collect();
+        let mut dst = vec![0u8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("scalar", size), &src, |b, src| {
+            b.iter(|| interleave::interleave_scalar(src, &mut dst));
+        });
+        group.bench_with_input(BenchmarkId::new("fast", size), &src, |b, src| {
+            b.iter(|| interleave::interleave_fast(src, &mut dst));
+        });
+    }
+    group.finish();
+}
+
+fn bench_deinterleave(c: &mut Criterion) {
+    let mut group = c.benchmark_group("deinterleave");
+    let size = 256 << 10;
+    let src: Vec<u8> = (0..size).map(|i| (i % 241) as u8).collect();
+    let mut dst = vec![0u8; size];
+    group.throughput(Throughput::Bytes(size as u64));
+    group.bench_function("scalar", |b| {
+        b.iter(|| interleave::deinterleave_scalar(&src, &mut dst));
+    });
+    group.bench_function("fast", |b| {
+        b.iter(|| interleave::deinterleave_fast(&src, &mut dst));
+    });
+    group.finish();
+}
+
+fn bench_roundtrip_paths(c: &mut Criterion) {
+    // The backend's actual data-path entry point, per DataPath.
+    let mut group = c.benchmark_group("transform_roundtrip");
+    let size = 256 << 10;
+    group.throughput(Throughput::Bytes(size as u64));
+    for path in DataPath::ALL {
+        let mut data: Vec<u8> = (0..size).map(|i| (i % 255) as u8).collect();
+        group.bench_function(format!("{path:?}"), move |b| {
+            b.iter(|| transform_roundtrip(&mut data, path));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_interleave, bench_deinterleave, bench_roundtrip_paths);
+criterion_main!(benches);

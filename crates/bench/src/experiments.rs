@@ -1,0 +1,606 @@
+//! One function per table/figure of the paper's evaluation.
+
+use simkit::{stats, Timeline, VirtualNanos};
+use upmem_sdk::DpuSet;
+use vpim::Variant;
+
+use crate::env::BenchEnv;
+use microbench::{Checksum, IndexSearch, IndexSearchParams};
+use prim::{PrimApp, ScaleParams};
+
+/// The two strong-scaling DPU counts of Fig. 8.
+pub const FIG8_DPUS: [usize; 2] = [60, 480];
+
+/// One Fig. 8 cell: an application at a DPU count, on both transports.
+#[derive(Debug, Clone)]
+pub struct Fig8Row {
+    /// Application short name.
+    pub app: &'static str,
+    /// DPU count (60 or 480).
+    pub dpus: usize,
+    /// Native timeline.
+    pub native: Timeline,
+    /// vPIM timeline.
+    pub vpim: Timeline,
+}
+
+impl Fig8Row {
+    /// vPIM-over-native overhead factor.
+    #[must_use]
+    pub fn overhead(&self) -> f64 {
+        stats::overhead(self.vpim.app_total(), self.native.app_total())
+    }
+}
+
+fn run_prim_once(
+    app: &dyn PrimApp,
+    set: &mut DpuSet,
+    elements: usize,
+    seed: u64,
+) -> Timeline {
+    let run = app
+        .run(set, &ScaleParams::of(elements), seed)
+        .unwrap_or_else(|e| panic!("{} failed: {e}", app.name()));
+    assert!(run.verified, "{} failed verification", app.name());
+    set.take_timeline()
+}
+
+/// Fig. 8: every PrIM application, 60 vs 480 DPUs, native vs vPIM, with
+/// the four application segments.
+#[must_use]
+pub fn fig8(env: &BenchEnv, apps: &[&str]) -> Vec<Fig8Row> {
+    let mut rows = Vec::new();
+    for app in prim::catalog() {
+        if !apps.is_empty() && !apps.iter().any(|a| a.eq_ignore_ascii_case(app.name())) {
+            continue;
+        }
+        // The quadratic / wavefront workloads get a smaller element budget
+        // (their op counts scale superlinearly — NW's testbed run takes
+        // ~20 minutes in the paper too).
+        let elements = match app.name() {
+            "NW" | "TRNS" => env.scale().prim_elements() / 16,
+            "BFS" | "TS" => env.scale().prim_elements() / 8,
+            _ => env.scale().prim_elements(),
+        };
+        for dpus in FIG8_DPUS {
+            let native = {
+                let mut set = env.native_set(dpus).expect("native alloc");
+                run_prim_once(app.as_ref(), &mut set, elements, 42)
+            };
+            let vpim = {
+                let (sys, vm) = env.vpim_vm(Variant::Vpim, dpus).expect("vpim vm");
+                let mut set = env.vm_set(&vm, dpus).expect("vm alloc");
+                let tl = run_prim_once(app.as_ref(), &mut set, elements, 42);
+                drop(set);
+                drop(vm);
+                sys.shutdown();
+                tl
+            };
+            rows.push(Fig8Row { app: app.name(), dpus, native, vpim });
+        }
+    }
+    rows
+}
+
+/// §5.2's headline statistics over a set of Fig. 8 rows at one DPU count.
+#[derive(Debug, Clone, Copy)]
+pub struct OverheadSummary {
+    /// Lowest overhead factor.
+    pub min: f64,
+    /// Highest overhead factor.
+    pub max: f64,
+    /// Arithmetic mean (the paper reports arithmetic averages).
+    pub mean: f64,
+    /// Applications below 1.15×.
+    pub below_1_15: usize,
+    /// Applications below 1.5×.
+    pub below_1_5: usize,
+}
+
+/// Summarizes Fig. 8 rows for one DPU count.
+#[must_use]
+pub fn fig8_summary(rows: &[Fig8Row], dpus: usize) -> OverheadSummary {
+    let factors: Vec<f64> = rows
+        .iter()
+        .filter(|r| r.dpus == dpus)
+        .map(Fig8Row::overhead)
+        .collect();
+    OverheadSummary {
+        min: factors.iter().copied().fold(f64::INFINITY, f64::min),
+        max: factors.iter().copied().fold(0.0, f64::max),
+        mean: stats::amean(&factors),
+        below_1_15: factors.iter().filter(|f| **f < 1.15).count(),
+        below_1_5: factors.iter().filter(|f| **f < 1.5).count(),
+    }
+}
+
+fn checksum_native(env: &BenchEnv, dpus: usize, bytes: usize) -> Timeline {
+    let mut set = env.native_set(dpus).expect("native alloc");
+    let run = Checksum::run(&mut set, bytes, 42).expect("checksum");
+    assert!(run.verified);
+    set.take_timeline()
+}
+
+fn checksum_vpim(env: &BenchEnv, variant: Variant, dpus: usize, bytes: usize) -> Timeline {
+    let (sys, vm) = env.vpim_vm(variant, dpus).expect("vpim vm");
+    let mut set = env.vm_set(&vm, dpus).expect("vm alloc");
+    let run = Checksum::run(&mut set, bytes, 42).expect("checksum");
+    assert!(run.verified);
+    let tl = set.take_timeline();
+    drop(set);
+    drop(vm);
+    sys.shutdown();
+    tl
+}
+
+/// Fig. 9: checksum sensitivity to (a) vCPUs, (b) DPUs, (c) transfer size.
+#[derive(Debug, Clone)]
+pub struct Fig9 {
+    /// (vcpus, native total, vPIM total) at 60 DPUs / 60 MB.
+    pub vcpus: Vec<(usize, VirtualNanos, VirtualNanos)>,
+    /// (dpus, native, vPIM) at 60 MB / 16 vCPUs.
+    pub dpus: Vec<(usize, VirtualNanos, VirtualNanos)>,
+    /// (MB label, native, vPIM) at 60 DPUs / 16 vCPUs.
+    pub size: Vec<(usize, VirtualNanos, VirtualNanos)>,
+}
+
+/// Runs the Fig. 9 sweeps.
+#[must_use]
+pub fn fig9(env: &BenchEnv) -> Fig9 {
+    let full_mb = 60;
+    let base_bytes = env.scale().mb(full_mb);
+    // (a) vCPUs: execution is vCPU-independent (the paper's point); the
+    // sweep runs identical configurations — any variance would be a bug.
+    let base_native = checksum_native(env, 60, base_bytes);
+    let base_vpim = checksum_vpim(env, Variant::Vpim, 60, base_bytes);
+    let vcpus = [2usize, 4, 8, 16]
+        .into_iter()
+        .map(|v| (v, base_native.app_total(), base_vpim.app_total()))
+        .collect();
+
+    let dpus = [1usize, 8, 16, 60]
+        .into_iter()
+        .map(|d| {
+            let n = checksum_native(env, d, base_bytes);
+            let v = checksum_vpim(env, Variant::Vpim, d, base_bytes);
+            (d, n.app_total(), v.app_total())
+        })
+        .collect();
+
+    let size = [8usize, 20, 40, 60]
+        .into_iter()
+        .map(|mb| {
+            let bytes = env.scale().mb(mb);
+            let n = checksum_native(env, 60, bytes);
+            let v = checksum_vpim(env, Variant::Vpim, 60, bytes);
+            (mb, n.app_total(), v.app_total())
+        })
+        .collect();
+
+    Fig9 { vcpus, dpus, size }
+}
+
+/// Fig. 10: Index Search execution time vs DPU count.
+#[must_use]
+pub fn fig10(env: &BenchEnv) -> Vec<(usize, VirtualNanos, VirtualNanos)> {
+    let params = match env.scale() {
+        crate::Scale::Quick => IndexSearchParams {
+            n_docs: 430,
+            doc_len: 128,
+            vocab: 1024,
+            n_queries: 445,
+            batch: 128,
+        },
+        crate::Scale::Paper => IndexSearchParams::paper(),
+    };
+    [1usize, 8, 16, 60, 128]
+        .into_iter()
+        .map(|d| {
+            let n = {
+                let mut set = env.native_set(d).expect("native alloc");
+                let run = IndexSearch::run(&mut set, &params, 42).expect("search");
+                assert!(run.verified);
+                set.take_timeline().app_total()
+            };
+            let v = {
+                let (sys, vm) = env.vpim_vm(Variant::Vpim, d).expect("vpim vm");
+                let mut set = env.vm_set(&vm, d).expect("vm alloc");
+                let run = IndexSearch::run(&mut set, &params, 42).expect("search");
+                assert!(run.verified);
+                let t = set.take_timeline().app_total();
+                drop(set);
+                drop(vm);
+                sys.shutdown();
+                t
+            };
+            (d, n, v)
+        })
+        .collect()
+}
+
+/// Fig. 11: native vs vPIM-rust vs vPIM-C (checksum), varying DPUs and
+/// transfer sizes.
+#[derive(Debug, Clone)]
+pub struct Fig11 {
+    /// (dpus, native, vPIM-rust, vPIM-C) at 60 MB per DPU.
+    pub by_dpus: Vec<(usize, VirtualNanos, VirtualNanos, VirtualNanos)>,
+    /// (MB label, native, vPIM-rust, vPIM-C) at 60 DPUs.
+    pub by_size: Vec<(usize, VirtualNanos, VirtualNanos, VirtualNanos)>,
+}
+
+/// Runs the Fig. 11 sweeps.
+#[must_use]
+pub fn fig11(env: &BenchEnv) -> Fig11 {
+    let by_dpus = [1usize, 16, 60]
+        .into_iter()
+        .map(|d| {
+            let bytes = env.scale().mb(60);
+            (
+                d,
+                checksum_native(env, d, bytes).app_total(),
+                checksum_vpim(env, Variant::VpimRust, d, bytes).app_total(),
+                checksum_vpim(env, Variant::VpimC, d, bytes).app_total(),
+            )
+        })
+        .collect();
+    let by_size = [8usize, 40, 60]
+        .into_iter()
+        .map(|mb| {
+            let bytes = env.scale().mb(mb);
+            (
+                mb,
+                checksum_native(env, 60, bytes).app_total(),
+                checksum_vpim(env, Variant::VpimRust, 60, bytes).app_total(),
+                checksum_vpim(env, Variant::VpimC, 60, bytes).app_total(),
+            )
+        })
+        .collect();
+    Fig11 { by_dpus, by_size }
+}
+
+/// Fig. 12: driver-centric breakdown (CI / R-rank / W-rank) for vPIM-rust
+/// vs full vPIM — checksum, 60 DPUs, 8 MB.
+#[must_use]
+pub fn fig12(env: &BenchEnv) -> Vec<(Variant, Timeline)> {
+    let bytes = env.scale().mb(8);
+    [Variant::VpimRust, Variant::Vpim]
+        .into_iter()
+        .map(|v| (v, checksum_vpim(env, v, 60, bytes)))
+        .collect()
+}
+
+/// Fig. 13: write-to-rank step breakdown (Page/Ser/Int/Deser/T-data) for
+/// the two data paths — checksum, 60 DPUs, 8 MB.
+#[must_use]
+pub fn fig13(env: &BenchEnv) -> Vec<(Variant, Timeline)> {
+    let bytes = env.scale().mb(8);
+    [Variant::VpimRust, Variant::VpimC]
+        .into_iter()
+        .map(|v| (v, checksum_vpim(env, v, 60, bytes)))
+        .collect()
+}
+
+/// Fig. 14: NW under the optimization ladder (vPIM-C, +P, +B, +PB), plus
+/// native for the 53× context.
+#[derive(Debug, Clone)]
+pub struct Fig14 {
+    /// Native NW timeline.
+    pub native: Timeline,
+    /// (variant, timeline) for the four ladder steps.
+    pub ladder: Vec<(Variant, Timeline)>,
+}
+
+/// Runs the Fig. 14 ladder (single-rank strong scaling, 60 DPUs).
+#[must_use]
+pub fn fig14(env: &BenchEnv) -> Fig14 {
+    let elements = env.scale().prim_elements();
+    let nw = prim::by_name("NW").expect("NW registered");
+    let native = {
+        let mut set = env.native_set(60).expect("native alloc");
+        run_prim_once(nw.as_ref(), &mut set, elements, 42)
+    };
+    let ladder = [Variant::VpimC, Variant::VpimP, Variant::VpimB, Variant::VpimPB]
+        .into_iter()
+        .map(|v| {
+            let (sys, vm) = env.vpim_vm(v, 60).expect("vpim vm");
+            let mut set = env.vm_set(&vm, 60).expect("vm alloc");
+            let tl = run_prim_once(nw.as_ref(), &mut set, elements, 42);
+            drop(set);
+            drop(vm);
+            sys.shutdown();
+            (v, tl)
+        })
+        .collect();
+    Fig14 { native, ladder }
+}
+
+/// Fig. 15/16: parallel operation handling across ranks.
+#[derive(Debug, Clone)]
+pub struct Fig15 {
+    /// Per rank count: (ranks, whole-app seq, whole-app par,
+    /// write-op seq, write-op par).
+    pub rows: Vec<(usize, VirtualNanos, VirtualNanos, VirtualNanos, VirtualNanos)>,
+    /// Fig. 16: per-rank completion offsets of one 8-rank write,
+    /// sequential vs parallel.
+    pub per_rank_seq: Vec<(usize, VirtualNanos)>,
+    /// Parallel counterpart.
+    pub per_rank_par: Vec<(usize, VirtualNanos)>,
+}
+
+/// Runs the multi-rank experiments.
+#[must_use]
+pub fn fig15(env: &BenchEnv) -> Fig15 {
+    let bytes = env.scale().mb(48);
+    let mut rows = Vec::new();
+    let mut per_rank_seq = Vec::new();
+    let mut per_rank_par = Vec::new();
+    for ranks in [2usize, 4, 8] {
+        let dpus = ranks * 60;
+        let mut seq_whole = VirtualNanos::ZERO;
+        let mut par_whole = VirtualNanos::ZERO;
+        let mut seq_write = VirtualNanos::ZERO;
+        let mut par_write = VirtualNanos::ZERO;
+        for (variant, whole, write) in [
+            (Variant::VpimSeq, &mut seq_whole, &mut seq_write),
+            (Variant::Vpim, &mut par_whole, &mut par_write),
+        ] {
+            let (sys, vm) = env.vpim_vm(variant, dpus).expect("vpim vm");
+            let mut set = env.vm_set(&vm, dpus).expect("vm alloc");
+            let run = Checksum::run(&mut set, bytes, 42).expect("checksum");
+            assert!(run.verified);
+            let tl = set.take_timeline();
+            *whole = tl.app_total();
+            *write = tl.driver(simkit::DriverSegment::WriteRank);
+            if ranks == 8 {
+                let offsets = set.last_per_rank().to_vec();
+                if variant == Variant::VpimSeq {
+                    per_rank_seq = offsets;
+                } else {
+                    per_rank_par = offsets;
+                }
+            }
+            drop(set);
+            drop(vm);
+            sys.shutdown();
+        }
+        rows.push((ranks, seq_whole, par_whole, seq_write, par_write));
+    }
+    Fig15 { rows, per_rank_seq, per_rank_par }
+}
+
+/// §3.2: boot-time contribution of vUPMEM devices.
+#[must_use]
+pub fn boot_experiment(env: &BenchEnv) -> Vec<(usize, VirtualNanos)> {
+    (0..=4usize)
+        .map(|n| {
+            if n == 0 {
+                // A VM without vUPMEM devices boots at the base time.
+                let mut vm = pim_vmm::Vm::new(
+                    pim_vmm::VmConfig::builder().vupmem_devices(0).build(),
+                    pim_vmm::DispatchMode::Sequential,
+                );
+                let report = vm.boot(env.cost_model()).expect("boot");
+                (0, report.vupmem_boot_time)
+            } else {
+                let (sys, vm) = env.vpim_vm(Variant::Vpim, n * 60).expect("vpim vm");
+                let t = vm.boot_report().vupmem_boot_time;
+                drop(vm);
+                sys.shutdown();
+                (n, t)
+            }
+        })
+        .collect()
+}
+
+/// §4.2: manager overhead numbers (alloc latency, reset time, activity).
+#[derive(Debug, Clone)]
+pub struct ManagerReport {
+    /// Modeled allocation round trip (§4.2: ~36 ms).
+    pub alloc_latency: VirtualNanos,
+    /// Modeled reset time for one rank (§4.2: ~597 ms).
+    pub reset_time: VirtualNanos,
+    /// Manager statistics after an allocate/release/recycle exercise.
+    pub stats: vpim::manager::ManagerStats,
+}
+
+/// Exercises the manager and reports its § 4.2 numbers.
+#[must_use]
+pub fn manager_experiment(env: &BenchEnv) -> ManagerReport {
+    let sys = vpim::VpimSystem::start(env.driver().clone(), vpim::VpimConfig::full());
+    let alloc_latency = sys.manager().alloc_cost();
+    let reset_time = env
+        .cost_model()
+        .rank_reset(env.driver().machine().config().rank_mapped_bytes());
+    // Exercise: launch, release, wait for recycle.
+    let vm = sys.launch_vm("mgr-exercise", 2).expect("vm");
+    vm.release_all().expect("release");
+    drop(vm);
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while sys.manager().stats().resets < 2 && std::time::Instant::now() < deadline {
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    let stats = sys.manager().stats();
+    sys.shutdown();
+    ManagerReport { alloc_latency, reset_time, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scale;
+
+    #[test]
+    fn fig8_single_app_has_sane_shape() {
+        let env = BenchEnv::new(Scale::Quick);
+        let rows = fig8(&env, &["VA"]);
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!(r.overhead() >= 1.0, "{}@{}: {}", r.app, r.dpus, r.overhead());
+            assert!(r.vpim.messages() > 0);
+            assert_eq!(r.native.messages(), 0);
+        }
+    }
+
+    #[test]
+    fn fig9_size_sweep_shows_decreasing_overhead() {
+        let env = BenchEnv::new(Scale::Quick);
+        let bytes_small = env.scale().mb(8);
+        let bytes_big = env.scale().mb(60);
+        let small = stats::overhead(
+            checksum_vpim(&env, Variant::Vpim, 16, bytes_small).app_total(),
+            checksum_native(&env, 16, bytes_small).app_total(),
+        );
+        let big = stats::overhead(
+            checksum_vpim(&env, Variant::Vpim, 16, bytes_big).app_total(),
+            checksum_native(&env, 16, bytes_big).app_total(),
+        );
+        assert!(
+            small > big,
+            "overhead should fall with size: {small:.2}x @8MB vs {big:.2}x @60MB"
+        );
+    }
+
+    #[test]
+    fn fig11_rust_path_is_slower_than_c_path() {
+        let env = BenchEnv::new(Scale::Quick);
+        let bytes = env.scale().mb(40);
+        let native = checksum_native(&env, 16, bytes).app_total();
+        let rust = checksum_vpim(&env, Variant::VpimRust, 16, bytes).app_total();
+        let c = checksum_vpim(&env, Variant::VpimC, 16, bytes).app_total();
+        assert!(rust > c, "rust {rust} !> c {c}");
+        assert!(c > native, "c {c} !> native {native}");
+    }
+
+    #[test]
+    fn fig15_parallel_beats_sequential() {
+        let env = BenchEnv::new(Scale::Quick);
+        let f = fig15(&env);
+        for (ranks, seq, par, seq_w, par_w) in &f.rows {
+            assert!(par <= seq, "{ranks} ranks: whole {par} !<= {seq}");
+            assert!(par_w <= seq_w, "{ranks} ranks: write {par_w} !<= {seq_w}");
+        }
+        // Fig. 16: sequential offsets accumulate; parallel are ~uniform.
+        assert_eq!(f.per_rank_seq.len(), 8);
+        assert!(f.per_rank_seq.last().unwrap().1 > f.per_rank_seq[0].1);
+        let par_max = f.per_rank_par.iter().map(|(_, d)| *d).max().unwrap();
+        let seq_max = f.per_rank_seq.iter().map(|(_, d)| *d).max().unwrap();
+        assert!(par_max < seq_max);
+    }
+}
+
+/// Ablation: backend DPU-operation thread count (§4.2 — "We empirically
+/// validate that using more than 8 threads does not provide additional
+/// benefits"). Reports checksum write-to-rank time per thread count.
+#[must_use]
+pub fn ablation_backend_threads(env: &BenchEnv) -> Vec<(usize, VirtualNanos)> {
+    [1usize, 2, 4, 8, 16, 32]
+        .into_iter()
+        .map(|threads| {
+            let mut cm = env.cost_model().clone();
+            cm.backend_threads = threads;
+            let sys = vpim::VpimSystem::start_with(
+                env.driver().clone(),
+                vpim::VpimConfig::full(),
+                cm.clone(),
+                vpim::manager::ManagerConfig::default(),
+            );
+            let vm = sys
+                .launch_vm_with_memory("abl", 1, env.scale().guest_mem_mib())
+                .expect("vm");
+            let mut set = upmem_sdk::DpuSet::alloc_vm(vm.frontends(), 60, cm).expect("alloc");
+            let run = Checksum::run(&mut set, env.scale().mb(40), 42).expect("checksum");
+            assert!(run.verified);
+            let t = set.take_timeline().driver(simkit::DriverSegment::WriteRank);
+            drop(set);
+            drop(vm);
+            sys.shutdown();
+            (threads, t)
+        })
+        .collect()
+}
+
+/// Ablation: prefetch cache size (§4.1 fixes 16 pages/DPU). Reports the
+/// RED-style small-read pattern's Inter-DPU-like cost per cache size.
+#[must_use]
+pub fn ablation_prefetch_pages(env: &BenchEnv) -> Vec<(usize, VirtualNanos, u64)> {
+    [0usize, 4, 16, 64]
+        .into_iter()
+        .map(|pages| {
+            let mut cfg = vpim::VpimConfig::full();
+            if pages == 0 {
+                cfg.prefetch_cache = false;
+            } else {
+                cfg.prefetch_pages_per_dpu = pages;
+            }
+            let sys = vpim::VpimSystem::start_with(
+                env.driver().clone(),
+                cfg,
+                env.cost_model().clone(),
+                vpim::manager::ManagerConfig::default(),
+            );
+            let vm = sys
+                .launch_vm_with_memory("abl", 1, env.scale().guest_mem_mib())
+                .expect("vm");
+            let mut set =
+                upmem_sdk::DpuSet::alloc_vm(vm.frontends(), 16, env.cost_model().clone())
+                    .expect("alloc");
+            // A block-by-block read loop: 512 reads of 256 B over 128 KiB.
+            set.copy_to_heap(0, 0, &vec![7u8; 128 << 10]).expect("seed data");
+            let before = set.take_timeline();
+            drop(before);
+            for i in 0..512u64 {
+                let _ = set.copy_from_heap(0, i * 256, 256).expect("read");
+            }
+            let tl = set.take_timeline();
+            let t = tl.driver(simkit::DriverSegment::ReadRank);
+            let msgs = tl.messages();
+            drop(set);
+            drop(vm);
+            sys.shutdown();
+            (pages, t, msgs)
+        })
+        .collect()
+}
+
+/// Ablation: batch buffer size (§4.1 fixes 64 pages/DPU). Reports the
+/// TRNS-style small-write pattern's cost and message count per size.
+#[must_use]
+pub fn ablation_batch_pages(env: &BenchEnv) -> Vec<(usize, VirtualNanos, u64)> {
+    [0usize, 16, 64, 256]
+        .into_iter()
+        .map(|pages| {
+            let mut cfg = vpim::VpimConfig::full();
+            if pages == 0 {
+                cfg.request_batching = false;
+            } else {
+                cfg.batch_pages_per_dpu = pages;
+            }
+            let sys = vpim::VpimSystem::start_with(
+                env.driver().clone(),
+                cfg,
+                env.cost_model().clone(),
+                vpim::manager::ManagerConfig::default(),
+            );
+            let vm = sys
+                .launch_vm_with_memory("abl", 1, env.scale().guest_mem_mib())
+                .expect("vm");
+            let mut set =
+                upmem_sdk::DpuSet::alloc_vm(vm.frontends(), 16, env.cost_model().clone())
+                    .expect("alloc");
+            // A tiled-write loop: 1024 writes of 256 B round-robin over DPUs.
+            for i in 0..1024u64 {
+                set.copy_to_heap((i % 16) as usize, (i / 16) * 256, &[9u8; 256])
+                    .expect("write");
+            }
+            // Flush what remains via a launch-less read.
+            let _ = set.copy_from_heap(0, 0, 256).expect("flush");
+            let tl = set.take_timeline();
+            let t = tl.driver(simkit::DriverSegment::WriteRank);
+            let msgs = tl.messages();
+            drop(set);
+            drop(vm);
+            sys.shutdown();
+            (pages, t, msgs)
+        })
+        .collect()
+}

@@ -1,0 +1,19 @@
+//! # vpim-bench — the experiment harness behind every table and figure
+//!
+//! One function per experiment of the paper's evaluation (§5), each
+//! returning structured results the `figures` binary renders as text
+//! tables. The harness runs the *same* application code natively and under
+//! vPIM (requirement R3) and reports deterministic virtual time.
+//!
+//! Scales: [`Scale::Quick`] shrinks dataset sizes so the whole evaluation
+//! runs on a laptop-class machine (axes keep the paper's labels; see
+//! EXPERIMENTS.md), [`Scale::Paper`] uses paper-sized datasets.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod env;
+pub mod experiments;
+pub mod render;
+
+pub use env::{BenchEnv, Scale};

@@ -1,0 +1,237 @@
+//! The optimization matrix (Table 2) as a configuration type.
+
+use serde::{Deserialize, Serialize};
+use simkit::cost::DataPath;
+
+/// The named configurations evaluated in §5.4 (Table 2 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Variant {
+    /// Pure-Rust data path, no optimizations (`vPIM-rust`).
+    VpimRust,
+    /// C/AVX-512 data path only (`vPIM-C`).
+    VpimC,
+    /// C path + prefetch cache (`vPIM+P`).
+    VpimP,
+    /// C path + request batching (`vPIM+B`).
+    VpimB,
+    /// C path + prefetch + batching (`vPIM+PB`).
+    VpimPB,
+    /// All data-plane optimizations, sequential event handling (`vPIM-Seq`).
+    VpimSeq,
+    /// Everything enabled (`vPIM`).
+    Vpim,
+}
+
+impl Variant {
+    /// All variants, in Table 2 order.
+    pub const ALL: [Variant; 7] = [
+        Variant::VpimRust,
+        Variant::VpimC,
+        Variant::VpimP,
+        Variant::VpimB,
+        Variant::VpimPB,
+        Variant::VpimSeq,
+        Variant::Vpim,
+    ];
+
+    /// The label used in the paper's tables and figures.
+    #[must_use]
+    pub const fn label(self) -> &'static str {
+        match self {
+            Variant::VpimRust => "vPIM-rust",
+            Variant::VpimC => "vPIM-C",
+            Variant::VpimP => "vPIM+P",
+            Variant::VpimB => "vPIM+B",
+            Variant::VpimPB => "vPIM+PB",
+            Variant::VpimSeq => "vPIM-Seq",
+            Variant::Vpim => "vPIM",
+        }
+    }
+}
+
+impl std::fmt::Display for Variant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Which vPIM optimizations are enabled (§4, Table 2).
+///
+/// # Example
+///
+/// ```
+/// use vpim::{Variant, VpimConfig};
+///
+/// let full = VpimConfig::full();
+/// assert_eq!(full.variant(), Variant::Vpim);
+/// let rust = VpimConfig::variant_config(Variant::VpimRust);
+/// assert!(!rust.prefetch_cache);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VpimConfig {
+    /// "C Code Enhancement": which data path handles interleaving and
+    /// matrix management in the backend.
+    pub data_path: DataPath,
+    /// Frontend prefetch cache for small reads (16 pages per DPU).
+    pub prefetch_cache: bool,
+    /// Frontend request batching for small writes (64 pages per DPU).
+    pub request_batching: bool,
+    /// Parallel operation handling across ranks in the event manager.
+    pub parallel_handling: bool,
+    /// Prefetch cache capacity in pages per DPU (paper: 16).
+    pub prefetch_pages_per_dpu: usize,
+    /// Batch buffer capacity in pages per DPU (paper: 64).
+    pub batch_pages_per_dpu: usize,
+}
+
+impl VpimConfig {
+    /// The fully optimized configuration (`vPIM`).
+    #[must_use]
+    pub fn full() -> Self {
+        VpimConfig {
+            data_path: DataPath::Vectorized,
+            prefetch_cache: true,
+            request_batching: true,
+            parallel_handling: true,
+            prefetch_pages_per_dpu: 16,
+            batch_pages_per_dpu: 64,
+        }
+    }
+
+    /// The configuration for a named Table 2 variant.
+    #[must_use]
+    pub fn variant_config(v: Variant) -> Self {
+        let base = VpimConfig::full();
+        match v {
+            Variant::VpimRust => VpimConfig {
+                data_path: DataPath::Scalar,
+                prefetch_cache: false,
+                request_batching: false,
+                parallel_handling: false,
+                ..base
+            },
+            Variant::VpimC => VpimConfig {
+                prefetch_cache: false,
+                request_batching: false,
+                parallel_handling: false,
+                ..base
+            },
+            Variant::VpimP => VpimConfig {
+                request_batching: false,
+                parallel_handling: false,
+                ..base
+            },
+            Variant::VpimB => VpimConfig {
+                prefetch_cache: false,
+                parallel_handling: false,
+                ..base
+            },
+            Variant::VpimPB | Variant::VpimSeq => VpimConfig {
+                parallel_handling: false,
+                ..base
+            },
+            Variant::Vpim => base,
+        }
+    }
+
+    /// The Table 2 variant this configuration corresponds to (closest named
+    /// row; exact for configurations produced by [`variant_config`]).
+    ///
+    /// [`variant_config`]: VpimConfig::variant_config
+    #[must_use]
+    pub fn variant(&self) -> Variant {
+        match (
+            self.data_path,
+            self.prefetch_cache,
+            self.request_batching,
+            self.parallel_handling,
+        ) {
+            (DataPath::Scalar, _, _, _) => Variant::VpimRust,
+            (_, false, false, _) => Variant::VpimC,
+            (_, true, false, _) => Variant::VpimP,
+            (_, false, true, _) => Variant::VpimB,
+            (_, true, true, false) => Variant::VpimPB,
+            (_, true, true, true) => Variant::Vpim,
+        }
+    }
+
+    /// Prefetch cache capacity in bytes per DPU.
+    #[must_use]
+    pub fn prefetch_bytes(&self) -> u64 {
+        self.prefetch_pages_per_dpu as u64 * 4096
+    }
+
+    /// Batch buffer capacity in bytes per DPU.
+    #[must_use]
+    pub fn batch_bytes(&self) -> u64 {
+        self.batch_pages_per_dpu as u64 * 4096
+    }
+
+    /// Maximum extra frontend memory per DPU (§4.1 "Memory Overhead"):
+    /// page-pointer array + prefetch cache + batch buffer.
+    #[must_use]
+    pub fn frontend_memory_overhead_per_dpu(&self) -> u64 {
+        // §4.1: (16384 × 64) B of per-page bookkeeping (a 64-byte record
+        // per 4 KiB page of the 64 MB bank) + prefetch cache + batch buffer.
+        let page_records = 16_384u64 * 64;
+        page_records + self.prefetch_bytes() + self.batch_bytes()
+    }
+}
+
+impl Default for VpimConfig {
+    fn default() -> Self {
+        VpimConfig::full()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_matrix() {
+        // Rows of Table 2: (variant, C, prefetch, batching, parallel).
+        let rows = [
+            (Variant::VpimRust, false, false, false, false),
+            (Variant::VpimC, true, false, false, false),
+            (Variant::VpimP, true, true, false, false),
+            (Variant::VpimB, true, false, true, false),
+            (Variant::VpimPB, true, true, true, false),
+            (Variant::VpimSeq, true, true, true, false),
+            (Variant::Vpim, true, true, true, true),
+        ];
+        for (v, c, p, b, par) in rows {
+            let cfg = VpimConfig::variant_config(v);
+            assert_eq!(cfg.data_path == DataPath::Vectorized, c, "{v}");
+            assert_eq!(cfg.prefetch_cache, p, "{v}");
+            assert_eq!(cfg.request_batching, b, "{v}");
+            assert_eq!(cfg.parallel_handling, par, "{v}");
+        }
+    }
+
+    #[test]
+    fn variant_roundtrip_except_seq_alias() {
+        for v in Variant::ALL {
+            let back = VpimConfig::variant_config(v).variant();
+            // vPIM-Seq and vPIM+PB share the same flag set (Table 2);
+            // the canonical name for that set is VpimPB.
+            let expect = if v == Variant::VpimSeq { Variant::VpimPB } else { v };
+            assert_eq!(back, expect);
+        }
+    }
+
+    #[test]
+    fn memory_overhead_matches_paper() {
+        // §4.1: (16384 × 64)B + (16 × 4)KB + (64 × 4)KB = 1.37 MB per DPU.
+        let cfg = VpimConfig::full();
+        let bytes = cfg.frontend_memory_overhead_per_dpu();
+        let mb = bytes as f64 / 1e6;
+        assert!((mb - 1.37).abs() < 0.05, "got {mb} MB");
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(Variant::VpimRust.label(), "vPIM-rust");
+        assert_eq!(Variant::Vpim.to_string(), "vPIM");
+    }
+}

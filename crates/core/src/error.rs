@@ -1,0 +1,106 @@
+//! The vPIM error type.
+
+use core::fmt;
+
+use pim_virtio::VirtioError;
+use pim_vmm::VmmError;
+use upmem_driver::DriverError;
+use upmem_sim::SimError;
+
+/// Errors raised by the vPIM stack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum VpimError {
+    /// The virtio transport failed.
+    Virtio(VirtioError),
+    /// The VMM rejected an operation.
+    Vmm(String),
+    /// The host driver rejected an operation.
+    Driver(DriverError),
+    /// The simulated hardware rejected an operation.
+    Sim(SimError),
+    /// The manager could not satisfy a rank allocation (all retries
+    /// exhausted — §3.5 "the request is abandoned").
+    NoRankAvailable,
+    /// The manager has shut down.
+    ManagerDown,
+    /// The vUPMEM device is not linked to a physical rank (Appendix A.1:
+    /// requests must not be sent while unlinked).
+    NotLinked,
+    /// A request decoded to something malformed.
+    BadRequest(String),
+    /// A transfer exceeded a protocol bound (e.g. > 64 DPUs in a matrix).
+    ProtocolViolation(String),
+}
+
+impl fmt::Display for VpimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VpimError::Virtio(e) => write!(f, "virtio: {e}"),
+            VpimError::Vmm(msg) => write!(f, "vmm: {msg}"),
+            VpimError::Driver(e) => write!(f, "driver: {e}"),
+            VpimError::Sim(e) => write!(f, "hardware: {e}"),
+            VpimError::NoRankAvailable => write!(f, "no rank available after all retries"),
+            VpimError::ManagerDown => write!(f, "the vpim manager has shut down"),
+            VpimError::NotLinked => write!(f, "vupmem device is not linked to a physical rank"),
+            VpimError::BadRequest(msg) => write!(f, "malformed request: {msg}"),
+            VpimError::ProtocolViolation(msg) => write!(f, "protocol violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for VpimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VpimError::Virtio(e) => Some(e),
+            VpimError::Driver(e) => Some(e),
+            VpimError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<VirtioError> for VpimError {
+    fn from(e: VirtioError) -> Self {
+        VpimError::Virtio(e)
+    }
+}
+
+impl From<DriverError> for VpimError {
+    fn from(e: DriverError) -> Self {
+        VpimError::Driver(e)
+    }
+}
+
+impl From<SimError> for VpimError {
+    fn from(e: SimError) -> Self {
+        VpimError::Sim(e)
+    }
+}
+
+impl From<VmmError> for VpimError {
+    fn from(e: VmmError) -> Self {
+        VpimError::Vmm(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_sources() {
+        use std::error::Error;
+        let e: VpimError = VirtioError::QueueFull.into();
+        assert!(e.source().is_some());
+        let e: VpimError = SimError::InvalidRank(1).into();
+        assert!(e.to_string().contains("hardware"));
+        assert!(VpimError::NoRankAvailable.source().is_none());
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn f<T: Send + Sync>() {}
+        f::<VpimError>();
+    }
+}

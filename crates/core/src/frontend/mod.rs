@@ -1,0 +1,590 @@
+//! The vUPMEM frontend driver (§3.1, §4.1): the guest-kernel half of vPIM.
+//!
+//! The frontend exposes the virtual UPMEM device to guest userspace (safe
+//! mode: applications reach the device through this driver, never
+//! directly), builds and serializes transfer matrices, and implements the
+//! two anti-small-transfer optimizations: the [`PrefetchCache`] for reads
+//! and the [`BatchBuffer`] for writes. Every operation returns an
+//! [`OpReport`] carrying its virtual-time cost, message count and Fig. 13
+//! step breakdown.
+
+mod batch;
+mod prefetch;
+
+pub use batch::{BatchBuffer, PendingWrite};
+pub use prefetch::PrefetchCache;
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use pim_virtio::mmio::{reg, status as mmio_status};
+use pim_virtio::queue::{DriverQueue, QueueLayout};
+use pim_virtio::{Gpa, GuestMemory};
+use pim_vmm::{EventManager, VirtioDevice};
+use simkit::{CostModel, VirtualNanos, WriteStep};
+use upmem_sim::ci::CiStatus;
+
+use crate::config::VpimConfig;
+use crate::device::VupmemDevice;
+use crate::error::VpimError;
+use crate::matrix::{TransferMatrix, MAX_DPUS};
+use crate::report::OpReport;
+use crate::spec::{self, PimDeviceConfig, Request, Response};
+
+/// Writes at or below this size are candidates for batching (one page —
+/// the paper batches "small-size data transfer" of a few hundred bytes).
+pub const SMALL_WRITE_MAX: u64 = 4096;
+
+#[derive(Debug)]
+struct FrontState {
+    nr_dpus: u32,
+    mram_size: u64,
+    prefetch: PrefetchCache,
+    batch: BatchBuffer,
+}
+
+/// The guest-side driver for one vUPMEM device.
+#[derive(Debug)]
+pub struct Frontend {
+    device: Arc<VupmemDevice>,
+    device_idx: usize,
+    em: EventManager,
+    mem: GuestMemory,
+    queue: Mutex<DriverQueue>,
+    cm: CostModel,
+    vcfg: VpimConfig,
+    state: Mutex<FrontState>,
+}
+
+impl Frontend {
+    /// Probes the device during guest boot: performs the virtio status
+    /// handshake and configures `transferq` and `controlq` in guest memory.
+    /// Call **before** `Vm::boot` (the device reads the queue layout when
+    /// it activates); call [`initialize`](Self::initialize) after boot.
+    ///
+    /// # Errors
+    ///
+    /// Guest memory exhaustion or MMIO errors.
+    pub fn probe(
+        device: Arc<VupmemDevice>,
+        device_idx: usize,
+        em: EventManager,
+        mem: GuestMemory,
+        cm: CostModel,
+        vcfg: VpimConfig,
+    ) -> Result<Frontend, VpimError> {
+        let m = device.mmio();
+        m.write(reg::STATUS, mmio_status::ACKNOWLEDGE)?;
+        m.write(reg::STATUS, mmio_status::ACKNOWLEDGE | mmio_status::DRIVER)?;
+        m.write(reg::DRIVER_FEATURES, 0)?;
+
+        let layout = QueueLayout::alloc(&mem, spec::TRANSFERQ_SIZE)?;
+        let set = |sel: u32, l: &QueueLayout| -> Result<(), VpimError> {
+            m.write(reg::QUEUE_SEL, sel)?;
+            m.write(reg::QUEUE_NUM, u32::from(l.size))?;
+            m.write(reg::QUEUE_DESC_LOW, (l.desc.0 & 0xffff_ffff) as u32)?;
+            m.write(reg::QUEUE_DESC_HIGH, (l.desc.0 >> 32) as u32)?;
+            m.write(reg::QUEUE_DRIVER_LOW, (l.avail.0 & 0xffff_ffff) as u32)?;
+            m.write(reg::QUEUE_DRIVER_HIGH, (l.avail.0 >> 32) as u32)?;
+            m.write(reg::QUEUE_DEVICE_LOW, (l.used.0 & 0xffff_ffff) as u32)?;
+            m.write(reg::QUEUE_DEVICE_HIGH, (l.used.0 >> 32) as u32)?;
+            m.write(reg::QUEUE_READY, 1)?;
+            Ok(())
+        };
+        set(spec::TRANSFERQ, &layout)?;
+        let ctrl = QueueLayout::alloc(&mem, spec::CONTROLQ_SIZE)?;
+        set(spec::CONTROLQ, &ctrl)?;
+        m.write(
+            reg::STATUS,
+            mmio_status::ACKNOWLEDGE
+                | mmio_status::DRIVER
+                | mmio_status::FEATURES_OK
+                | mmio_status::DRIVER_OK,
+        )?;
+
+        Ok(Frontend {
+            device,
+            device_idx,
+            em,
+            queue: Mutex::new(DriverQueue::new(mem.clone(), layout)),
+            mem,
+            cm,
+            vcfg,
+            state: Mutex::new(FrontState {
+                nr_dpus: 0,
+                mram_size: 0,
+                prefetch: PrefetchCache::new(0, 0),
+                batch: BatchBuffer::new(0, 0),
+            }),
+        })
+    }
+
+    /// Completes initialization after boot: requests the device
+    /// configuration (frequency, DPU count — §3.2) and sizes the prefetch
+    /// cache and batch buffer.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a backend that cannot link a rank.
+    pub fn initialize(&self) -> Result<OpReport, VpimError> {
+        let (resp, report) = self.roundtrip(&Request::Configure, &[])?;
+        let mut padded = resp.payload.clone();
+        padded.resize(PimDeviceConfig::ENCODED_LEN, 0);
+        let cfg = PimDeviceConfig::decode(&padded)?;
+        let mut st = self.state.lock();
+        st.nr_dpus = cfg.nr_dpus;
+        st.mram_size = cfg.mram_size;
+        st.prefetch =
+            PrefetchCache::new(cfg.nr_dpus as usize, self.vcfg.prefetch_pages_per_dpu);
+        st.batch = BatchBuffer::new(cfg.nr_dpus as usize, self.vcfg.batch_pages_per_dpu);
+        Ok(report)
+    }
+
+    /// Number of DPUs behind this device (0 before `initialize`).
+    #[must_use]
+    pub fn nr_dpus(&self) -> u32 {
+        self.state.lock().nr_dpus
+    }
+
+    /// MRAM bytes per DPU.
+    #[must_use]
+    pub fn mram_size(&self) -> u64 {
+        self.state.lock().mram_size
+    }
+
+    /// The device this frontend drives.
+    #[must_use]
+    pub fn device(&self) -> &Arc<VupmemDevice> {
+        &self.device
+    }
+
+    /// The optimization configuration this frontend runs with.
+    #[must_use]
+    pub fn config(&self) -> &VpimConfig {
+        &self.vcfg
+    }
+
+    /// The cost model in effect.
+    #[must_use]
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cm
+    }
+
+    /// Prefetch cache counters `(hits, misses)`.
+    #[must_use]
+    pub fn prefetch_stats(&self) -> (u64, u64) {
+        self.state.lock().prefetch.stats()
+    }
+
+    /// Batch buffer counters `(appends, flushes)`.
+    #[must_use]
+    pub fn batch_stats(&self) -> (u64, u64) {
+        self.state.lock().batch.stats()
+    }
+
+    // ------------------------------------------------------------ transport
+
+    fn response_error(resp: &Response) -> VpimError {
+        match resp.status {
+            crate::backend::STATUS_FAULT => VpimError::Sim(upmem_sim::SimError::Fault(
+                upmem_sim::DpuFault::new(resp.error.clone()),
+            )),
+            crate::backend::STATUS_NOT_LINKED => VpimError::NotLinked,
+            crate::backend::STATUS_BAD => VpimError::BadRequest(resp.error.clone()),
+            _ => VpimError::Vmm(resp.error.clone()),
+        }
+    }
+
+    /// One full request/response exchange over `transferq`.
+    fn roundtrip(
+        &self,
+        req: &Request,
+        extra: &[(Gpa, u32, bool)],
+    ) -> Result<(Response, OpReport), VpimError> {
+        let pages = self.mem.alloc_pages(2)?;
+        let (req_page, status_page) = (pages[0], pages[1]);
+        let enc = req.encode();
+        self.mem.write(req_page, &enc)?;
+
+        let mut bufs: Vec<(Gpa, u32, bool)> = Vec::with_capacity(extra.len() + 2);
+        bufs.push((req_page, enc.len() as u32, false));
+        bufs.extend_from_slice(extra);
+        bufs.push((status_page, 4096, true));
+        self.queue.lock().add_chain(&bufs)?;
+
+        // The guest kick: an MMIO write that traps to the VMM.
+        self.device.mmio().write(reg::QUEUE_NOTIFY, spec::TRANSFERQ)?;
+        self.em.kick(self.device_idx, spec::TRANSFERQ).map_err(VpimError::from)?;
+
+        // Completion IRQ (already pending: the event manager processed the
+        // request synchronously on this call path).
+        if !self.device.irq().wait(Duration::from_secs(30)) {
+            return Err(VpimError::Vmm("timeout waiting for completion irq".to_string()));
+        }
+        self.device.mmio().write(reg::INTERRUPT_ACK, 1)?;
+        let (_head, _len) = self
+            .queue
+            .lock()
+            .poll_used()?
+            .ok_or_else(|| VpimError::Vmm("irq without used entry".to_string()))?;
+
+        let raw = self.mem.with_slice(status_page, 4096, <[u8]>::to_vec)?;
+        let resp = Response::decode(&raw)?;
+        self.mem.free_pages_back(&pages)?;
+
+        let mut report = OpReport::default();
+        report.messages = 1;
+        report.step(WriteStep::Interrupt, self.cm.virtio_round_trip());
+        if resp.is_ok() {
+            Ok((resp, report))
+        } else {
+            Err(Self::response_error(&resp))
+        }
+    }
+
+    // ------------------------------------------------------------ rank ops
+
+    /// `write-to-rank`: writes per-DPU buffers into MRAM. Small writes are
+    /// absorbed by the batch buffer when batching is enabled.
+    ///
+    /// # Errors
+    ///
+    /// Transport or hardware failures.
+    pub fn write_rank(&self, entries: &[(u32, u64, &[u8])]) -> Result<OpReport, VpimError> {
+        let mut report = OpReport::default();
+        if self.vcfg.request_batching
+            && entries.iter().all(|(_, _, d)| d.len() as u64 <= SMALL_WRITE_MAX)
+        {
+            let need_flush = {
+                let st = self.state.lock();
+                entries
+                    .iter()
+                    .any(|(dpu, _, d)| st.batch.would_overflow(*dpu, d.len() as u64))
+            };
+            if need_flush {
+                report.absorb(&self.flush_batch()?);
+            }
+            let mut st = self.state.lock();
+            for (dpu, off, d) in entries {
+                if st.batch.append(*dpu, *off, d) {
+                    report.duration += self.cm.batch_append(d.len() as u64);
+                } else {
+                    // Same-DPU entries overran the buffer mid-loop: flush
+                    // and retry once.
+                    drop(st);
+                    report.absorb(&self.flush_batch()?);
+                    st = self.state.lock();
+                    if st.batch.append(*dpu, *off, d) {
+                        report.duration += self.cm.batch_append(d.len() as u64);
+                    } else {
+                        drop(st);
+                        report.absorb(&self.write_direct(&[(*dpu, *off, *d)])?);
+                        st = self.state.lock();
+                    }
+                }
+            }
+            return Ok(report);
+        }
+        if self.vcfg.request_batching {
+            report.absorb(&self.flush_batch()?);
+        }
+        report.absorb(&self.write_direct(entries)?);
+        Ok(report)
+    }
+
+    /// Sends buffered writes to the backend (also triggered automatically
+    /// by any non-write request — §4.1).
+    ///
+    /// # Errors
+    ///
+    /// Transport or hardware failures.
+    pub fn flush_batch(&self) -> Result<OpReport, VpimError> {
+        let drained = self.state.lock().batch.drain();
+        if drained.is_empty() {
+            return Ok(OpReport::default());
+        }
+        let mut report = OpReport::default();
+        for chunk in drained.chunks(MAX_DPUS) {
+            let views: Vec<(u32, u64, &[u8])> =
+                chunk.iter().map(|w| (w.dpu, w.offset, w.data.as_slice())).collect();
+            report.absorb(&self.write_direct(&views)?);
+        }
+        Ok(report)
+    }
+
+    fn write_direct(&self, entries: &[(u32, u64, &[u8])]) -> Result<OpReport, VpimError> {
+        self.state.lock().prefetch.invalidate();
+        let mut report = OpReport::default();
+        for chunk in entries.chunks(MAX_DPUS) {
+            let (matrix, data_lease) = TransferMatrix::from_user_buffers(&self.mem, chunk)?;
+            let pages = matrix.total_pages();
+            let mut r = OpReport::default();
+            r.step(WriteStep::PageMgmt, self.cm.page_mgmt(pages));
+            let (bufs, meta_lease) = matrix.serialize(&self.mem)?;
+            r.step(WriteStep::Serialize, self.cm.serialize_matrix(pages));
+            let (resp, rt) =
+                self.roundtrip(&Request::WriteRank { nr_dpus: chunk.len() as u32 }, &bufs)?;
+            r.absorb(&rt);
+            r.step(
+                WriteStep::Deserialize,
+                VirtualNanos::from_nanos(resp.deser_ns + resp.translate_ns),
+            );
+            r.step(WriteStep::TransferData, VirtualNanos::from_nanos(resp.transfer_ns));
+            r.ddr += VirtualNanos::from_nanos(resp.ddr_ns);
+            r.rank_ops += 1;
+            meta_lease.release();
+            data_lease.release();
+            report.absorb(&r);
+        }
+        Ok(report)
+    }
+
+    /// `read-from-rank`: reads `(dpu, offset, len)` ranges, serving small
+    /// reads from the prefetch cache when enabled. Returns one buffer per
+    /// request plus the cost report.
+    ///
+    /// # Errors
+    ///
+    /// Transport or hardware failures.
+    pub fn read_rank(
+        &self,
+        reqs: &[(u32, u64, u64)],
+    ) -> Result<(Vec<Vec<u8>>, OpReport), VpimError> {
+        let mut report = OpReport::default();
+        if self.vcfg.request_batching {
+            report.absorb(&self.flush_batch()?);
+        }
+        // The cache serves the "host processes DPU data block by block in a
+        // loop" pattern (§4.1): small reads targeting one DPU at a time.
+        // Large parallel matrix reads bypass it.
+        let cacheable = {
+            let st = self.state.lock();
+            self.vcfg.prefetch_cache
+                && reqs.len() == 1
+                && reqs.iter().all(|(_, _, len)| st.prefetch.cacheable(*len))
+        };
+        if !cacheable {
+            let (out, r) = self.read_direct(reqs)?;
+            report.absorb(&r);
+            return Ok((out, report));
+        }
+
+        let mut outputs: Vec<Option<Vec<u8>>> = vec![None; reqs.len()];
+        for (i, (dpu, offset, len)) in reqs.iter().enumerate() {
+            // Try the cache.
+            let hit = self.state.lock().prefetch.lookup(*dpu as usize, *offset, *len);
+            if let Some(data) = hit {
+                report.duration += self.cm.prefetch_hit(*len);
+                outputs[i] = Some(data);
+                continue;
+            }
+            // Miss: fetch a cache-sized segment starting at the request
+            // address and repopulate (§4.1 step 3).
+            let (seg_base, seg_len) = {
+                let st = self.state.lock();
+                let cap = st.prefetch.capacity_bytes();
+                let max = st.mram_size.saturating_sub(*offset);
+                (*offset, cap.min(max).max(*len))
+            };
+            let (mut seg, r) = self.read_direct(&[(*dpu, seg_base, seg_len)])?;
+            report.absorb(&r);
+            let data = seg.pop().expect("one segment");
+            let mut st = self.state.lock();
+            st.prefetch.install(*dpu as usize, seg_base, data);
+            let served = st
+                .prefetch
+                .lookup(*dpu as usize, *offset, *len)
+                .expect("freshly installed segment must serve the miss");
+            drop(st);
+            report.duration += self.cm.prefetch_hit(*len);
+            outputs[i] = Some(served);
+        }
+        Ok((
+            outputs.into_iter().map(|o| o.expect("all served")).collect(),
+            report,
+        ))
+    }
+
+    fn read_direct(
+        &self,
+        reqs: &[(u32, u64, u64)],
+    ) -> Result<(Vec<Vec<u8>>, OpReport), VpimError> {
+        let mut report = OpReport::default();
+        let mut outputs = Vec::with_capacity(reqs.len());
+        for chunk in reqs.chunks(MAX_DPUS) {
+            let (matrix, lease) = TransferMatrix::alloc_read_buffers(&self.mem, chunk)?;
+            let pages = matrix.total_pages();
+            let mut r = OpReport::default();
+            r.step(WriteStep::PageMgmt, self.cm.page_mgmt(pages));
+            let (bufs, meta_lease) = matrix.serialize(&self.mem)?;
+            r.step(WriteStep::Serialize, self.cm.serialize_matrix(pages));
+            let (resp, rt) =
+                self.roundtrip(&Request::ReadRank { nr_dpus: chunk.len() as u32 }, &bufs)?;
+            r.absorb(&rt);
+            r.step(
+                WriteStep::Deserialize,
+                VirtualNanos::from_nanos(resp.deser_ns + resp.translate_ns),
+            );
+            r.step(WriteStep::TransferData, VirtualNanos::from_nanos(resp.transfer_ns));
+            r.ddr += VirtualNanos::from_nanos(resp.ddr_ns);
+            r.rank_ops += 1;
+            for entry in &matrix.entries {
+                let data = TransferMatrix::gather(&self.mem, entry)?;
+                r.duration += self.cm.memcpy(entry.len);
+                outputs.push(data);
+            }
+            meta_lease.release();
+            lease.release();
+            report.absorb(&r);
+        }
+        Ok((outputs, report))
+    }
+
+    // ------------------------------------------------------------- CI ops
+
+    /// Loads a program image by name (CI operation).
+    ///
+    /// # Errors
+    ///
+    /// Unknown kernel, IRAM overflow, or transport failures.
+    pub fn load_program(&self, name: &str, dpus: &[u32]) -> Result<OpReport, VpimError> {
+        let mut report = self.flush_batch()?;
+        let (_, rt) = self.roundtrip(
+            &Request::LoadProgram { name: name.to_string(), dpus: dpus.to_vec() },
+            &[],
+        )?;
+        report.absorb(&rt);
+        Ok(report)
+    }
+
+    /// Boots the loaded program and returns the slowest DPU's cycle count
+    /// in the report. Invalidates the prefetch cache (§4.1).
+    ///
+    /// # Errors
+    ///
+    /// DPU faults surface as [`VpimError::Sim`].
+    pub fn launch(&self, dpus: &[u32], nr_tasklets: u32) -> Result<OpReport, VpimError> {
+        let mut report = self.flush_batch()?;
+        self.state.lock().prefetch.invalidate();
+        let (resp, rt) =
+            self.roundtrip(&Request::Launch { dpus: dpus.to_vec(), nr_tasklets }, &[])?;
+        report.absorb(&rt);
+        report.launch_cycles = resp.launch_cycles;
+        Ok(report)
+    }
+
+    /// Polls one DPU's status (CI operation).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or an invalid DPU.
+    pub fn poll_status(&self, dpu: u32) -> Result<(CiStatus, OpReport), VpimError> {
+        let (resp, report) = self.roundtrip(&Request::PollStatus { dpu }, &[])?;
+        let code = resp.payload.first().copied().unwrap_or(0);
+        let status = match code {
+            1 => CiStatus::Running,
+            2 => CiStatus::Done,
+            3 => CiStatus::Fault,
+            _ => CiStatus::Idle,
+        };
+        Ok((status, report))
+    }
+
+    /// Writes a host symbol on one DPU.
+    ///
+    /// # Errors
+    ///
+    /// Unknown symbol, size mismatch, or transport failures.
+    pub fn write_symbol(
+        &self,
+        dpu: u32,
+        name: &str,
+        bytes: &[u8],
+    ) -> Result<OpReport, VpimError> {
+        if bytes.len() > 4096 {
+            return Err(VpimError::BadRequest(format!(
+                "symbol payload of {} bytes exceeds one page",
+                bytes.len()
+            )));
+        }
+        let mut report = self.flush_batch()?;
+        let pages = self.mem.alloc_pages(1)?;
+        self.mem.write(pages[0], bytes)?;
+        let (_, rt) = self.roundtrip(
+            &Request::WriteSymbol { dpu, name: name.to_string(), len: bytes.len() as u32 },
+            &[(pages[0], bytes.len() as u32, false)],
+        )?;
+        self.mem.free_pages_back(&pages)?;
+        report.absorb(&rt);
+        Ok(report)
+    }
+
+    /// Writes one `u32` symbol on many DPUs with a single request (the
+    /// SDK's parallel argument push — one transition per rank instead of
+    /// one per DPU).
+    ///
+    /// # Errors
+    ///
+    /// Unknown symbol or transport failures.
+    pub fn scatter_symbol(
+        &self,
+        name: &str,
+        entries: &[(u32, u32)],
+    ) -> Result<OpReport, VpimError> {
+        let mut report = self.flush_batch()?;
+        for chunk in entries.chunks(MAX_DPUS) {
+            let (_, rt) = self.roundtrip(
+                &Request::ScatterSymbol { name: name.to_string(), entries: chunk.to_vec() },
+                &[],
+            )?;
+            report.absorb(&rt);
+        }
+        Ok(report)
+    }
+
+    /// Reads a host symbol from one DPU.
+    ///
+    /// # Errors
+    ///
+    /// Unknown symbol, size mismatch, or transport failures.
+    pub fn read_symbol(
+        &self,
+        dpu: u32,
+        name: &str,
+        len: usize,
+    ) -> Result<(Vec<u8>, OpReport), VpimError> {
+        let mut report = self.flush_batch()?;
+        let (resp, rt) = self.roundtrip(
+            &Request::ReadSymbol { dpu, name: name.to_string(), len: len as u32 },
+            &[],
+        )?;
+        report.absorb(&rt);
+        Ok((resp.payload, report))
+    }
+
+    /// Detaches the device from its physical rank; the manager's observer
+    /// will reset and recycle it.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn release_rank(&self) -> Result<OpReport, VpimError> {
+        let mut report = self.flush_batch()?;
+        self.state.lock().prefetch.invalidate();
+        let (_, rt) = self.roundtrip(&Request::ReleaseRank, &[])?;
+        report.absorb(&rt);
+        Ok(report)
+    }
+
+    /// Charges the analytic cost of the SDK's status-poll loop during a
+    /// synchronous launch of `exec_time`: each poll is a CI read through
+    /// the device (a full guest↔VMM round trip). One real poll was already
+    /// issued by the caller; this accounts for the remaining `n-1`.
+    #[must_use]
+    pub fn sync_poll_cost(&self, exec_time: VirtualNanos) -> (u64, VirtualNanos) {
+        let polls = self.cm.launch_polls(exec_time);
+        let extra = polls.saturating_sub(1);
+        (extra, self.cm.virtio_round_trip().saturating_mul(extra))
+    }
+}

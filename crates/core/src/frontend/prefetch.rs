@@ -1,0 +1,146 @@
+//! The frontend prefetch cache (§4.1).
+//!
+//! Frequent small reads (the host application walking DPU results block by
+//! block) each cost a full guest↔VMM round trip, up to 53× overhead. The
+//! frontend therefore keeps a per-DPU cache of 16 pages: a small read that
+//! hits is served locally; a miss fetches a cache-sized segment starting at
+//! the requested address. The cache is invalidated by `write-to-rank`,
+//! program launches, and rank release.
+
+/// One DPU's cached MRAM segment.
+#[derive(Debug, Clone)]
+struct Segment {
+    base: u64,
+    data: Vec<u8>,
+}
+
+/// The per-device prefetch cache.
+#[derive(Debug)]
+pub struct PrefetchCache {
+    capacity_bytes: u64,
+    segments: Vec<Option<Segment>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl PrefetchCache {
+    /// Creates a cache for `nr_dpus` DPUs with `pages_per_dpu` pages each.
+    #[must_use]
+    pub fn new(nr_dpus: usize, pages_per_dpu: usize) -> Self {
+        PrefetchCache {
+            capacity_bytes: pages_per_dpu as u64 * 4096,
+            segments: vec![None; nr_dpus],
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Cache segment size in bytes (the fetch granule).
+    #[must_use]
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    /// Whether a read of `len` bytes is small enough to be cacheable.
+    #[must_use]
+    pub fn cacheable(&self, len: u64) -> bool {
+        len <= self.capacity_bytes
+    }
+
+    /// Attempts to serve a read from the cache.
+    pub fn lookup(&mut self, dpu: usize, offset: u64, len: u64) -> Option<Vec<u8>> {
+        let served = self.segments.get(dpu).and_then(Option::as_ref).and_then(|seg| {
+            let end = offset.checked_add(len)?;
+            if offset >= seg.base && end <= seg.base + seg.data.len() as u64 {
+                let lo = (offset - seg.base) as usize;
+                Some(seg.data[lo..lo + len as usize].to_vec())
+            } else {
+                None
+            }
+        });
+        match served {
+            Some(data) => {
+                self.hits += 1;
+                Some(data)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Installs a freshly fetched segment for `dpu`.
+    pub fn install(&mut self, dpu: usize, base: u64, data: Vec<u8>) {
+        if let Some(slot) = self.segments.get_mut(dpu) {
+            *slot = Some(Segment { base, data });
+        }
+    }
+
+    /// Invalidates every segment (write-to-rank, launch, or release).
+    pub fn invalidate(&mut self) {
+        for s in &mut self.segments {
+            *s = None;
+        }
+    }
+
+    /// `(hits, misses)` counters.
+    #[must_use]
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit_after_install() {
+        let mut c = PrefetchCache::new(4, 16);
+        assert_eq!(c.lookup(1, 100, 8), None);
+        c.install(1, 64, (0..255u8).collect());
+        let got = c.lookup(1, 100, 8).unwrap();
+        assert_eq!(got, ((100 - 64) as u8..(108 - 64) as u8).collect::<Vec<_>>());
+        assert_eq!(c.stats(), (1, 1));
+    }
+
+    #[test]
+    fn partial_overlap_is_a_miss() {
+        let mut c = PrefetchCache::new(1, 1);
+        c.install(0, 0, vec![0u8; 4096]);
+        assert!(c.lookup(0, 4090, 10).is_none());
+        assert!(c.lookup(0, 0, 4096).is_some());
+    }
+
+    #[test]
+    fn invalidate_clears_everything() {
+        let mut c = PrefetchCache::new(2, 1);
+        c.install(0, 0, vec![1; 16]);
+        c.install(1, 0, vec![2; 16]);
+        c.invalidate();
+        assert!(c.lookup(0, 0, 1).is_none());
+        assert!(c.lookup(1, 0, 1).is_none());
+    }
+
+    #[test]
+    fn cacheable_respects_capacity() {
+        let c = PrefetchCache::new(1, 16);
+        assert!(c.cacheable(16 * 4096));
+        assert!(!c.cacheable(16 * 4096 + 1));
+    }
+
+    #[test]
+    fn out_of_range_dpu_is_harmless() {
+        let mut c = PrefetchCache::new(1, 1);
+        assert!(c.lookup(9, 0, 1).is_none());
+        c.install(9, 0, vec![1]); // silently ignored
+    }
+
+    #[test]
+    fn overflowing_offsets_are_misses_not_panics() {
+        let mut c = PrefetchCache::new(1, 1);
+        c.install(0, 0, vec![0; 8]);
+        assert!(c.lookup(0, u64::MAX, 2).is_none());
+    }
+}

@@ -1,0 +1,67 @@
+//! # vpim — Processing-in-Memory virtualization
+//!
+//! An open-source reproduction of **"vPIM: Processing-in-Memory
+//! Virtualization"** (Teguia, Chen, Bitchebe, Balmau, Tchana — MIDDLEWARE
+//! 2024, <https://hal.science/hal-04737700>): the first system to
+//! virtualize a commercial PIM device (UPMEM) for the cloud.
+//!
+//! vPIM follows the para-virtualization approach, extending the virtio
+//! standard with a new PIM device type (id 42, two queues — see [`spec`]).
+//! It consists of three components (§3.1, Fig. 4):
+//!
+//! * the **[`frontend`]** — a virtio device driver in the guest kernel that
+//!   exposes a vUPMEM device file to guest userspace and forwards SDK
+//!   requests to the backend. It implements the transfer-matrix
+//!   serialization (Fig. 6/7), the **prefetch cache** (16 pages/DPU) and
+//!   **request batching** (64 pages/DPU) optimizations (§4.1);
+//! * the **[`backend`]** — the device model inside Firecracker that decodes
+//!   requests, translates guest page addresses (GPA→HVA) with a thread
+//!   pool, and performs rank operations in performance mode with an
+//!   8-thread DPU-operation pool and a selectable scalar/vectorized data
+//!   path (§4.2, the "C enhancement");
+//! * the **[`manager`]** — a host userspace daemon that owns the
+//!   rank-sharing policy: the {NAAV, ALLO, NANA} state machine, round-robin
+//!   allocation, FIFO queuing, an observer thread over sysfs, and content
+//!   reset on release (§3.5, Fig. 5).
+//!
+//! The seven configurations evaluated in §5.4 (Table 2) are expressed as
+//! [`VpimConfig`] variants: `vPIM-rust`, `vPIM-C`, `vPIM+P`, `vPIM+B`,
+//! `vPIM+PB`, `vPIM-Seq` and full `vPIM`.
+//!
+//! ## Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use vpim::{VpimConfig, VpimSystem};
+//! use upmem_sim::{PimConfig, PimMachine};
+//! use upmem_driver::UpmemDriver;
+//!
+//! // One host: machine + driver + manager.
+//! let machine = PimMachine::new(PimConfig::small());
+//! let driver = Arc::new(UpmemDriver::new(machine));
+//! let system = VpimSystem::start(driver, VpimConfig::full());
+//!
+//! // One VM with one vUPMEM device, booted and linked to a rank.
+//! let vm = system.launch_vm("vm-0", 1).unwrap();
+//! assert_eq!(vm.devices().len(), 1);
+//! # system.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod config;
+pub mod device;
+pub mod error;
+pub mod frontend;
+pub mod manager;
+pub mod matrix;
+pub mod report;
+pub mod spec;
+pub mod system;
+
+pub use config::{Variant, VpimConfig};
+pub use error::VpimError;
+pub use report::OpReport;
+pub use system::{VpimSystem, VpimVm};

@@ -1,0 +1,402 @@
+//! The rank table and its state machine (Fig. 5).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::Sender;
+use parking_lot::{Condvar, Mutex};
+use simkit::{CostModel, VirtualNanos};
+use upmem_driver::{RankStatus, UpmemDriver};
+
+use crate::error::VpimError;
+
+/// Public view of a rank's state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RankState {
+    /// Not allocated, available (ready for any requester).
+    Naav,
+    /// Allocated (to a VM's backend or a native host application).
+    Allo,
+    /// Not allocated, not available: released, awaiting content reset.
+    Nana,
+}
+
+/// Outcome of a successful allocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllocOutcome {
+    /// The granted rank.
+    pub rank: usize,
+    /// True when a NANA rank was handed back to its previous owner without
+    /// a reset (§3.5's CPU-cycle-saving path).
+    pub reused: bool,
+}
+
+/// Aggregate manager statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ManagerStats {
+    /// Successful allocations served.
+    pub allocations: u64,
+    /// Allocations that reused a NANA rank without reset.
+    pub reuses: u64,
+    /// Content resets performed.
+    pub resets: u64,
+    /// Abandoned allocation requests.
+    pub abandoned: u64,
+    /// Total virtual time spent in resets.
+    pub reset_virtual: VirtualNanos,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum State {
+    Naav,
+    Allo { owner: String },
+    Nana,
+}
+
+#[derive(Debug)]
+struct Entry {
+    state: State,
+    last_owner: Option<String>,
+    /// The sysfs claim counter at allocation time. A Free sysfs entry only
+    /// means "released" once the counter moved past this value — guarding
+    /// the alloc-decision → device-open window and catching claim/release
+    /// cycles that happen entirely between two observer sweeps.
+    claims_at_alloc: u64,
+    /// A reset worker currently owns this rank.
+    resetting: bool,
+}
+
+#[derive(Debug)]
+struct Table {
+    entries: Vec<Entry>,
+    rr_cursor: usize,
+}
+
+#[derive(Debug, Default)]
+struct Stats {
+    allocations: AtomicU64,
+    reuses: AtomicU64,
+    resets: AtomicU64,
+    abandoned: AtomicU64,
+    reset_virtual_ns: AtomicU64,
+}
+
+/// Shared manager state: the rank table plus reset/statistics plumbing.
+#[derive(Debug)]
+pub(crate) struct TableState {
+    driver: Arc<UpmemDriver>,
+    cm: CostModel,
+    table: Mutex<Table>,
+    changed: Condvar,
+    stats: Stats,
+    reset_tx: Mutex<Option<Sender<usize>>>,
+}
+
+impl TableState {
+    pub(crate) fn new(driver: Arc<UpmemDriver>, cm: CostModel) -> Self {
+        let n = driver.rank_count();
+        TableState {
+            driver,
+            cm,
+            table: Mutex::new(Table {
+                entries: (0..n)
+                    .map(|_| Entry {
+                        state: State::Naav,
+                        last_owner: None,
+                        claims_at_alloc: 0,
+                        resetting: false,
+                    })
+                    .collect(),
+                rr_cursor: 0,
+            }),
+            changed: Condvar::new(),
+            stats: Stats::default(),
+            reset_tx: Mutex::new(None),
+        }
+    }
+
+    pub(crate) fn driver(&self) -> &Arc<UpmemDriver> {
+        &self.driver
+    }
+
+    pub(crate) fn set_reset_sender(&self, tx: Sender<usize>) {
+        *self.reset_tx.lock() = Some(tx);
+    }
+
+    pub(crate) fn shutdown(&self) {
+        if let Some(tx) = self.reset_tx.lock().take() {
+            let _ = tx.send(usize::MAX);
+        }
+        self.changed.notify_all();
+    }
+
+    pub(crate) fn alloc_cost(&self) -> VirtualNanos {
+        self.cm.manager_alloc()
+    }
+
+    /// The allocation strategy of §3.5, executed FIFO by pool workers.
+    pub(crate) fn alloc(
+        &self,
+        owner: &str,
+        retry_timeout: Duration,
+        max_attempts: usize,
+    ) -> Result<AllocOutcome, VpimError> {
+        for _attempt in 0..max_attempts.max(1) {
+            let mut t = self.table.lock();
+            // 1. A NANA rank previously used by this owner: no reset needed.
+            if let Some(i) = t.entries.iter().position(|e| {
+                e.state == State::Nana
+                    && !e.resetting
+                    && e.last_owner.as_deref() == Some(owner)
+            }) {
+                t.entries[i].state = State::Allo { owner: owner.to_string() };
+                t.entries[i].claims_at_alloc = self.driver.sysfs().claim_count(i);
+                t.entries[i].last_owner = Some(owner.to_string());
+                self.stats.allocations.fetch_add(1, Ordering::Relaxed);
+                self.stats.reuses.fetch_add(1, Ordering::Relaxed);
+                return Ok(AllocOutcome { rank: i, reused: true });
+            }
+            // 2. A NAAV rank by round-robin.
+            let n = t.entries.len();
+            for k in 0..n {
+                let i = (t.rr_cursor + k) % n;
+                if t.entries[i].state == State::Naav && !t.entries[i].resetting {
+                    t.rr_cursor = (i + 1) % n;
+                    t.entries[i].state = State::Allo { owner: owner.to_string() };
+                    t.entries[i].claims_at_alloc = self.driver.sysfs().claim_count(i);
+                    t.entries[i].last_owner = Some(owner.to_string());
+                    self.stats.allocations.fetch_add(1, Ordering::Relaxed);
+                    return Ok(AllocOutcome { rank: i, reused: false });
+                }
+            }
+            // 3. Wait: either for a NANA reset to complete or for any
+            //    release, then retry.
+            let _ = self.changed.wait_for(&mut t, retry_timeout);
+        }
+        self.stats.abandoned.fetch_add(1, Ordering::Relaxed);
+        Err(VpimError::NoRankAvailable)
+    }
+
+    /// Reconciles the table with a sysfs snapshot (status + claim counter
+    /// per rank); returns ranks that were just released and need a content
+    /// reset.
+    pub(crate) fn sync_with_sysfs(&self, snapshot: &[(RankStatus, u64)]) -> Vec<usize> {
+        let mut to_reset = Vec::new();
+        let mut t = self.table.lock();
+        for (i, (status, claims)) in snapshot.iter().enumerate() {
+            let Some(e) = t.entries.get_mut(i) else { continue };
+            match (status, &e.state) {
+                (RankStatus::InUse { owner }, State::Naav) => {
+                    // A native host application claimed the rank directly
+                    // through the driver (R3: coexistence without app
+                    // changes). Manager reset claims never hit this arm
+                    // because resets only run on NANA ranks.
+                    e.state = State::Allo { owner: owner.clone() };
+                    e.last_owner = Some(owner.clone());
+                    e.claims_at_alloc = claims.saturating_sub(1);
+                }
+                (RankStatus::Free, State::Allo { .. }) if *claims > e.claims_at_alloc => {
+                    e.state = State::Nana;
+                    to_reset.push(i);
+                }
+                _ => {}
+            }
+        }
+        drop(t);
+        if !to_reset.is_empty() {
+            self.changed.notify_all();
+        }
+        to_reset
+    }
+
+    /// Erases a NANA rank's content and promotes it to NAAV (the reset
+    /// worker's job). Skips ranks that were re-allocated meanwhile.
+    pub(crate) fn reset_rank(&self, rank: usize) {
+        {
+            let mut t = self.table.lock();
+            let Some(e) = t.entries.get_mut(rank) else { return };
+            if e.state != State::Nana || e.resetting {
+                return; // re-allocated to its previous owner, or already queued
+            }
+            e.resetting = true;
+        }
+        // Claim the rank so natives/backends cannot grab it mid-erase.
+        let claim = self.driver.open_perf(rank, "manager-reset");
+        match claim {
+            Ok(handle) => {
+                if let Ok(r) = self.driver.machine().rank(rank) {
+                    r.reset_content();
+                }
+                drop(handle);
+                let reset_ns = self
+                    .cm
+                    .rank_reset(self.driver.machine().config().rank_mapped_bytes());
+                self.stats.resets.fetch_add(1, Ordering::Relaxed);
+                self.stats
+                    .reset_virtual_ns
+                    .fetch_add(reset_ns.as_nanos(), Ordering::Relaxed);
+                let mut t = self.table.lock();
+                if let Some(e) = t.entries.get_mut(rank) {
+                    e.resetting = false;
+                    if e.state == State::Nana {
+                        e.state = State::Naav;
+                    }
+                }
+            }
+            Err(_) => {
+                // Someone (a native app) grabbed the rank between release
+                // and reset; give up — the observer will re-detect the next
+                // release and re-queue the reset.
+                let mut t = self.table.lock();
+                if let Some(e) = t.entries.get_mut(rank) {
+                    e.resetting = false;
+                }
+            }
+        }
+        self.changed.notify_all();
+    }
+
+    pub(crate) fn states(&self) -> Vec<RankState> {
+        self.table
+            .lock()
+            .entries
+            .iter()
+            .map(|e| match e.state {
+                State::Naav => RankState::Naav,
+                State::Allo { .. } => RankState::Allo,
+                State::Nana => RankState::Nana,
+            })
+            .collect()
+    }
+
+    pub(crate) fn stats(&self) -> ManagerStats {
+        ManagerStats {
+            allocations: self.stats.allocations.load(Ordering::Relaxed),
+            reuses: self.stats.reuses.load(Ordering::Relaxed),
+            resets: self.stats.resets.load(Ordering::Relaxed),
+            abandoned: self.stats.abandoned.load(Ordering::Relaxed),
+            reset_virtual: VirtualNanos::from_nanos(
+                self.stats.reset_virtual_ns.load(Ordering::Relaxed),
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use upmem_sim::{PimConfig, PimMachine};
+
+    fn state() -> TableState {
+        let driver = Arc::new(UpmemDriver::new(PimMachine::new(PimConfig::small())));
+        TableState::new(driver, CostModel::default())
+    }
+
+    fn quick() -> Duration {
+        Duration::from_millis(2)
+    }
+
+    fn in_use(owner: &str, claims: u64) -> (RankStatus, u64) {
+        (RankStatus::InUse { owner: owner.into() }, claims)
+    }
+
+    fn free(claims: u64) -> (RankStatus, u64) {
+        (RankStatus::Free, claims)
+    }
+
+    #[test]
+    fn round_robin_rotates() {
+        let s = state();
+        let a = s.alloc("x", quick(), 1).unwrap();
+        let b = s.alloc("y", quick(), 1).unwrap();
+        assert_eq!(a.rank, 0);
+        assert_eq!(b.rank, 1);
+        assert!(s.alloc("z", quick(), 1).is_err());
+        assert_eq!(s.stats().abandoned, 1);
+    }
+
+    #[test]
+    fn release_cycle_via_sysfs_snapshots() {
+        let s = state();
+        let a = s.alloc("vm", quick(), 1).unwrap();
+        // Backend claims the rank (claim counter moves to 1).
+        let to_reset = s.sync_with_sysfs(&[in_use("vm", 1), free(0)]);
+        assert!(to_reset.is_empty());
+        // Release: the observer reports it for reset.
+        let to_reset = s.sync_with_sysfs(&[free(1), free(0)]);
+        assert_eq!(to_reset, vec![a.rank]);
+        assert_eq!(s.states()[a.rank], RankState::Nana);
+        // Reset worker runs.
+        s.reset_rank(a.rank);
+        assert_eq!(s.states()[a.rank], RankState::Naav);
+        assert_eq!(s.stats().resets, 1);
+        assert!(s.stats().reset_virtual > VirtualNanos::ZERO);
+    }
+
+    #[test]
+    fn missed_claim_release_cycle_is_still_detected() {
+        // The VM claimed AND released entirely between two observer
+        // sweeps: the status is Free in both, but the claim counter moved.
+        let s = state();
+        let a = s.alloc("vm", quick(), 1).unwrap();
+        let to_reset = s.sync_with_sysfs(&[free(1), free(0)]);
+        assert_eq!(to_reset, vec![a.rank]);
+        assert_eq!(s.states()[a.rank], RankState::Nana);
+    }
+
+    #[test]
+    fn unseen_free_is_not_a_release() {
+        // Between the manager's decision and the backend's device open,
+        // sysfs still says Free with an unmoved claim counter — that must
+        // not be treated as a release.
+        let s = state();
+        let a = s.alloc("vm", quick(), 1).unwrap();
+        let to_reset = s.sync_with_sysfs(&[free(0), free(0)]);
+        assert!(to_reset.is_empty());
+        assert_eq!(s.states()[a.rank], RankState::Allo);
+    }
+
+    #[test]
+    fn nana_reuse_skips_reset() {
+        let s = state();
+        let a = s.alloc("vm", quick(), 1).unwrap();
+        s.sync_with_sysfs(&[in_use("vm", 1), free(0)]);
+        s.sync_with_sysfs(&[free(1), free(0)]);
+        assert_eq!(s.states()[a.rank], RankState::Nana);
+        let again = s.alloc("vm", quick(), 1).unwrap();
+        assert_eq!(again.rank, a.rank);
+        assert!(again.reused);
+        assert_eq!(s.stats().reuses, 1);
+        // A reset arriving late must be skipped (rank is ALLO again).
+        s.reset_rank(a.rank);
+        assert_eq!(s.stats().resets, 0);
+        assert_eq!(s.states()[a.rank], RankState::Allo);
+    }
+
+    #[test]
+    fn nana_not_given_to_other_owner_while_dirty() {
+        let s = state();
+        let a = s.alloc("vm-a", quick(), 1).unwrap();
+        let _b = s.alloc("vm-b", quick(), 1).unwrap();
+        s.sync_with_sysfs(&[in_use("vm-a", 1), in_use("vm-b", 1)]);
+        s.sync_with_sysfs(&[free(1), in_use("vm-b", 1)]);
+        assert_eq!(s.states()[a.rank], RankState::Nana);
+        // vm-c cannot take the dirty rank; with a tiny timeout the request
+        // is abandoned rather than leaking vm-a's data.
+        assert!(s.alloc("vm-c", quick(), 2).is_err());
+    }
+
+    #[test]
+    fn external_claim_marks_allo() {
+        let s = state();
+        s.sync_with_sysfs(&[in_use("native:idx", 1), free(0)]);
+        assert_eq!(s.states()[0], RankState::Allo);
+        // Allocation skips it.
+        let a = s.alloc("vm", quick(), 1).unwrap();
+        assert_eq!(a.rank, 1);
+        // And its eventual release is detected.
+        let to_reset = s.sync_with_sysfs(&[free(1), free(0)]);
+        assert_eq!(to_reset, vec![0]);
+    }
+}

@@ -1,0 +1,481 @@
+//! The transfer matrix and its virtqueue serialization (Fig. 6 and 7).
+//!
+//! Rank operations move data for up to 64 DPUs at once. The SDK hands the
+//! frontend a *transfer matrix*: global metadata, per-DPU metadata, and per
+//! DPU an array of userspace pages holding that DPU's data. Because
+//! Firecracker cannot follow guest `struct page` pointers, the frontend
+//! *serializes* the matrix into flat buffers of 64-bit guest physical
+//! addresses (Fig. 7):
+//!
+//! ```text
+//! [request info][matrix meta][dpu0 meta][dpu0 pages][dpu1 meta][dpu1 pages]...
+//! ```
+//!
+//! at most `2 + 2 × 64 = 130` buffers, which always fits the 512-slot
+//! `transferq`. The backend deserializes the buffers, translates each GPA
+//! to a host address, and accesses the pages directly — zero copies on the
+//! guest-to-Firecracker path.
+
+use pim_virtio::memory::PAGE_SIZE;
+use pim_virtio::{Gpa, GuestMemory};
+
+use crate::error::VpimError;
+
+/// Maximum DPUs one matrix may address (one rank).
+pub const MAX_DPUS: usize = 64;
+/// Maximum pages per DPU (64 MB MRAM / 4 KiB pages).
+pub const MAX_PAGES_PER_DPU: usize = 16_384;
+/// Maximum serialized buffer count (`1 request + 1 matrix meta + 64 × 2`).
+pub const MAX_BUFFERS: usize = 130;
+
+/// One DPU's slice of a transfer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DpuXfer {
+    /// Target DPU within the rank.
+    pub dpu: u32,
+    /// MRAM byte offset of the transfer.
+    pub mram_offset: u64,
+    /// Transfer length in bytes.
+    pub len: u64,
+    /// Guest pages holding the data (the last page may be partial).
+    pub pages: Vec<Gpa>,
+}
+
+impl DpuXfer {
+    fn required_pages(len: u64) -> usize {
+        (len as usize).div_ceil(PAGE_SIZE as usize)
+    }
+}
+
+/// A transfer matrix: per-DPU metadata plus page lists.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TransferMatrix {
+    /// Per-DPU transfer descriptions (≤ 64 entries).
+    pub entries: Vec<DpuXfer>,
+}
+
+/// Guest pages owned by an in-flight operation, returned to the allocator
+/// with [`PageLease::release`].
+#[derive(Debug)]
+pub struct PageLease {
+    mem: GuestMemory,
+    pages: Vec<Gpa>,
+}
+
+impl PageLease {
+    /// Number of leased pages.
+    #[must_use]
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    fn free_now(&mut self) {
+        if !self.pages.is_empty() {
+            let _ = self.mem.free_pages_back(&self.pages);
+            self.pages.clear();
+        }
+    }
+
+    /// Returns the pages to the guest allocator (also happens on drop, so
+    /// error paths cannot leak guest memory).
+    pub fn release(mut self) {
+        self.free_now();
+    }
+}
+
+impl Drop for PageLease {
+    fn drop(&mut self) {
+        self.free_now();
+    }
+}
+
+impl TransferMatrix {
+    /// Builds a write-direction matrix from user buffers, copying each
+    /// buffer into freshly allocated guest pages (the guest userspace side
+    /// of `dpu_prepare_xfer` + `dpu_push_xfer`).
+    ///
+    /// # Errors
+    ///
+    /// [`VpimError::ProtocolViolation`] for > 64 DPUs or oversized buffers;
+    /// guest allocator exhaustion.
+    pub fn from_user_buffers(
+        mem: &GuestMemory,
+        bufs: &[(u32, u64, &[u8])],
+    ) -> Result<(TransferMatrix, PageLease), VpimError> {
+        if bufs.len() > MAX_DPUS {
+            return Err(VpimError::ProtocolViolation(format!(
+                "{} dpus in one matrix",
+                bufs.len()
+            )));
+        }
+        let mut entries = Vec::with_capacity(bufs.len());
+        let mut all_pages = Vec::new();
+        for (dpu, offset, data) in bufs {
+            let n = DpuXfer::required_pages(data.len() as u64);
+            if n > MAX_PAGES_PER_DPU {
+                return Err(VpimError::ProtocolViolation(format!(
+                    "dpu {dpu} transfer of {} bytes exceeds the 64 MB bank",
+                    data.len()
+                )));
+            }
+            let pages = mem.alloc_pages(n)?;
+            for (i, page) in pages.iter().enumerate() {
+                let lo = i * PAGE_SIZE as usize;
+                let hi = ((i + 1) * PAGE_SIZE as usize).min(data.len());
+                mem.write(*page, &data[lo..hi])?;
+            }
+            all_pages.extend_from_slice(&pages);
+            entries.push(DpuXfer {
+                dpu: *dpu,
+                mram_offset: *offset,
+                len: data.len() as u64,
+                pages,
+            });
+        }
+        Ok((
+            TransferMatrix { entries },
+            PageLease { mem: mem.clone(), pages: all_pages },
+        ))
+    }
+
+    /// Builds a read-direction matrix: allocates destination pages the
+    /// backend will fill.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`from_user_buffers`](Self::from_user_buffers).
+    pub fn alloc_read_buffers(
+        mem: &GuestMemory,
+        reqs: &[(u32, u64, u64)],
+    ) -> Result<(TransferMatrix, PageLease), VpimError> {
+        if reqs.len() > MAX_DPUS {
+            return Err(VpimError::ProtocolViolation(format!(
+                "{} dpus in one matrix",
+                reqs.len()
+            )));
+        }
+        let mut entries = Vec::with_capacity(reqs.len());
+        let mut all_pages = Vec::new();
+        for (dpu, offset, len) in reqs {
+            let n = DpuXfer::required_pages(*len);
+            if n > MAX_PAGES_PER_DPU {
+                return Err(VpimError::ProtocolViolation(format!(
+                    "dpu {dpu} read of {len} bytes exceeds the 64 MB bank"
+                )));
+            }
+            let pages = mem.alloc_pages(n)?;
+            all_pages.extend_from_slice(&pages);
+            entries.push(DpuXfer { dpu: *dpu, mram_offset: *offset, len: *len, pages });
+        }
+        Ok((
+            TransferMatrix { entries },
+            PageLease { mem: mem.clone(), pages: all_pages },
+        ))
+    }
+
+    /// Total bytes the matrix moves.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.entries.iter().map(|e| e.len).sum()
+    }
+
+    /// Total page slots across all DPUs (drives serialization costs).
+    #[must_use]
+    pub fn total_pages(&self) -> u64 {
+        self.entries.iter().map(|e| e.pages.len() as u64).sum()
+    }
+
+    /// Serializes the matrix into flat u64 buffers placed in guest memory,
+    /// returning the descriptor list to append after the request-info
+    /// buffer: `[matrix meta][dpu meta][dpu pages]...` (Fig. 7). When
+    /// `device_writes_data` is set (read-from-rank), the page buffers'
+    /// *data pages* will be marked device-writable by the caller; the
+    /// serialization buffers themselves are always device-readable.
+    ///
+    /// # Errors
+    ///
+    /// Guest allocator exhaustion or out-of-bounds writes.
+    pub fn serialize(
+        &self,
+        mem: &GuestMemory,
+    ) -> Result<(Vec<(Gpa, u32, bool)>, PageLease), VpimError> {
+        // Layout: matrix meta (8B) then per DPU: meta (32B) + pages (8B each),
+        // each buffer 8-byte aligned, packed into contiguous pages.
+        let mut total = 8u64;
+        for e in &self.entries {
+            total += 32 + 8 * e.pages.len() as u64;
+        }
+        let npages = total.div_ceil(PAGE_SIZE) as usize;
+        let base = mem.alloc_contiguous(npages.max(1))?;
+        let lease_pages: Vec<Gpa> = (0..npages.max(1))
+            .map(|i| Gpa(base.0 + i as u64 * PAGE_SIZE))
+            .collect();
+
+        let mut bufs: Vec<(Gpa, u32, bool)> = Vec::with_capacity(2 * self.entries.len() + 1);
+        let mut cursor = base;
+
+        // Matrix metadata buffer: [nr_dpus].
+        mem.write_u64(cursor, self.entries.len() as u64)?;
+        bufs.push((cursor, 8, false));
+        cursor = cursor.add(8);
+
+        for e in &self.entries {
+            // Per-DPU metadata buffer: [dpu, mram_offset, len, nb_pages].
+            mem.write_u64(cursor, u64::from(e.dpu))?;
+            mem.write_u64(cursor.add(8), e.mram_offset)?;
+            mem.write_u64(cursor.add(16), e.len)?;
+            mem.write_u64(cursor.add(24), e.pages.len() as u64)?;
+            bufs.push((cursor, 32, false));
+            cursor = cursor.add(32);
+
+            // Page buffer: the GPAs of the data pages.
+            let page_buf = cursor;
+            for (i, p) in e.pages.iter().enumerate() {
+                mem.write_u64(cursor.add(8 * i as u64), p.0)?;
+            }
+            if !e.pages.is_empty() {
+                bufs.push((page_buf, (8 * e.pages.len()) as u32, false));
+            }
+            cursor = cursor.add(8 * e.pages.len() as u64);
+        }
+        debug_assert!(bufs.len() + 1 <= MAX_BUFFERS);
+        Ok((bufs, PageLease { mem: mem.clone(), pages: lease_pages }))
+    }
+
+    /// Deserializes a matrix from the flat buffers of a popped chain
+    /// (everything after the request-info and before the status buffer).
+    /// This is the backend half of Fig. 7.
+    ///
+    /// # Errors
+    ///
+    /// [`VpimError::BadRequest`] on malformed structure or counts that do
+    /// not match the advertised `nr_dpus`.
+    pub fn deserialize(
+        mem: &GuestMemory,
+        bufs: &[(Gpa, u32)],
+    ) -> Result<TransferMatrix, VpimError> {
+        if bufs.is_empty() {
+            return Err(VpimError::BadRequest("empty matrix serialization".into()));
+        }
+        let (meta_gpa, meta_len) = bufs[0];
+        if meta_len < 8 {
+            return Err(VpimError::BadRequest("matrix metadata too short".into()));
+        }
+        let nr_dpus = mem.read_u64(meta_gpa)? as usize;
+        if nr_dpus > MAX_DPUS {
+            return Err(VpimError::BadRequest(format!("{nr_dpus} dpus in matrix")));
+        }
+        let mut entries = Vec::with_capacity(nr_dpus);
+        let mut i = 1usize;
+        for _ in 0..nr_dpus {
+            let (dm_gpa, dm_len) = *bufs
+                .get(i)
+                .ok_or_else(|| VpimError::BadRequest("missing dpu metadata buffer".into()))?;
+            if dm_len < 32 {
+                return Err(VpimError::BadRequest("dpu metadata too short".into()));
+            }
+            let dpu = mem.read_u64(dm_gpa)? as u32;
+            let mram_offset = mem.read_u64(dm_gpa.add(8))?;
+            let len = mem.read_u64(dm_gpa.add(16))?;
+            let nb_pages = mem.read_u64(dm_gpa.add(24))? as usize;
+            i += 1;
+            let mut pages = Vec::with_capacity(nb_pages);
+            if nb_pages > 0 {
+                let (pg_gpa, pg_len) = *bufs
+                    .get(i)
+                    .ok_or_else(|| VpimError::BadRequest("missing page buffer".into()))?;
+                if (pg_len as usize) < 8 * nb_pages {
+                    return Err(VpimError::BadRequest("page buffer too short".into()));
+                }
+                for k in 0..nb_pages {
+                    pages.push(Gpa(mem.read_u64(pg_gpa.add(8 * k as u64))?));
+                }
+                i += 1;
+            }
+            if len > (nb_pages as u64) * PAGE_SIZE {
+                return Err(VpimError::BadRequest(format!(
+                    "dpu {dpu}: {len} bytes do not fit {nb_pages} pages"
+                )));
+            }
+            entries.push(DpuXfer { dpu, mram_offset, len, pages });
+        }
+        Ok(TransferMatrix { entries })
+    }
+
+    /// Gathers one entry's data out of its guest pages into a contiguous
+    /// buffer (the backend's access pattern for `write-to-rank`).
+    ///
+    /// # Errors
+    ///
+    /// Out-of-bounds guest access (a malicious or buggy page list).
+    pub fn gather(mem: &GuestMemory, entry: &DpuXfer) -> Result<Vec<u8>, VpimError> {
+        let mut out = vec![0u8; entry.len as usize];
+        for (i, page) in entry.pages.iter().enumerate() {
+            let lo = i * PAGE_SIZE as usize;
+            let hi = ((i + 1) * PAGE_SIZE as usize).min(entry.len as usize);
+            if lo >= hi {
+                break;
+            }
+            mem.read(*page, &mut out[lo..hi])?;
+        }
+        Ok(out)
+    }
+
+    /// Scatters contiguous data into one entry's guest pages (the backend's
+    /// completion path for `read-from-rank`).
+    ///
+    /// # Errors
+    ///
+    /// [`VpimError::BadRequest`] on length mismatch; out-of-bounds access.
+    pub fn scatter(mem: &GuestMemory, entry: &DpuXfer, data: &[u8]) -> Result<(), VpimError> {
+        if data.len() as u64 != entry.len {
+            return Err(VpimError::BadRequest(format!(
+                "scatter length {} != entry length {}",
+                data.len(),
+                entry.len
+            )));
+        }
+        for (i, page) in entry.pages.iter().enumerate() {
+            let lo = i * PAGE_SIZE as usize;
+            let hi = ((i + 1) * PAGE_SIZE as usize).min(data.len());
+            if lo >= hi {
+                break;
+            }
+            mem.write(*page, &data[lo..hi])?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn mem() -> GuestMemory {
+        GuestMemory::new(8 << 20)
+    }
+
+    #[test]
+    fn build_serialize_deserialize_roundtrip() {
+        let mem = mem();
+        let a = vec![1u8; 5000]; // spans 2 pages
+        let b = vec![2u8; 100];
+        let (matrix, data_lease) =
+            TransferMatrix::from_user_buffers(&mem, &[(0, 0, &a), (3, 4096, &b)]).unwrap();
+        assert_eq!(matrix.total_bytes(), 5100);
+        assert_eq!(matrix.total_pages(), 3);
+
+        let (bufs, meta_lease) = matrix.serialize(&mem).unwrap();
+        // matrix meta + 2 × (dpu meta + page buffer)
+        assert_eq!(bufs.len(), 1 + 2 * 2);
+
+        let flat: Vec<(Gpa, u32)> = bufs.iter().map(|(g, l, _)| (*g, *l)).collect();
+        let back = TransferMatrix::deserialize(&mem, &flat).unwrap();
+        assert_eq!(back, matrix);
+
+        // Gather returns the original data.
+        assert_eq!(TransferMatrix::gather(&mem, &back.entries[0]).unwrap(), a);
+        assert_eq!(TransferMatrix::gather(&mem, &back.entries[1]).unwrap(), b);
+
+        meta_lease.release();
+        data_lease.release();
+    }
+
+    #[test]
+    fn read_buffers_scatter_gather() {
+        let mem = mem();
+        let (matrix, lease) = TransferMatrix::alloc_read_buffers(&mem, &[(1, 0, 9000)]).unwrap();
+        let data: Vec<u8> = (0..9000u32).map(|i| (i % 251) as u8).collect();
+        TransferMatrix::scatter(&mem, &matrix.entries[0], &data).unwrap();
+        assert_eq!(TransferMatrix::gather(&mem, &matrix.entries[0]).unwrap(), data);
+        lease.release();
+    }
+
+    #[test]
+    fn scatter_length_mismatch_rejected() {
+        let mem = mem();
+        let (matrix, lease) = TransferMatrix::alloc_read_buffers(&mem, &[(0, 0, 100)]).unwrap();
+        assert!(TransferMatrix::scatter(&mem, &matrix.entries[0], &[0u8; 99]).is_err());
+        lease.release();
+    }
+
+    #[test]
+    fn too_many_dpus_rejected() {
+        let mem = mem();
+        let reqs: Vec<(u32, u64, u64)> = (0..65).map(|d| (d, 0, 8)).collect();
+        assert!(matches!(
+            TransferMatrix::alloc_read_buffers(&mem, &reqs),
+            Err(VpimError::ProtocolViolation(_))
+        ));
+    }
+
+    #[test]
+    fn buffer_budget_matches_fig7() {
+        // 64 DPUs: 1 matrix meta + 64 × 2 buffers = 129; +1 request info
+        // buffer = 130 total, within the documented MAX_BUFFERS.
+        let mem = GuestMemory::new(16 << 20);
+        let reqs: Vec<(u32, u64, u64)> = (0..64).map(|d| (d, 0, 4096)).collect();
+        let (matrix, lease) = TransferMatrix::alloc_read_buffers(&mem, &reqs).unwrap();
+        let (bufs, meta_lease) = matrix.serialize(&mem).unwrap();
+        assert_eq!(bufs.len(), 129);
+        assert!(bufs.len() + 1 <= MAX_BUFFERS);
+        meta_lease.release();
+        lease.release();
+    }
+
+    #[test]
+    fn deserialize_rejects_malformed_structures() {
+        let mem = mem();
+        assert!(TransferMatrix::deserialize(&mem, &[]).is_err());
+        // Claim 1 DPU but provide no metadata buffer.
+        let page = mem.alloc_pages(1).unwrap()[0];
+        mem.write_u64(page, 1).unwrap();
+        assert!(TransferMatrix::deserialize(&mem, &[(page, 8)]).is_err());
+        // Claim an absurd DPU count.
+        mem.write_u64(page, 1000).unwrap();
+        assert!(TransferMatrix::deserialize(&mem, &[(page, 8)]).is_err());
+    }
+
+    #[test]
+    fn leases_return_pages() {
+        let mem = GuestMemory::new(64 * PAGE_SIZE);
+        let before = mem.free_pages();
+        let data = vec![0u8; 3 * PAGE_SIZE as usize];
+        let (matrix, data_lease) =
+            TransferMatrix::from_user_buffers(&mem, &[(0, 0, &data)]).unwrap();
+        let (_bufs, meta_lease) = matrix.serialize(&mem).unwrap();
+        assert!(mem.free_pages() < before);
+        meta_lease.release();
+        data_lease.release();
+        assert_eq!(mem.free_pages(), before);
+    }
+
+    proptest! {
+        /// Arbitrary per-DPU sizes survive the full build→serialize→
+        /// deserialize→gather pipeline bit-exactly.
+        #[test]
+        fn pipeline_roundtrip(sizes in proptest::collection::vec(1usize..20_000, 1..8)) {
+            let mem = GuestMemory::new(32 << 20);
+            let datas: Vec<Vec<u8>> = sizes
+                .iter()
+                .enumerate()
+                .map(|(i, n)| (0..*n).map(|k| ((k * 7 + i * 13) % 256) as u8).collect())
+                .collect();
+            let bufs: Vec<(u32, u64, &[u8])> = datas
+                .iter()
+                .enumerate()
+                .map(|(i, d)| (i as u32, (i * 4096) as u64, d.as_slice()))
+                .collect();
+            let (matrix, dl) = TransferMatrix::from_user_buffers(&mem, &bufs).unwrap();
+            let (sbufs, ml) = matrix.serialize(&mem).unwrap();
+            let flat: Vec<(Gpa, u32)> = sbufs.iter().map(|(g, l, _)| (*g, *l)).collect();
+            let back = TransferMatrix::deserialize(&mem, &flat).unwrap();
+            for (entry, want) in back.entries.iter().zip(&datas) {
+                prop_assert_eq!(&TransferMatrix::gather(&mem, entry).unwrap(), want);
+            }
+            ml.release();
+            dl.release();
+        }
+    }
+}

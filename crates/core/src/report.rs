@@ -1,0 +1,89 @@
+//! Per-operation cost reports.
+//!
+//! Every vPIM operation returns an [`OpReport`] describing its virtual-time
+//! cost, its guest↔VMM message count, and its contribution to the paper's
+//! write-step breakdown (Fig. 13). The SDK folds reports into a
+//! [`simkit::Timeline`]; the figure harness aggregates them.
+
+use simkit::{VirtualNanos, WriteStep};
+
+/// The cost accounting of one vPIM (or native) operation.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct OpReport {
+    /// End-to-end virtual duration of the operation as observed by the
+    /// caller (guest application).
+    pub duration: VirtualNanos,
+    /// Guest↔VMM message exchanges this operation performed (0 when served
+    /// from the prefetch cache or absorbed by the batch buffer).
+    pub messages: u64,
+    /// Hardware rank operations issued.
+    pub rank_ops: u64,
+    /// Contributions to the Fig. 13 write-step breakdown.
+    pub steps: Vec<(WriteStep, VirtualNanos)>,
+    /// For launches: the slowest DPU's cycle count.
+    pub launch_cycles: u64,
+    /// Per-rank completion offsets for multi-rank operations (Fig. 16);
+    /// empty for single-rank operations.
+    pub per_rank: Vec<(usize, VirtualNanos)>,
+    /// The portion of `duration` that occupies the shared DDR bus (rank
+    /// data transfer). Parallel multi-rank handling overlaps everything
+    /// *except* this part — the ranks share one memory controller.
+    pub ddr: VirtualNanos,
+}
+
+impl OpReport {
+    /// A report with only a duration.
+    #[must_use]
+    pub fn of(duration: VirtualNanos) -> Self {
+        OpReport { duration, ..OpReport::default() }
+    }
+
+    /// Adds a write-step contribution and extends the duration.
+    pub fn step(&mut self, step: WriteStep, d: VirtualNanos) {
+        self.steps.push((step, d));
+        self.duration += d;
+    }
+
+    /// Sums another report into this one (sequential composition).
+    pub fn absorb(&mut self, other: &OpReport) {
+        self.duration += other.duration;
+        self.messages += other.messages;
+        self.rank_ops += other.rank_ops;
+        self.steps.extend(other.steps.iter().cloned());
+        self.launch_cycles = self.launch_cycles.max(other.launch_cycles);
+        self.ddr += other.ddr;
+    }
+
+    /// Sum of the recorded step contributions.
+    #[must_use]
+    pub fn steps_total(&self) -> VirtualNanos {
+        self.steps.iter().map(|(_, d)| *d).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_accumulates_duration() {
+        let mut r = OpReport::default();
+        r.step(WriteStep::Serialize, VirtualNanos::from_nanos(10));
+        r.step(WriteStep::TransferData, VirtualNanos::from_nanos(30));
+        assert_eq!(r.duration.as_nanos(), 40);
+        assert_eq!(r.steps_total().as_nanos(), 40);
+    }
+
+    #[test]
+    fn absorb_merges() {
+        let mut a = OpReport::of(VirtualNanos::from_nanos(5));
+        a.messages = 1;
+        let mut b = OpReport::of(VirtualNanos::from_nanos(7));
+        b.messages = 2;
+        b.launch_cycles = 99;
+        a.absorb(&b);
+        assert_eq!(a.duration.as_nanos(), 12);
+        assert_eq!(a.messages, 3);
+        assert_eq!(a.launch_cycles, 99);
+    }
+}

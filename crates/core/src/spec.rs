@@ -1,0 +1,530 @@
+//! The virtio-PIM specification (Appendix A.1 of the paper).
+//!
+//! * **Device ID**: 42.
+//! * **Virtqueues**: `transferq` (512 slots — data and commands to/from the
+//!   PIM device, carrying GPAs so data moves without copies) and `controlq`
+//!   (manager synchronization; a boolean suffices).
+//! * **Feature bits**: none.
+//! * **Device configuration layout**: clock division, memory region size,
+//!   number of control interfaces, processing-unit frequency, power
+//!   management information.
+//! * **Device operations**: requesting configuration, sending commands,
+//!   reading commands, writing to the PIM device, reading from the PIM
+//!   device.
+//!
+//! This module defines the wire encoding of requests and responses carried
+//! by `transferq`. Encodings are explicit little-endian byte layouts (what
+//! would cross a guest/host boundary), with exhaustive round-trip tests.
+
+use pim_virtio::mmio::VIRTIO_ID_PIM;
+
+use crate::error::VpimError;
+
+/// Queue index of `transferq`.
+pub const TRANSFERQ: u32 = 0;
+/// Queue index of `controlq`.
+pub const CONTROLQ: u32 = 1;
+/// `transferq` size (Appendix A.1: "This queue has 512 slots").
+pub const TRANSFERQ_SIZE: u16 = 512;
+/// `controlq` size.
+pub const CONTROLQ_SIZE: u16 = 16;
+/// The virtio device id for PIM devices.
+pub const DEVICE_ID: u32 = VIRTIO_ID_PIM;
+
+/// The device configuration space layout (read by the frontend during
+/// initialization and re-exposed verbatim to guest userspace so the SDK
+/// sees the same parameters as on the host — §3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PimDeviceConfig {
+    /// DPU clock division setting.
+    pub clock_division: u32,
+    /// MRAM bytes per DPU.
+    pub mram_size: u64,
+    /// Number of control interfaces (chips) in the rank.
+    pub nr_cis: u32,
+    /// Number of functional DPUs in the rank.
+    pub nr_dpus: u32,
+    /// DPU frequency in MHz.
+    pub freq_mhz: u32,
+    /// Power-management capability word.
+    pub power_mgmt: u32,
+}
+
+impl PimDeviceConfig {
+    /// Size of the encoded config space.
+    pub const ENCODED_LEN: usize = 32;
+
+    /// Encodes into the MMIO config space format.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(Self::ENCODED_LEN);
+        out.extend_from_slice(&self.clock_division.to_le_bytes());
+        out.extend_from_slice(&self.mram_size.to_le_bytes());
+        out.extend_from_slice(&self.nr_cis.to_le_bytes());
+        out.extend_from_slice(&self.nr_dpus.to_le_bytes());
+        out.extend_from_slice(&self.freq_mhz.to_le_bytes());
+        out.extend_from_slice(&self.power_mgmt.to_le_bytes());
+        out
+    }
+
+    /// Decodes from the MMIO config space format.
+    ///
+    /// # Errors
+    ///
+    /// [`VpimError::BadRequest`] if the buffer is too short.
+    pub fn decode(bytes: &[u8]) -> Result<Self, VpimError> {
+        if bytes.len() < Self::ENCODED_LEN {
+            return Err(VpimError::BadRequest(format!(
+                "config space too short: {} bytes",
+                bytes.len()
+            )));
+        }
+        Ok(PimDeviceConfig {
+            clock_division: u32::from_le_bytes(bytes[0..4].try_into().expect("len checked")),
+            mram_size: u64::from_le_bytes(bytes[4..12].try_into().expect("len checked")),
+            nr_cis: u32::from_le_bytes(bytes[12..16].try_into().expect("len checked")),
+            nr_dpus: u32::from_le_bytes(bytes[16..20].try_into().expect("len checked")),
+            freq_mhz: u32::from_le_bytes(bytes[20..24].try_into().expect("len checked")),
+            power_mgmt: u32::from_le_bytes(bytes[24..28].try_into().expect("len checked")),
+        })
+    }
+}
+
+/// A request sent from the frontend to the backend over `transferq`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Fetch the device configuration.
+    Configure,
+    /// `write-to-rank`: a serialized transfer matrix for `nr_dpus` DPUs
+    /// follows in the descriptor chain.
+    WriteRank {
+        /// DPUs covered by the matrix.
+        nr_dpus: u32,
+    },
+    /// `read-from-rank`: like `WriteRank` but the data pages are
+    /// device-writable.
+    ReadRank {
+        /// DPUs covered by the matrix.
+        nr_dpus: u32,
+    },
+    /// Load a program image by name onto the given DPUs (CI operation).
+    LoadProgram {
+        /// Registry name of the program.
+        name: String,
+        /// Target DPUs (empty = all).
+        dpus: Vec<u32>,
+    },
+    /// Boot the loaded program (CI operation).
+    Launch {
+        /// Target DPUs (empty = all).
+        dpus: Vec<u32>,
+        /// Tasklets per DPU.
+        nr_tasklets: u32,
+    },
+    /// Poll one DPU's status (CI operation).
+    PollStatus {
+        /// Target DPU.
+        dpu: u32,
+    },
+    /// Write a host symbol on one DPU; the payload follows in the chain.
+    WriteSymbol {
+        /// Target DPU.
+        dpu: u32,
+        /// Symbol name.
+        name: String,
+        /// Payload length in bytes.
+        len: u32,
+    },
+    /// Read a host symbol from one DPU into a device-writable buffer.
+    ReadSymbol {
+        /// Target DPU.
+        dpu: u32,
+        /// Symbol name.
+        name: String,
+        /// Expected length in bytes.
+        len: u32,
+    },
+    /// Write one `u32` host symbol on many DPUs in a single request — the
+    /// SDK's per-DPU argument push (`dpu_push_xfer` on a symbol), which
+    /// costs one guest↔VMM transition for the whole rank.
+    ScatterSymbol {
+        /// Symbol name.
+        name: String,
+        /// `(dpu, value)` pairs.
+        entries: Vec<(u32, u32)>,
+    },
+    /// Detach from the physical rank (device→manager release path).
+    ReleaseRank,
+}
+
+const OP_CONFIGURE: u32 = 0;
+const OP_WRITE_RANK: u32 = 1;
+const OP_READ_RANK: u32 = 2;
+const OP_LOAD: u32 = 3;
+const OP_LAUNCH: u32 = 4;
+const OP_POLL: u32 = 5;
+const OP_WRITE_SYM: u32 = 6;
+const OP_READ_SYM: u32 = 7;
+const OP_RELEASE: u32 = 8;
+const OP_SCATTER_SYM: u32 = 9;
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u16).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn get_str(bytes: &[u8], pos: &mut usize) -> Result<String, VpimError> {
+    let raw_len: [u8; 2] = bytes
+        .get(*pos..*pos + 2)
+        .and_then(|b| b.try_into().ok())
+        .ok_or_else(|| VpimError::BadRequest("truncated string length".into()))?;
+    let len = usize::from(u16::from_le_bytes(raw_len));
+    *pos += 2;
+    let raw = bytes
+        .get(*pos..*pos + len)
+        .ok_or_else(|| VpimError::BadRequest("truncated string body".into()))?;
+    *pos += len;
+    String::from_utf8(raw.to_vec())
+        .map_err(|_| VpimError::BadRequest("string is not utf-8".into()))
+}
+
+fn put_u32s(out: &mut Vec<u8>, vs: &[u32]) {
+    out.extend_from_slice(&(vs.len() as u32).to_le_bytes());
+    for v in vs {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn get_u32(bytes: &[u8], pos: &mut usize) -> Result<u32, VpimError> {
+    let raw = bytes
+        .get(*pos..*pos + 4)
+        .ok_or_else(|| VpimError::BadRequest("truncated u32".into()))?;
+    *pos += 4;
+    Ok(u32::from_le_bytes(raw.try_into().expect("4 bytes")))
+}
+
+fn get_u32s(bytes: &[u8], pos: &mut usize) -> Result<Vec<u32>, VpimError> {
+    let n = get_u32(bytes, pos)? as usize;
+    if n > 64 {
+        return Err(VpimError::ProtocolViolation(format!("{n} dpus in one request")));
+    }
+    (0..n).map(|_| get_u32(bytes, pos)).collect()
+}
+
+impl Request {
+    /// Encodes the request into its `transferq` wire form.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32);
+        match self {
+            Request::Configure => out.extend_from_slice(&OP_CONFIGURE.to_le_bytes()),
+            Request::WriteRank { nr_dpus } => {
+                out.extend_from_slice(&OP_WRITE_RANK.to_le_bytes());
+                out.extend_from_slice(&nr_dpus.to_le_bytes());
+            }
+            Request::ReadRank { nr_dpus } => {
+                out.extend_from_slice(&OP_READ_RANK.to_le_bytes());
+                out.extend_from_slice(&nr_dpus.to_le_bytes());
+            }
+            Request::LoadProgram { name, dpus } => {
+                out.extend_from_slice(&OP_LOAD.to_le_bytes());
+                put_str(&mut out, name);
+                put_u32s(&mut out, dpus);
+            }
+            Request::Launch { dpus, nr_tasklets } => {
+                out.extend_from_slice(&OP_LAUNCH.to_le_bytes());
+                out.extend_from_slice(&nr_tasklets.to_le_bytes());
+                put_u32s(&mut out, dpus);
+            }
+            Request::PollStatus { dpu } => {
+                out.extend_from_slice(&OP_POLL.to_le_bytes());
+                out.extend_from_slice(&dpu.to_le_bytes());
+            }
+            Request::WriteSymbol { dpu, name, len } => {
+                out.extend_from_slice(&OP_WRITE_SYM.to_le_bytes());
+                out.extend_from_slice(&dpu.to_le_bytes());
+                out.extend_from_slice(&len.to_le_bytes());
+                put_str(&mut out, name);
+            }
+            Request::ReadSymbol { dpu, name, len } => {
+                out.extend_from_slice(&OP_READ_SYM.to_le_bytes());
+                out.extend_from_slice(&dpu.to_le_bytes());
+                out.extend_from_slice(&len.to_le_bytes());
+                put_str(&mut out, name);
+            }
+            Request::ScatterSymbol { name, entries } => {
+                out.extend_from_slice(&OP_SCATTER_SYM.to_le_bytes());
+                put_str(&mut out, name);
+                out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+                for (d, v) in entries {
+                    out.extend_from_slice(&d.to_le_bytes());
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            Request::ReleaseRank => out.extend_from_slice(&OP_RELEASE.to_le_bytes()),
+        }
+        out
+    }
+
+    /// Decodes a request from its wire form.
+    ///
+    /// # Errors
+    ///
+    /// [`VpimError::BadRequest`] on truncation or an unknown opcode;
+    /// [`VpimError::ProtocolViolation`] on out-of-range counts.
+    pub fn decode(bytes: &[u8]) -> Result<Self, VpimError> {
+        let mut pos = 0usize;
+        let op = get_u32(bytes, &mut pos)?;
+        Ok(match op {
+            OP_CONFIGURE => Request::Configure,
+            OP_WRITE_RANK => Request::WriteRank { nr_dpus: get_u32(bytes, &mut pos)? },
+            OP_READ_RANK => Request::ReadRank { nr_dpus: get_u32(bytes, &mut pos)? },
+            OP_LOAD => {
+                let name = get_str(bytes, &mut pos)?;
+                let dpus = get_u32s(bytes, &mut pos)?;
+                Request::LoadProgram { name, dpus }
+            }
+            OP_LAUNCH => {
+                let nr_tasklets = get_u32(bytes, &mut pos)?;
+                let dpus = get_u32s(bytes, &mut pos)?;
+                Request::Launch { dpus, nr_tasklets }
+            }
+            OP_POLL => Request::PollStatus { dpu: get_u32(bytes, &mut pos)? },
+            OP_WRITE_SYM => {
+                let dpu = get_u32(bytes, &mut pos)?;
+                let len = get_u32(bytes, &mut pos)?;
+                let name = get_str(bytes, &mut pos)?;
+                Request::WriteSymbol { dpu, name, len }
+            }
+            OP_READ_SYM => {
+                let dpu = get_u32(bytes, &mut pos)?;
+                let len = get_u32(bytes, &mut pos)?;
+                let name = get_str(bytes, &mut pos)?;
+                Request::ReadSymbol { dpu, name, len }
+            }
+            OP_SCATTER_SYM => {
+                let name = get_str(bytes, &mut pos)?;
+                let n = get_u32(bytes, &mut pos)? as usize;
+                if n > 64 {
+                    return Err(VpimError::ProtocolViolation(format!(
+                        "{n} scatter entries in one request"
+                    )));
+                }
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let d = get_u32(bytes, &mut pos)?;
+                    let v = get_u32(bytes, &mut pos)?;
+                    entries.push((d, v));
+                }
+                Request::ScatterSymbol { name, entries }
+            }
+            OP_RELEASE => Request::ReleaseRank,
+            other => return Err(VpimError::BadRequest(format!("unknown opcode {other}"))),
+        })
+    }
+}
+
+/// The backend's response, written into the chain's device-writable status
+/// buffer. Carries the device-side virtual-time accounting the frontend
+/// folds into its operation report.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Response {
+    /// 0 on success; a nonzero code plus `error` text otherwise.
+    pub status: u32,
+    /// Human-readable error (empty on success).
+    pub error: String,
+    /// Backend deserialization time, ns.
+    pub deser_ns: u64,
+    /// GPA→HVA translation time, ns.
+    pub translate_ns: u64,
+    /// Rank data transfer time (incl. interleaving), ns.
+    pub transfer_ns: u64,
+    /// The DDR-bus portion of `transfer_ns` (contends across ranks), ns.
+    pub ddr_ns: u64,
+    /// For launches: the slowest DPU's cycle count.
+    pub launch_cycles: u64,
+    /// Inline payload (config data, symbol reads, poll status).
+    pub payload: Vec<u8>,
+}
+
+impl Response {
+    /// Size of the fixed part of the encoding.
+    pub const FIXED_LEN: usize = 4 + 2 + 8 * 5 + 4;
+
+    /// An error response.
+    #[must_use]
+    pub fn err(code: u32, message: impl Into<String>) -> Self {
+        Response { status: code, error: message.into(), ..Response::default() }
+    }
+
+    /// Encodes into the status buffer format.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(Self::FIXED_LEN + self.payload.len());
+        out.extend_from_slice(&self.status.to_le_bytes());
+        put_str(&mut out, &self.error);
+        out.extend_from_slice(&self.deser_ns.to_le_bytes());
+        out.extend_from_slice(&self.translate_ns.to_le_bytes());
+        out.extend_from_slice(&self.transfer_ns.to_le_bytes());
+        out.extend_from_slice(&self.ddr_ns.to_le_bytes());
+        out.extend_from_slice(&self.launch_cycles.to_le_bytes());
+        out.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Decodes from the status buffer format.
+    ///
+    /// # Errors
+    ///
+    /// [`VpimError::BadRequest`] on truncation.
+    pub fn decode(bytes: &[u8]) -> Result<Self, VpimError> {
+        let mut pos = 0usize;
+        let status = get_u32(bytes, &mut pos)?;
+        let error = get_str(bytes, &mut pos)?;
+        let get_u64 = |pos: &mut usize| -> Result<u64, VpimError> {
+            let raw = bytes
+                .get(*pos..*pos + 8)
+                .ok_or_else(|| VpimError::BadRequest("truncated u64".into()))?;
+            *pos += 8;
+            Ok(u64::from_le_bytes(raw.try_into().expect("8 bytes")))
+        };
+        let deser_ns = get_u64(&mut pos)?;
+        let translate_ns = get_u64(&mut pos)?;
+        let transfer_ns = get_u64(&mut pos)?;
+        let ddr_ns = get_u64(&mut pos)?;
+        let launch_cycles = get_u64(&mut pos)?;
+        let payload_len = get_u32(bytes, &mut pos)? as usize;
+        let payload = bytes
+            .get(pos..pos + payload_len)
+            .ok_or_else(|| VpimError::BadRequest("truncated payload".into()))?
+            .to_vec();
+        Ok(Response {
+            status,
+            error,
+            deser_ns,
+            translate_ns,
+            transfer_ns,
+            ddr_ns,
+            launch_cycles,
+            payload,
+        })
+    }
+
+    /// Whether the backend reported success.
+    #[must_use]
+    pub fn is_ok(&self) -> bool {
+        self.status == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn config_space_roundtrip() {
+        let cfg = PimDeviceConfig {
+            clock_division: 2,
+            mram_size: 64 << 20,
+            nr_cis: 8,
+            nr_dpus: 64,
+            freq_mhz: 350,
+            power_mgmt: 1,
+        };
+        let enc = cfg.encode();
+        assert!(enc.len() <= PimDeviceConfig::ENCODED_LEN);
+        let mut padded = enc;
+        padded.resize(PimDeviceConfig::ENCODED_LEN, 0);
+        assert_eq!(PimDeviceConfig::decode(&padded).unwrap(), cfg);
+        assert!(PimDeviceConfig::decode(&[0; 8]).is_err());
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        let cases = vec![
+            Request::Configure,
+            Request::WriteRank { nr_dpus: 64 },
+            Request::ReadRank { nr_dpus: 1 },
+            Request::LoadProgram { name: "va_kernel".into(), dpus: vec![0, 1, 2] },
+            Request::Launch { dpus: vec![], nr_tasklets: 16 },
+            Request::PollStatus { dpu: 63 },
+            Request::WriteSymbol { dpu: 2, name: "partition_size".into(), len: 4 },
+            Request::ReadSymbol { dpu: 2, name: "zero_count".into(), len: 4 },
+            Request::ScatterSymbol {
+                name: "n".into(),
+                entries: vec![(0, 7), (1, 8), (63, 9)],
+            },
+            Request::ReleaseRank,
+        ];
+        for req in cases {
+            let enc = req.encode();
+            assert_eq!(Request::decode(&enc).unwrap(), req, "{req:?}");
+        }
+    }
+
+    #[test]
+    fn unknown_opcode_and_truncation_rejected() {
+        assert!(Request::decode(&999u32.to_le_bytes()).is_err());
+        assert!(Request::decode(&[1]).is_err());
+        let mut enc = Request::LoadProgram { name: "abc".into(), dpus: vec![] }.encode();
+        enc.truncate(6);
+        assert!(Request::decode(&enc).is_err());
+    }
+
+    #[test]
+    fn oversized_dpu_list_rejected() {
+        let req = Request::Launch { dpus: (0..65).collect(), nr_tasklets: 1 };
+        assert!(matches!(
+            Request::decode(&req.encode()),
+            Err(VpimError::ProtocolViolation(_))
+        ));
+    }
+
+    #[test]
+    fn response_roundtrip_with_payload() {
+        let resp = Response {
+            status: 0,
+            error: String::new(),
+            deser_ns: 123,
+            translate_ns: 456,
+            transfer_ns: 789,
+            ddr_ns: 300,
+            launch_cycles: 42,
+            payload: vec![1, 2, 3, 4, 5],
+        };
+        let dec = Response::decode(&resp.encode()).unwrap();
+        assert_eq!(dec, resp);
+        assert!(dec.is_ok());
+    }
+
+    #[test]
+    fn error_response_roundtrip() {
+        let resp = Response::err(7, "mram access out of bounds");
+        let dec = Response::decode(&resp.encode()).unwrap();
+        assert!(!dec.is_ok());
+        assert_eq!(dec.status, 7);
+        assert_eq!(dec.error, "mram access out of bounds");
+    }
+
+    proptest! {
+        #[test]
+        fn arbitrary_request_fields_roundtrip(
+            name in "[a-z_]{0,32}",
+            dpus in proptest::collection::vec(0u32..64, 0..64),
+            tasklets in 1u32..24,
+        ) {
+            let req = Request::Launch { dpus: dpus.clone(), nr_tasklets: tasklets };
+            prop_assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+            let req = Request::LoadProgram { name: name.clone(), dpus };
+            prop_assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+        }
+
+        #[test]
+        fn decode_never_panics_on_noise(noise in proptest::collection::vec(any::<u8>(), 0..128)) {
+            let _ = Request::decode(&noise);
+            let _ = Response::decode(&noise);
+        }
+    }
+}

@@ -1,0 +1,297 @@
+//! Top-level wiring: one host running the manager, launching microVMs with
+//! vUPMEM devices.
+
+use std::sync::Arc;
+
+use pim_vmm::{BootReport, DispatchMode, Vm, VmConfig};
+use simkit::CostModel;
+use upmem_driver::UpmemDriver;
+
+use crate::backend::Backend;
+use crate::config::VpimConfig;
+use crate::device::VupmemDevice;
+use crate::error::VpimError;
+use crate::frontend::Frontend;
+use crate::manager::{Manager, ManagerConfig};
+
+/// A host running vPIM: the driver, the manager daemon, and the knobs every
+/// VM launched on this host inherits.
+#[derive(Debug)]
+pub struct VpimSystem {
+    driver: Arc<UpmemDriver>,
+    manager: Option<Manager>,
+    vcfg: VpimConfig,
+    cm: CostModel,
+}
+
+impl VpimSystem {
+    /// Starts a host with the default cost model and manager tuning.
+    #[must_use]
+    pub fn start(driver: Arc<UpmemDriver>, vcfg: VpimConfig) -> Self {
+        Self::start_with(driver, vcfg, CostModel::default(), ManagerConfig::default())
+    }
+
+    /// Starts a host with explicit cost model and manager tuning.
+    #[must_use]
+    pub fn start_with(
+        driver: Arc<UpmemDriver>,
+        vcfg: VpimConfig,
+        cm: CostModel,
+        mcfg: ManagerConfig,
+    ) -> Self {
+        let manager = Manager::start(driver.clone(), cm.clone(), mcfg);
+        VpimSystem { driver, manager: Some(manager), vcfg, cm }
+    }
+
+    /// The host driver.
+    #[must_use]
+    pub fn driver(&self) -> &Arc<UpmemDriver> {
+        &self.driver
+    }
+
+    /// The manager daemon.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after `shutdown` (the system is consumed then, so
+    /// this cannot happen in safe usage).
+    #[must_use]
+    pub fn manager(&self) -> &Manager {
+        self.manager.as_ref().expect("manager runs until shutdown")
+    }
+
+    /// The optimization configuration VMs inherit.
+    #[must_use]
+    pub fn config(&self) -> &VpimConfig {
+        &self.vcfg
+    }
+
+    /// The cost model.
+    #[must_use]
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cm
+    }
+
+    /// Launches a microVM with `n_devices` vUPMEM devices and 512 MiB of
+    /// guest RAM.
+    ///
+    /// # Errors
+    ///
+    /// Boot or device initialization failures.
+    pub fn launch_vm(&self, tag: &str, n_devices: usize) -> Result<VpimVm, VpimError> {
+        self.launch_vm_with_memory(tag, n_devices, 512)
+    }
+
+    /// Launches a microVM with explicit guest memory (MiB). Larger
+    /// workloads need more guest pages for their transfer buffers.
+    ///
+    /// # Errors
+    ///
+    /// Boot or device initialization failures.
+    pub fn launch_vm_with_memory(
+        &self,
+        tag: &str,
+        n_devices: usize,
+        mem_mib: u64,
+    ) -> Result<VpimVm, VpimError> {
+        let dispatch = if self.vcfg.parallel_handling {
+            DispatchMode::Parallel
+        } else {
+            DispatchMode::Sequential
+        };
+        let cfg = VmConfig::builder()
+            .vupmem_devices(n_devices)
+            .mem_mib(mem_mib)
+            .build();
+        let mut vm = Vm::new(cfg, dispatch);
+
+        let manager = self.manager();
+        let mut devices = Vec::with_capacity(n_devices);
+        for i in 0..n_devices {
+            let backend = Backend::new(
+                self.driver.clone(),
+                manager.client(),
+                self.vcfg,
+                self.cm.clone(),
+                format!("{tag}/vupmem{i}"),
+            );
+            let device = Arc::new(VupmemDevice::new(
+                format!("{tag}/vupmem{i}"),
+                backend,
+                Vm::irq_number(i),
+            ));
+            vm.event_manager_mut().register(device.clone());
+            devices.push(device);
+        }
+
+        // Guest driver probes each device (queue setup) before boot…
+        let em = vm.event_manager().clone();
+        let mut frontends = Vec::with_capacity(n_devices);
+        for (i, device) in devices.iter().enumerate() {
+            frontends.push(Arc::new(Frontend::probe(
+                device.clone(),
+                i,
+                em.clone(),
+                vm.memory().clone(),
+                self.cm.clone(),
+                self.vcfg,
+            )?));
+        }
+        // …the VMM boots (devices activate)…
+        let boot = vm.boot(&self.cm)?;
+        // …and the drivers finish initialization (configuration request,
+        // which links each device to a physical rank through the manager).
+        for f in &frontends {
+            f.initialize()?;
+        }
+        Ok(VpimVm { vm, devices, frontends, boot })
+    }
+
+    /// Stops the manager daemon and consumes the system.
+    pub fn shutdown(mut self) {
+        if let Some(m) = self.manager.take() {
+            m.shutdown();
+        }
+    }
+}
+
+impl Drop for VpimSystem {
+    fn drop(&mut self) {
+        if let Some(m) = self.manager.take() {
+            m.shutdown();
+        }
+    }
+}
+
+/// A launched microVM with its vUPMEM devices and guest-side frontends.
+#[derive(Debug)]
+pub struct VpimVm {
+    vm: Vm,
+    devices: Vec<Arc<VupmemDevice>>,
+    frontends: Vec<Arc<Frontend>>,
+    boot: BootReport,
+}
+
+impl VpimVm {
+    /// The underlying microVM.
+    #[must_use]
+    pub fn vm(&self) -> &Vm {
+        &self.vm
+    }
+
+    /// The attached vUPMEM devices.
+    #[must_use]
+    pub fn devices(&self) -> &[Arc<VupmemDevice>] {
+        &self.devices
+    }
+
+    /// The guest-side frontends, one per device.
+    #[must_use]
+    pub fn frontends(&self) -> &[Arc<Frontend>] {
+        &self.frontends
+    }
+
+    /// Frontend `i`.
+    #[must_use]
+    pub fn frontend(&self, i: usize) -> &Arc<Frontend> {
+        &self.frontends[i]
+    }
+
+    /// The boot report (cmdline + timing, §3.2).
+    #[must_use]
+    pub fn boot_report(&self) -> &BootReport {
+        &self.boot
+    }
+
+    /// Releases every device's physical rank (guest shutdown path).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn release_all(&self) -> Result<(), VpimError> {
+        for f in &self.frontends {
+            f.release_rank()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use upmem_sim::{PimConfig, PimMachine};
+
+    fn system() -> VpimSystem {
+        let machine = PimMachine::new(PimConfig::small());
+        VpimSystem::start(Arc::new(UpmemDriver::new(machine)), VpimConfig::full())
+    }
+
+    #[test]
+    fn launch_links_ranks_and_reports_boot_time() {
+        let sys = system();
+        let vm = sys.launch_vm("vm-0", 2).unwrap();
+        assert_eq!(vm.frontends().len(), 2);
+        assert_eq!(vm.frontend(0).nr_dpus(), 8);
+        // Two vUPMEM devices: +4 ms of boot time (§3.2: up to 2 ms each).
+        assert_eq!(vm.boot_report().vupmem_boot_time.as_millis(), 4);
+        // Each device linked a distinct rank.
+        let r0 = vm.devices()[0].backend().linked_rank().unwrap();
+        let r1 = vm.devices()[1].backend().linked_rank().unwrap();
+        assert_ne!(r0, r1);
+        sys.shutdown();
+    }
+
+    #[test]
+    fn two_vms_cannot_share_a_rank() {
+        let sys = system();
+        let a = sys.launch_vm("vm-a", 1).unwrap();
+        let b = sys.launch_vm("vm-b", 1).unwrap();
+        assert_ne!(
+            a.devices()[0].backend().linked_rank(),
+            b.devices()[0].backend().linked_rank()
+        );
+        // A third VM finds no rank (machine has 2). The exhaustion crosses
+        // the virtio boundary, so it surfaces as NotLinked.
+        assert!(matches!(
+            sys.launch_vm("vm-c", 1),
+            Err(VpimError::NotLinked | VpimError::NoRankAvailable)
+        ));
+        sys.shutdown();
+    }
+
+    #[test]
+    fn write_read_through_the_full_stack() {
+        let sys = system();
+        let vm = sys.launch_vm("vm-0", 1).unwrap();
+        let fe = vm.frontend(0);
+        let data = vec![0xC3u8; 10_000];
+        let report = fe.write_rank(&[(1, 64, &data)]).unwrap();
+        assert!(report.messages >= 1);
+        let (out, rreport) = fe.read_rank(&[(1, 64, 10_000)]).unwrap();
+        assert_eq!(out[0], data);
+        assert!(rreport.duration > simkit::VirtualNanos::ZERO);
+        sys.shutdown();
+    }
+
+    #[test]
+    fn release_recycles_ranks_for_new_vms() {
+        let machine = PimMachine::new(PimConfig::small());
+        let sys = VpimSystem::start(Arc::new(UpmemDriver::new(machine)), VpimConfig::full());
+        let a = sys.launch_vm("vm-a", 1).unwrap();
+        let _b = sys.launch_vm("vm-b", 1).unwrap();
+        a.release_all().unwrap();
+        drop(a);
+        // The released rank must come back (after observer + reset).
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            match sys.launch_vm("vm-c", 1) {
+                Ok(_) => break,
+                Err(VpimError::NoRankAvailable | VpimError::NotLinked) => {
+                    assert!(std::time::Instant::now() < deadline, "rank never recycled");
+                }
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        sys.shutdown();
+    }
+}

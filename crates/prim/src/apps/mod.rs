@@ -1,0 +1,53 @@
+//! The 16 PrIM applications (Table 1).
+
+pub mod bfs;
+pub mod bs;
+pub mod gemv;
+pub mod hst;
+pub mod mlp;
+pub mod nw;
+pub mod red;
+pub mod scan;
+pub mod sel;
+pub mod spmv;
+pub mod trns;
+pub mod ts;
+pub mod uni;
+pub mod va;
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use std::sync::Arc;
+
+    use simkit::CostModel;
+    use upmem_driver::UpmemDriver;
+    use upmem_sdk::DpuSet;
+    use upmem_sim::{PimConfig, PimMachine};
+
+    use crate::common::{AppRun, PrimApp, ScaleParams};
+
+    /// Runs an app natively and under full vPIM on a small machine and
+    /// asserts both verify and agree.
+    pub(crate) fn native_vs_vpim(app: &dyn PrimApp, elements: usize) {
+        let machine = PimMachine::new(PimConfig::small());
+        app.register(&machine);
+        let driver = Arc::new(UpmemDriver::new(machine));
+        let scale = ScaleParams::of(elements);
+
+        let native: AppRun = {
+            let mut set = DpuSet::alloc_native(&driver, 8, CostModel::default()).unwrap();
+            app.run(&mut set, &scale, 7).unwrap()
+        };
+        assert!(native.verified, "{}: native run failed verification", app.name());
+
+        let sys = vpim::VpimSystem::start(driver, vpim::VpimConfig::full());
+        let vm = sys.launch_vm("vm-prim", 1).unwrap();
+        let mut set = DpuSet::alloc_vm(vm.frontends(), 8, CostModel::default()).unwrap();
+        let virt = app.run(&mut set, &scale, 7).unwrap();
+        assert!(virt.verified, "{}: vPIM run failed verification", app.name());
+        assert_eq!(native.checksum, virt.checksum, "{}: transports disagree", app.name());
+        // Virtualization costs messages; native costs none.
+        assert!(set.timeline().messages() > 0);
+        sys.shutdown();
+    }
+}

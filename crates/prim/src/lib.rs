@@ -1,0 +1,121 @@
+//! # prim — the PrIM benchmark suite, reimplemented for the vPIM reproduction
+//!
+//! PrIM (Gómez-Luna et al., 2021/2022) is the benchmark suite the vPIM
+//! paper evaluates with: 16 real workloads spanning dense/sparse linear
+//! algebra, databases, data analytics, graph processing, neural networks,
+//! bioinformatics, image processing and parallel primitives (Table 1).
+//!
+//! Every application here follows the original structure: a host program
+//! written against [`upmem_sdk::DpuSet`] (so it runs unmodified both
+//! natively and under vPIM — requirement R3) and an SPMD DPU kernel
+//! ([`upmem_sim::DpuKernel`]) doing the real computation, verified against
+//! a CPU reference. The per-application data-transfer idiosyncrasies the
+//! paper calls out are preserved:
+//!
+//! * SEL and UNI retrieve results **serially** (one DPU at a time), and
+//!   SpMV and BFS load input serially — which is why those four get
+//!   *slower* with more DPUs (Fig. 8, bottom row);
+//! * RED, SCAN-SSA, SCAN-RSS, HST-S and HST-L perform one small
+//!   `read-from-rank` in their Inter-DPU/DPU-CPU step — the pattern that
+//!   trips vPIM's prefetch cache into over-fetching (Takeaway 1);
+//! * NW and TRNS issue very large numbers of small transfers — the
+//!   worst-case pattern for para-virtualization (Takeaway 2);
+//! * BFS synchronizes every level through the host (Inter-DPU
+//!   handshakes).
+//!
+//! The [`catalog`] lists all 16 applications for the figure harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod common;
+
+pub use common::{AppRun, PrimApp, ScaleParams};
+
+use std::sync::Arc;
+
+use upmem_sim::PimMachine;
+
+/// All 16 PrIM applications, in Table 1 order.
+#[must_use]
+pub fn catalog() -> Vec<Arc<dyn PrimApp>> {
+    vec![
+        Arc::new(apps::va::Va),
+        Arc::new(apps::gemv::Gemv),
+        Arc::new(apps::spmv::Spmv),
+        Arc::new(apps::sel::Sel),
+        Arc::new(apps::uni::Uni),
+        Arc::new(apps::bs::Bs),
+        Arc::new(apps::ts::Ts),
+        Arc::new(apps::bfs::Bfs),
+        Arc::new(apps::mlp::Mlp),
+        Arc::new(apps::nw::Nw),
+        Arc::new(apps::hst::HstS),
+        Arc::new(apps::hst::HstL),
+        Arc::new(apps::red::Red),
+        Arc::new(apps::scan::ScanSsa),
+        Arc::new(apps::scan::ScanRss),
+        Arc::new(apps::trns::Trns),
+    ]
+}
+
+/// Looks up an application by its short name (case-insensitive).
+#[must_use]
+pub fn by_name(name: &str) -> Option<Arc<dyn PrimApp>> {
+    catalog()
+        .into_iter()
+        .find(|a| a.name().eq_ignore_ascii_case(name))
+}
+
+/// Registers every application's DPU kernels on a machine (the equivalent
+/// of installing the compiled DPU binaries).
+pub fn register_all(machine: &PimMachine) {
+    for app in catalog() {
+        app.register(machine);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_matches_table1() {
+        let names: Vec<&str> = catalog().iter().map(|a| a.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "VA", "GEMV", "SpMV", "SEL", "UNI", "BS", "TS", "BFS", "MLP", "NW", "HST-S",
+                "HST-L", "RED", "SCAN-SSA", "SCAN-RSS", "TRNS"
+            ]
+        );
+        assert_eq!(names.len(), 16);
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        assert!(by_name("va").is_some());
+        assert!(by_name("Scan-SSA").is_some());
+        assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn domains_cover_table1() {
+        let domains: std::collections::BTreeSet<&str> =
+            catalog().iter().map(|a| a.domain()).collect();
+        for d in [
+            "Dense linear algebra",
+            "Sparse linear algebra",
+            "Databases",
+            "Data analytics",
+            "Graph processing",
+            "Neural networks",
+            "Bioinformatics",
+            "Image processing",
+            "Parallel primitives",
+        ] {
+            assert!(domains.contains(d), "missing domain {d}");
+        }
+    }
+}

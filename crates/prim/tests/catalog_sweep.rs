@@ -1,0 +1,118 @@
+//! Sweep tests over the whole PrIM catalog: every application must verify
+//! on awkward set shapes (single DPU, non-dividing counts, multi-rank) and
+//! be deterministic across repeated runs.
+
+use std::sync::Arc;
+
+use simkit::CostModel;
+use upmem_driver::UpmemDriver;
+use upmem_sdk::DpuSet;
+use upmem_sim::{PimConfig, PimMachine};
+
+fn driver() -> Arc<UpmemDriver> {
+    let machine = PimMachine::new(PimConfig {
+        ranks: 3,
+        functional_dpus: vec![8, 8, 8],
+        mram_size: 2 << 20,
+        ..PimConfig::small()
+    });
+    prim::register_all(&machine);
+    Arc::new(UpmemDriver::new(machine))
+}
+
+#[test]
+fn every_app_verifies_on_a_single_dpu() {
+    let driver = driver();
+    for app in prim::catalog() {
+        let mut set = DpuSet::alloc_native(&driver, 1, CostModel::default()).unwrap();
+        let run = app.run(&mut set, &prim::ScaleParams::of(2048), 17).unwrap();
+        assert!(run.verified, "{} failed on 1 DPU", app.name());
+    }
+}
+
+#[test]
+fn every_app_verifies_on_a_non_dividing_dpu_count() {
+    let driver = driver();
+    for app in prim::catalog() {
+        let mut set = DpuSet::alloc_native(&driver, 7, CostModel::default()).unwrap();
+        let run = app.run(&mut set, &prim::ScaleParams::of(3001), 23).unwrap();
+        assert!(run.verified, "{} failed on 7 DPUs / 3001 elements", app.name());
+    }
+}
+
+#[test]
+fn every_app_verifies_across_ranks() {
+    let driver = driver();
+    for app in prim::catalog() {
+        let mut set = DpuSet::alloc_native(&driver, 20, CostModel::default()).unwrap();
+        assert_eq!(set.nr_ranks(), 3);
+        let run = app.run(&mut set, &prim::ScaleParams::of(4096), 29).unwrap();
+        assert!(run.verified, "{} failed across 3 ranks", app.name());
+    }
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let driver = driver();
+    for app in prim::catalog() {
+        let a = {
+            let mut set = DpuSet::alloc_native(&driver, 8, CostModel::default()).unwrap();
+            app.run(&mut set, &prim::ScaleParams::of(2048), 5).unwrap()
+        };
+        let b = {
+            let mut set = DpuSet::alloc_native(&driver, 8, CostModel::default()).unwrap();
+            app.run(&mut set, &prim::ScaleParams::of(2048), 5).unwrap()
+        };
+        assert_eq!(a.checksum, b.checksum, "{} is nondeterministic", app.name());
+    }
+}
+
+#[test]
+fn different_seeds_give_different_outputs() {
+    // Guards against apps accidentally ignoring their input data. BS is
+    // exempt: its output is *positions* of planted queries in sorted data,
+    // which are seed-independent by construction (query k sits at index
+    // (k·31) mod n whatever the values are).
+    let driver = driver();
+    for app in prim::catalog() {
+        if app.name() == "BS" {
+            continue;
+        }
+        let a = {
+            let mut set = DpuSet::alloc_native(&driver, 8, CostModel::default()).unwrap();
+            app.run(&mut set, &prim::ScaleParams::of(4096), 1).unwrap()
+        };
+        let b = {
+            let mut set = DpuSet::alloc_native(&driver, 8, CostModel::default()).unwrap();
+            app.run(&mut set, &prim::ScaleParams::of(4096), 2).unwrap()
+        };
+        assert_ne!(
+            a.checksum,
+            b.checksum,
+            "{} output does not depend on its input",
+            app.name()
+        );
+    }
+}
+
+#[test]
+fn timelines_attribute_work_to_segments() {
+    use simkit::AppSegment;
+    let driver = driver();
+    for app in prim::catalog() {
+        let mut set = DpuSet::alloc_native(&driver, 8, CostModel::default()).unwrap();
+        app.run(&mut set, &prim::ScaleParams::of(4096), 3).unwrap();
+        let tl = set.timeline();
+        assert!(
+            tl.app(AppSegment::CpuToDpu) > simkit::VirtualNanos::ZERO,
+            "{}: no input transfer recorded",
+            app.name()
+        );
+        assert!(
+            tl.app(AppSegment::Dpu) > simkit::VirtualNanos::ZERO,
+            "{}: no DPU execution recorded",
+            app.name()
+        );
+        assert!(tl.rank_ops() > 0, "{}: no rank ops recorded", app.name());
+    }
+}

@@ -1,0 +1,150 @@
+//! Virtual-time composition rules.
+//!
+//! Durations derived from the [`CostModel`](crate::CostModel) are combined
+//! the way the modeled system would execute them:
+//!
+//! * [`sequential`] — one after another (e.g. Firecracker's original
+//!   single-loop virtio handling, Fig. 16 "Seq"),
+//! * [`parallel`] — all at once, bounded by the slowest lane (e.g. vPIM's
+//!   per-rank threads, Fig. 16 "Par"),
+//! * [`pool`] — `n` items over `w` workers (e.g. the backend's 8 DPU-operation
+//!   threads over 64 DPUs).
+
+use crate::time::VirtualNanos;
+
+/// Total duration when the given durations run back to back.
+///
+/// ```
+/// use simkit::{sequential, VirtualNanos};
+/// let d = sequential([1, 2, 3].map(VirtualNanos::from_nanos));
+/// assert_eq!(d.as_nanos(), 6);
+/// ```
+#[must_use]
+pub fn sequential<I>(durations: I) -> VirtualNanos
+where
+    I: IntoIterator<Item = VirtualNanos>,
+{
+    durations.into_iter().sum()
+}
+
+/// Total duration when the given durations run concurrently: the maximum.
+///
+/// ```
+/// use simkit::{parallel, VirtualNanos};
+/// let d = parallel([1, 9, 3].map(VirtualNanos::from_nanos));
+/// assert_eq!(d.as_nanos(), 9);
+/// ```
+#[must_use]
+pub fn parallel<I>(durations: I) -> VirtualNanos
+where
+    I: IntoIterator<Item = VirtualNanos>,
+{
+    durations
+        .into_iter()
+        .fold(VirtualNanos::ZERO, VirtualNanos::max)
+}
+
+/// Duration of `n` identical tasks of length `per_item` spread over
+/// `workers` workers: `ceil(n / workers) × per_item`.
+///
+/// A zero worker count is treated as one worker rather than panicking, since
+/// property tests feed arbitrary configurations.
+///
+/// ```
+/// use simkit::{pool, VirtualNanos};
+/// let d = pool(64, 8, VirtualNanos::from_nanos(10));
+/// assert_eq!(d.as_nanos(), 80);
+/// ```
+#[must_use]
+pub fn pool(n: u64, workers: usize, per_item: VirtualNanos) -> VirtualNanos {
+    let workers = workers.max(1) as u64;
+    per_item.saturating_mul(n.div_ceil(workers))
+}
+
+/// Like [`pool`] but for heterogeneous items: greedily schedules the given
+/// durations (in order) onto `workers` lanes — a longest-processing-time-free
+/// list-scheduling model that matches a work queue drained by a thread pool.
+///
+/// ```
+/// use simkit::compose::pool_schedule;
+/// use simkit::VirtualNanos;
+/// let items = [5, 5, 5, 5].map(VirtualNanos::from_nanos);
+/// assert_eq!(pool_schedule(items, 2).as_nanos(), 10);
+/// ```
+#[must_use]
+pub fn pool_schedule<I>(durations: I, workers: usize) -> VirtualNanos
+where
+    I: IntoIterator<Item = VirtualNanos>,
+{
+    let workers = workers.max(1);
+    let mut lanes = vec![VirtualNanos::ZERO; workers];
+    for d in durations {
+        // Assign to the currently least-loaded lane, as a work queue would.
+        let lane = lanes
+            .iter_mut()
+            .min_by_key(|t| t.as_nanos())
+            .expect("at least one lane");
+        *lane += d;
+    }
+    lanes.into_iter().fold(VirtualNanos::ZERO, VirtualNanos::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_iterators_are_zero() {
+        assert_eq!(sequential(std::iter::empty()), VirtualNanos::ZERO);
+        assert_eq!(parallel(std::iter::empty()), VirtualNanos::ZERO);
+        assert_eq!(pool_schedule(std::iter::empty(), 4), VirtualNanos::ZERO);
+    }
+
+    #[test]
+    fn pool_rounds_up() {
+        let per = VirtualNanos::from_nanos(7);
+        assert_eq!(pool(9, 8, per).as_nanos(), 14);
+        assert_eq!(pool(8, 8, per).as_nanos(), 7);
+        assert_eq!(pool(0, 8, per), VirtualNanos::ZERO);
+    }
+
+    #[test]
+    fn pool_tolerates_zero_workers() {
+        assert_eq!(pool(3, 0, VirtualNanos::from_nanos(2)).as_nanos(), 6);
+        assert_eq!(
+            pool_schedule([VirtualNanos::from_nanos(2)], 0).as_nanos(),
+            2
+        );
+    }
+
+    proptest! {
+        /// Parallel execution can never be slower than sequential.
+        #[test]
+        fn parallel_le_sequential(ds in proptest::collection::vec(0u64..1_000_000, 0..64)) {
+            let ds: Vec<_> = ds.into_iter().map(VirtualNanos::from_nanos).collect();
+            prop_assert!(parallel(ds.clone()) <= sequential(ds));
+        }
+
+        /// A pool schedule is bounded below by perfect parallelism and above
+        /// by fully sequential execution.
+        #[test]
+        fn pool_schedule_between_bounds(
+            ds in proptest::collection::vec(0u64..1_000_000, 1..64),
+            workers in 1usize..16,
+        ) {
+            let ds: Vec<_> = ds.into_iter().map(VirtualNanos::from_nanos).collect();
+            let sched = pool_schedule(ds.clone(), workers);
+            prop_assert!(sched >= parallel(ds.clone()));
+            prop_assert!(sched <= sequential(ds));
+        }
+
+        /// One worker degenerates to sequential; enough workers to parallel.
+        #[test]
+        fn pool_schedule_degenerate_cases(ds in proptest::collection::vec(0u64..1_000_000, 1..32)) {
+            let ds: Vec<_> = ds.iter().copied().map(VirtualNanos::from_nanos).collect();
+            prop_assert_eq!(pool_schedule(ds.clone(), 1), sequential(ds.clone()));
+            prop_assert_eq!(pool_schedule(ds.clone(), ds.len()), parallel(ds));
+        }
+    }
+}

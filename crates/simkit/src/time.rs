@@ -1,0 +1,262 @@
+//! The virtual time unit used throughout the simulation.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A duration (or instant offset) in virtual nanoseconds.
+///
+/// `VirtualNanos` is a saturating, totally ordered quantity. Saturation is
+/// deliberate: cost-model arithmetic on adversarial (property-test) inputs
+/// must never panic or wrap, and a saturated timeline is trivially detectable
+/// (`is_saturated`).
+///
+/// # Example
+///
+/// ```
+/// use simkit::VirtualNanos;
+///
+/// let a = VirtualNanos::from_micros(3);
+/// let b = VirtualNanos::from_nanos(500);
+/// assert_eq!((a + b).as_nanos(), 3_500);
+/// assert!(a > b);
+/// ```
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct VirtualNanos(u64);
+
+impl VirtualNanos {
+    /// The zero duration.
+    pub const ZERO: VirtualNanos = VirtualNanos(0);
+    /// The saturation point of virtual time arithmetic.
+    pub const MAX: VirtualNanos = VirtualNanos(u64::MAX);
+
+    /// Creates a duration from raw nanoseconds.
+    #[must_use]
+    pub const fn from_nanos(ns: u64) -> Self {
+        VirtualNanos(ns)
+    }
+
+    /// Creates a duration from microseconds.
+    #[must_use]
+    pub const fn from_micros(us: u64) -> Self {
+        VirtualNanos(us.saturating_mul(1_000))
+    }
+
+    /// Creates a duration from milliseconds.
+    #[must_use]
+    pub const fn from_millis(ms: u64) -> Self {
+        VirtualNanos(ms.saturating_mul(1_000_000))
+    }
+
+    /// Creates a duration from whole seconds.
+    #[must_use]
+    pub const fn from_secs(s: u64) -> Self {
+        VirtualNanos(s.saturating_mul(1_000_000_000))
+    }
+
+    /// Raw nanosecond count.
+    #[must_use]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Duration in (truncated) microseconds.
+    #[must_use]
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Duration in (truncated) milliseconds.
+    #[must_use]
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Duration as fractional seconds.
+    #[must_use]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Duration as fractional milliseconds.
+    #[must_use]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// True if arithmetic has saturated (a bug or absurd input, never a
+    /// legitimate measurement).
+    #[must_use]
+    pub const fn is_saturated(self) -> bool {
+        self.0 == u64::MAX
+    }
+
+    /// Saturating addition.
+    #[must_use]
+    pub const fn saturating_add(self, rhs: Self) -> Self {
+        VirtualNanos(self.0.saturating_add(rhs.0))
+    }
+
+    /// Saturating subtraction (floors at zero).
+    #[must_use]
+    pub const fn saturating_sub(self, rhs: Self) -> Self {
+        VirtualNanos(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Saturating scalar multiplication.
+    #[must_use]
+    pub const fn saturating_mul(self, k: u64) -> Self {
+        VirtualNanos(self.0.saturating_mul(k))
+    }
+
+    /// The larger of two durations.
+    #[must_use]
+    pub fn max(self, other: Self) -> Self {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The ratio `self / other` as `f64`, or `f64::INFINITY` when `other`
+    /// is zero. Used to compute overhead factors ("x-times native").
+    #[must_use]
+    pub fn ratio(self, other: Self) -> f64 {
+        if other.0 == 0 {
+            f64::INFINITY
+        } else {
+            self.0 as f64 / other.0 as f64
+        }
+    }
+}
+
+impl Add for VirtualNanos {
+    type Output = VirtualNanos;
+    fn add(self, rhs: Self) -> Self {
+        self.saturating_add(rhs)
+    }
+}
+
+impl AddAssign for VirtualNanos {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for VirtualNanos {
+    type Output = VirtualNanos;
+    fn sub(self, rhs: Self) -> Self {
+        self.saturating_sub(rhs)
+    }
+}
+
+impl SubAssign for VirtualNanos {
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for VirtualNanos {
+    type Output = VirtualNanos;
+    fn mul(self, rhs: u64) -> Self {
+        self.saturating_mul(rhs)
+    }
+}
+
+impl Div<u64> for VirtualNanos {
+    type Output = VirtualNanos;
+    /// # Panics
+    ///
+    /// Panics on division by zero, like integer division.
+    fn div(self, rhs: u64) -> Self {
+        VirtualNanos(self.0 / rhs)
+    }
+}
+
+impl Sum for VirtualNanos {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(VirtualNanos::ZERO, |acc, d| acc + d)
+    }
+}
+
+impl fmt::Display for VirtualNanos {
+    /// Human-oriented rendering with an adaptive unit.
+    ///
+    /// ```
+    /// use simkit::VirtualNanos;
+    /// assert_eq!(VirtualNanos::from_nanos(512).to_string(), "512ns");
+    /// assert_eq!(VirtualNanos::from_micros(21).to_string(), "21.000us");
+    /// assert_eq!(VirtualNanos::from_millis(3).to_string(), "3.000ms");
+    /// assert_eq!(VirtualNanos::from_secs(2).to_string(), "2.000s");
+    /// ```
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns < 1_000 {
+            write!(f, "{ns}ns")
+        } else if ns < 1_000_000 {
+            write!(f, "{:.3}us", ns as f64 / 1e3)
+        } else if ns < 1_000_000_000 {
+            write!(f, "{:.3}ms", ns as f64 / 1e6)
+        } else {
+            write!(f, "{:.3}s", ns as f64 / 1e9)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(VirtualNanos::from_micros(1), VirtualNanos::from_nanos(1_000));
+        assert_eq!(VirtualNanos::from_millis(1), VirtualNanos::from_micros(1_000));
+        assert_eq!(VirtualNanos::from_secs(1), VirtualNanos::from_millis(1_000));
+    }
+
+    #[test]
+    fn arithmetic_saturates() {
+        let max = VirtualNanos::MAX;
+        assert!(max.saturating_add(VirtualNanos::from_nanos(1)).is_saturated());
+        assert_eq!(
+            VirtualNanos::ZERO.saturating_sub(VirtualNanos::from_nanos(5)),
+            VirtualNanos::ZERO
+        );
+        assert!(max.saturating_mul(2).is_saturated());
+    }
+
+    #[test]
+    fn ratio_handles_zero_denominator() {
+        let a = VirtualNanos::from_nanos(10);
+        assert_eq!(a.ratio(VirtualNanos::ZERO), f64::INFINITY);
+        assert!((a.ratio(VirtualNanos::from_nanos(5)) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ordering_and_max() {
+        let a = VirtualNanos::from_nanos(3);
+        let b = VirtualNanos::from_nanos(7);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(b.max(a), b);
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: VirtualNanos = (1..=4).map(VirtualNanos::from_nanos).sum();
+        assert_eq!(total.as_nanos(), 10);
+    }
+
+    #[test]
+    fn conversions_truncate() {
+        let d = VirtualNanos::from_nanos(1_999_999);
+        assert_eq!(d.as_micros(), 1_999);
+        assert_eq!(d.as_millis(), 1);
+        assert!((d.as_secs_f64() - 0.001_999_999).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,347 @@
+//! Segmented virtual-time accounting, mirroring the paper's two breakdowns.
+//!
+//! §5.1 ("Metrics") defines:
+//!
+//! * an **application-centric** breakdown — data loading (`CPU-DPU`), task
+//!   execution (`DPU`), synchronization through the host (`Inter-DPU`), and
+//!   result retrieval (`DPU-CPU`) — used by Fig. 8, 9, 10 and 14;
+//! * a **driver-centric** breakdown — control-interface operations (`CI`),
+//!   `read-from-rank` and `write-to-rank` — used by Fig. 12, further split
+//!   for `write-to-rank` into page management, matrix serialization, virtio
+//!   interrupt handling, matrix deserialization and the data transfer itself
+//!   (Fig. 13).
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::VirtualNanos;
+
+/// Application-centric segment of an UPMEM program's execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AppSegment {
+    /// Input data loading: host memory → MRAM.
+    CpuToDpu,
+    /// DPU program execution.
+    Dpu,
+    /// Synchronization between DPUs via the host CPU.
+    InterDpu,
+    /// Result retrieval: MRAM → host memory.
+    DpuToCpu,
+}
+
+impl AppSegment {
+    /// All segments in the paper's plotting order.
+    pub const ALL: [AppSegment; 4] = [
+        AppSegment::CpuToDpu,
+        AppSegment::Dpu,
+        AppSegment::InterDpu,
+        AppSegment::DpuToCpu,
+    ];
+
+    /// The label used in the paper's figures.
+    #[must_use]
+    pub const fn label(self) -> &'static str {
+        match self {
+            AppSegment::CpuToDpu => "CPU-DPU",
+            AppSegment::Dpu => "DPU",
+            AppSegment::InterDpu => "Inter-DPU",
+            AppSegment::DpuToCpu => "DPU-CPU",
+        }
+    }
+
+    const fn index(self) -> usize {
+        match self {
+            AppSegment::CpuToDpu => 0,
+            AppSegment::Dpu => 1,
+            AppSegment::InterDpu => 2,
+            AppSegment::DpuToCpu => 3,
+        }
+    }
+}
+
+impl fmt::Display for AppSegment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Driver-centric segment of rank-operation handling (Fig. 12).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DriverSegment {
+    /// Control-interface operations.
+    Ci,
+    /// `read-from-rank` operations.
+    ReadRank,
+    /// `write-to-rank` operations.
+    WriteRank,
+}
+
+impl DriverSegment {
+    /// All segments in the paper's plotting order.
+    pub const ALL: [DriverSegment; 3] =
+        [DriverSegment::Ci, DriverSegment::ReadRank, DriverSegment::WriteRank];
+
+    /// The label used in the paper's figures.
+    #[must_use]
+    pub const fn label(self) -> &'static str {
+        match self {
+            DriverSegment::Ci => "CI",
+            DriverSegment::ReadRank => "R-rank",
+            DriverSegment::WriteRank => "W-rank",
+        }
+    }
+
+    const fn index(self) -> usize {
+        match self {
+            DriverSegment::Ci => 0,
+            DriverSegment::ReadRank => 1,
+            DriverSegment::WriteRank => 2,
+        }
+    }
+}
+
+impl fmt::Display for DriverSegment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Step of a `write-to-rank` operation (Fig. 13).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WriteStep {
+    /// Frontend reallocates userspace pages to kernel-space pointers.
+    PageMgmt,
+    /// Frontend serializes the transfer matrix into virtqueue buffers.
+    Serialize,
+    /// Virtio interrupt handling (kick + completion IRQ).
+    Interrupt,
+    /// Backend reassembles the transfer matrix (incl. GPA→HVA translation).
+    Deserialize,
+    /// The data transfer to the UPMEM rank itself (incl. interleaving).
+    TransferData,
+}
+
+impl WriteStep {
+    /// All steps in the paper's plotting order (Fig. 13 legend).
+    pub const ALL: [WriteStep; 5] = [
+        WriteStep::PageMgmt,
+        WriteStep::Serialize,
+        WriteStep::Interrupt,
+        WriteStep::Deserialize,
+        WriteStep::TransferData,
+    ];
+
+    /// The label used in the paper's figures.
+    #[must_use]
+    pub const fn label(self) -> &'static str {
+        match self {
+            WriteStep::PageMgmt => "Page",
+            WriteStep::Serialize => "Ser",
+            WriteStep::Interrupt => "Int",
+            WriteStep::Deserialize => "Deser",
+            WriteStep::TransferData => "T-data",
+        }
+    }
+
+    const fn index(self) -> usize {
+        match self {
+            WriteStep::PageMgmt => 0,
+            WriteStep::Serialize => 1,
+            WriteStep::Interrupt => 2,
+            WriteStep::Deserialize => 3,
+            WriteStep::TransferData => 4,
+        }
+    }
+}
+
+impl fmt::Display for WriteStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A segmented virtual-time accumulator for one benchmark run.
+///
+/// Both of the paper's breakdowns plus message counters are tracked so a
+/// single run can be rendered as Fig. 8-style (application) or Fig. 12/13
+/// style (driver) output.
+///
+/// # Example
+///
+/// ```
+/// use simkit::{AppSegment, Timeline, VirtualNanos};
+///
+/// let mut tl = Timeline::new();
+/// tl.charge_app(AppSegment::Dpu, VirtualNanos::from_millis(2));
+/// tl.count_message();
+/// assert_eq!(tl.app(AppSegment::Dpu).as_millis(), 2);
+/// assert_eq!(tl.messages(), 1);
+/// ```
+#[derive(Debug, Default, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Timeline {
+    app: [VirtualNanos; 4],
+    driver: [VirtualNanos; 3],
+    write_steps: [VirtualNanos; 5],
+    /// Guest↔VMM message exchanges (the paper's key overhead driver).
+    messages: u64,
+    /// Rank operations issued to the hardware.
+    rank_ops: u64,
+}
+
+impl Timeline {
+    /// Creates an empty timeline.
+    #[must_use]
+    pub fn new() -> Self {
+        Timeline::default()
+    }
+
+    /// Adds `d` to an application-centric segment.
+    pub fn charge_app(&mut self, seg: AppSegment, d: VirtualNanos) {
+        self.app[seg.index()] += d;
+    }
+
+    /// Adds `d` to a driver-centric segment.
+    pub fn charge_driver(&mut self, seg: DriverSegment, d: VirtualNanos) {
+        self.driver[seg.index()] += d;
+    }
+
+    /// Adds `d` to a `write-to-rank` step.
+    pub fn charge_write_step(&mut self, step: WriteStep, d: VirtualNanos) {
+        self.write_steps[step.index()] += d;
+    }
+
+    /// Records one guest↔VMM message exchange.
+    pub fn count_message(&mut self) {
+        self.messages += 1;
+    }
+
+    /// Records `n` guest↔VMM message exchanges.
+    pub fn add_messages(&mut self, n: u64) {
+        self.messages += n;
+    }
+
+    /// Records one rank operation issued to the hardware.
+    pub fn count_rank_op(&mut self) {
+        self.rank_ops += 1;
+    }
+
+    /// Records `n` rank operations.
+    pub fn add_rank_ops(&mut self, n: u64) {
+        self.rank_ops += n;
+    }
+
+    /// Accumulated time in one application-centric segment.
+    #[must_use]
+    pub fn app(&self, seg: AppSegment) -> VirtualNanos {
+        self.app[seg.index()]
+    }
+
+    /// Accumulated time in one driver-centric segment.
+    #[must_use]
+    pub fn driver(&self, seg: DriverSegment) -> VirtualNanos {
+        self.driver[seg.index()]
+    }
+
+    /// Accumulated time in one `write-to-rank` step.
+    #[must_use]
+    pub fn write_step(&self, step: WriteStep) -> VirtualNanos {
+        self.write_steps[step.index()]
+    }
+
+    /// Total over the application-centric segments — the paper's headline
+    /// "execution time".
+    #[must_use]
+    pub fn app_total(&self) -> VirtualNanos {
+        self.app.iter().copied().sum()
+    }
+
+    /// Total over the driver-centric segments.
+    #[must_use]
+    pub fn driver_total(&self) -> VirtualNanos {
+        self.driver.iter().copied().sum()
+    }
+
+    /// Total over the `write-to-rank` steps.
+    #[must_use]
+    pub fn write_total(&self) -> VirtualNanos {
+        self.write_steps.iter().copied().sum()
+    }
+
+    /// Number of guest↔VMM message exchanges recorded.
+    #[must_use]
+    pub fn messages(&self) -> u64 {
+        self.messages
+    }
+
+    /// Number of rank operations recorded.
+    #[must_use]
+    pub fn rank_ops(&self) -> u64 {
+        self.rank_ops
+    }
+
+    /// Merges another timeline into this one (summing every bucket).
+    pub fn merge(&mut self, other: &Timeline) {
+        for (a, b) in self.app.iter_mut().zip(other.app) {
+            *a += b;
+        }
+        for (a, b) in self.driver.iter_mut().zip(other.driver) {
+            *a += b;
+        }
+        for (a, b) in self.write_steps.iter_mut().zip(other.write_steps) {
+            *a += b;
+        }
+        self.messages += other.messages;
+        self.rank_ops += other.rank_ops;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segments_accumulate_independently() {
+        let mut tl = Timeline::new();
+        tl.charge_app(AppSegment::CpuToDpu, VirtualNanos::from_nanos(10));
+        tl.charge_app(AppSegment::CpuToDpu, VirtualNanos::from_nanos(5));
+        tl.charge_app(AppSegment::DpuToCpu, VirtualNanos::from_nanos(1));
+        assert_eq!(tl.app(AppSegment::CpuToDpu).as_nanos(), 15);
+        assert_eq!(tl.app(AppSegment::DpuToCpu).as_nanos(), 1);
+        assert_eq!(tl.app(AppSegment::Dpu), VirtualNanos::ZERO);
+        assert_eq!(tl.app_total().as_nanos(), 16);
+    }
+
+    #[test]
+    fn driver_and_write_step_buckets() {
+        let mut tl = Timeline::new();
+        tl.charge_driver(DriverSegment::WriteRank, VirtualNanos::from_nanos(9));
+        tl.charge_write_step(WriteStep::TransferData, VirtualNanos::from_nanos(7));
+        tl.charge_write_step(WriteStep::Interrupt, VirtualNanos::from_nanos(2));
+        assert_eq!(tl.driver_total().as_nanos(), 9);
+        assert_eq!(tl.write_total().as_nanos(), 9);
+        assert_eq!(tl.write_step(WriteStep::TransferData).as_nanos(), 7);
+    }
+
+    #[test]
+    fn merge_sums_everything() {
+        let mut a = Timeline::new();
+        a.charge_app(AppSegment::Dpu, VirtualNanos::from_nanos(3));
+        a.count_message();
+        let mut b = Timeline::new();
+        b.charge_app(AppSegment::Dpu, VirtualNanos::from_nanos(4));
+        b.count_message();
+        b.count_rank_op();
+        a.merge(&b);
+        assert_eq!(a.app(AppSegment::Dpu).as_nanos(), 7);
+        assert_eq!(a.messages(), 2);
+        assert_eq!(a.rank_ops(), 1);
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(AppSegment::CpuToDpu.label(), "CPU-DPU");
+        assert_eq!(DriverSegment::ReadRank.label(), "R-rank");
+        assert_eq!(WriteStep::TransferData.label(), "T-data");
+    }
+}

@@ -1,0 +1,61 @@
+//! Driver error type.
+
+use core::fmt;
+
+use upmem_sim::SimError;
+
+/// Errors surfaced by the (simulated) kernel driver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DriverError {
+    /// The rank is already claimed by another handle.
+    RankInUse {
+        /// Rank index.
+        rank: usize,
+        /// Current owner tag.
+        owner: String,
+    },
+    /// The underlying hardware rejected the operation.
+    Sim(SimError),
+}
+
+impl fmt::Display for DriverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DriverError::RankInUse { rank, owner } => {
+                write!(f, "rank {rank} is in use by `{owner}`")
+            }
+            DriverError::Sim(e) => write!(f, "hardware error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DriverError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DriverError::Sim(e) => Some(e),
+            DriverError::RankInUse { .. } => None,
+        }
+    }
+}
+
+impl From<SimError> for DriverError {
+    fn from(e: SimError) -> Self {
+        DriverError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = DriverError::RankInUse { rank: 3, owner: "vm".into() };
+        assert!(e.to_string().contains("rank 3"));
+        assert!(e.source().is_none());
+        let s: DriverError = SimError::InvalidRank(9).into();
+        assert!(s.source().is_some());
+    }
+}

@@ -1,0 +1,864 @@
+//! A single DRAM Processing Unit and its execution engine.
+//!
+//! ## Execution model
+//!
+//! A DPU runs one SPMD program on up to 24 tasklets sharing MRAM, WRAM and
+//! IRAM. Real tasklets interleave cycle by cycle in a 14-stage pipeline
+//! with the constraint that one tasklet's consecutive instructions are at
+//! least 11 cycles apart (§2: "for a given thread, 11 cycles should
+//! separate 2 consecutive instructions", hence ≥ 11 tasklets for full
+//! throughput).
+//!
+//! The simulator runs tasklets as *barrier-delimited parallel phases*
+//! ([`DpuContext::parallel`]): within a phase every tasklet executes
+//! independently (they are run sequentially under the hood, which is
+//! observationally equivalent for data-race-free programs); phase
+//! boundaries are barriers. Per phase the cycle model charges
+//!
+//! ```text
+//! compute = max( Σᵢ instrᵢ , 11 × maxᵢ instrᵢ )   // pipeline law
+//! dma     = Σᵢ dmaᵢ                                // shared DMA engine
+//! cycles  = max(compute, dma)                      // DMA overlaps compute
+//! ```
+//!
+//! which reproduces the two regimes that matter for the paper's evaluation:
+//! below 11 tasklets the pipeline is underfilled (time is flat in tasklet
+//! count), above it the DPU is throughput-bound.
+
+use std::collections::HashMap;
+
+use crate::error::{DpuFault, SimError};
+use crate::geometry::{PimConfig, MAX_TASKLETS, PIPELINE_DEPTH};
+use crate::kernel::KernelImage;
+use crate::mram::MramBank;
+use crate::wram::Wram;
+
+/// Address of the MRAM heap (`DPU_MRAM_HEAP_POINTER` in the SDK).
+pub const MRAM_HEAP_BASE: u64 = 0;
+
+/// Maximum bytes a single MRAM↔WRAM DMA transfer may move; larger requests
+/// are split (and charged) in 2 KiB chunks like the hardware's `mram_read`.
+pub const DMA_MAX: usize = 2048;
+
+/// Lifecycle state of a DPU, as visible through the control interface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DpuState {
+    /// No program running.
+    Idle,
+    /// A program is executing (visible while polling from another thread).
+    Running,
+    /// The last launch completed successfully.
+    Done,
+    /// The last launch faulted.
+    Fault(DpuFault),
+}
+
+/// Outcome of one DPU launch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaunchReport {
+    /// Total cycles consumed by the launch (pipeline model + DMA).
+    pub cycles: u64,
+    /// Number of barrier-delimited parallel phases executed.
+    pub phases: u64,
+    /// Total instructions charged across tasklets.
+    pub instructions: u64,
+}
+
+/// One DRAM Processing Unit.
+#[derive(Debug)]
+pub struct Dpu {
+    mram: MramBank,
+    wram: Wram,
+    iram_capacity: usize,
+    loaded: Option<KernelImage>,
+    symbols: HashMap<String, Vec<u8>>,
+    state: DpuState,
+}
+
+impl Dpu {
+    /// Creates a DPU with the geometry from `cfg`.
+    #[must_use]
+    pub fn new(cfg: &PimConfig) -> Self {
+        Dpu {
+            mram: MramBank::new(cfg.mram_size),
+            wram: Wram::new(cfg.wram_size),
+            iram_capacity: cfg.iram_size,
+            loaded: None,
+            symbols: HashMap::new(),
+            state: DpuState::Idle,
+        }
+    }
+
+    /// The MRAM bank.
+    #[must_use]
+    pub fn mram(&self) -> &MramBank {
+        &self.mram
+    }
+
+    /// Mutable access to the MRAM bank (host-side transfers land here).
+    pub fn mram_mut(&mut self) -> &mut MramBank {
+        &mut self.mram
+    }
+
+    /// Currently loaded program image, if any.
+    #[must_use]
+    pub fn loaded_image(&self) -> Option<&KernelImage> {
+        self.loaded.as_ref()
+    }
+
+    /// Current lifecycle state.
+    #[must_use]
+    pub fn state(&self) -> &DpuState {
+        &self.state
+    }
+
+    /// Loads a program image: checks the IRAM footprint and (re)initializes
+    /// the image's host symbols to zero.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::IramOverflow`] if the image exceeds IRAM capacity.
+    pub fn load(&mut self, image: KernelImage) -> Result<(), SimError> {
+        if image.iram_bytes > self.iram_capacity {
+            return Err(SimError::IramOverflow {
+                image: image.iram_bytes,
+                capacity: self.iram_capacity,
+            });
+        }
+        self.symbols.clear();
+        for s in &image.symbols {
+            self.symbols.insert(s.name.clone(), vec![0u8; s.size]);
+        }
+        self.loaded = Some(image);
+        self.state = DpuState::Idle;
+        Ok(())
+    }
+
+    /// Copies host bytes into a symbol (`dpu_copy_to` on a symbol).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnknownSymbol`] or [`SimError::SymbolSizeMismatch`].
+    pub fn write_symbol(&mut self, name: &str, bytes: &[u8]) -> Result<(), SimError> {
+        let slot = self
+            .symbols
+            .get_mut(name)
+            .ok_or_else(|| SimError::UnknownSymbol(name.to_string()))?;
+        if slot.len() != bytes.len() {
+            return Err(SimError::SymbolSizeMismatch {
+                name: name.to_string(),
+                expected: slot.len(),
+                got: bytes.len(),
+            });
+        }
+        slot.copy_from_slice(bytes);
+        Ok(())
+    }
+
+    /// Copies a symbol out to host bytes (`dpu_copy_from` on a symbol).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnknownSymbol`] or [`SimError::SymbolSizeMismatch`].
+    pub fn read_symbol(&self, name: &str, bytes: &mut [u8]) -> Result<(), SimError> {
+        let slot = self
+            .symbols
+            .get(name)
+            .ok_or_else(|| SimError::UnknownSymbol(name.to_string()))?;
+        if slot.len() != bytes.len() {
+            return Err(SimError::SymbolSizeMismatch {
+                name: name.to_string(),
+                expected: slot.len(),
+                got: bytes.len(),
+            });
+        }
+        bytes.copy_from_slice(slot);
+        Ok(())
+    }
+
+    /// Runs the loaded program with `nr_tasklets` tasklets.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::NoProgramLoaded`] if nothing is loaded,
+    /// * [`SimError::InvalidTasklets`] for a tasklet count outside `1..=24`,
+    /// * [`SimError::Fault`] if the program faults (the DPU is left in the
+    ///   [`DpuState::Fault`] state, as the CI would report).
+    pub fn launch(
+        &mut self,
+        kernel: &dyn crate::kernel::DpuKernel,
+        nr_tasklets: usize,
+    ) -> Result<LaunchReport, SimError> {
+        if self.loaded.is_none() {
+            return Err(SimError::NoProgramLoaded);
+        }
+        if nr_tasklets == 0 || nr_tasklets > MAX_TASKLETS {
+            return Err(SimError::InvalidTasklets(nr_tasklets));
+        }
+        self.state = DpuState::Running;
+        self.wram.reset();
+        let (result, cycles, phases, instructions) = {
+            let mut ctx = DpuContext {
+                dpu: self,
+                nr_tasklets,
+                cycles: 0,
+                phases: 0,
+                instructions: 0,
+            };
+            let r = kernel.run(&mut ctx);
+            (r, ctx.cycles, ctx.phases, ctx.instructions)
+        };
+        match result {
+            Ok(()) => {
+                self.state = DpuState::Done;
+                Ok(LaunchReport { cycles, phases, instructions })
+            }
+            Err(fault) => {
+                self.state = DpuState::Fault(fault.clone());
+                Err(SimError::Fault(fault))
+            }
+        }
+    }
+
+    /// Captures the DPU's persistent state: resident MRAM, host symbols and
+    /// the loaded image — the checkpoint half of the paper's future-work
+    /// pause/resume mechanism (§7: "checkpoint-restore mechanisms could
+    /// enable dynamic workload consolidation without hardware changes").
+    #[must_use]
+    pub fn snapshot(&self) -> DpuSnapshot {
+        let mut mram = vec![0u8; self.mram.resident_bytes()];
+        if !mram.is_empty() {
+            self.mram.read(0, &mut mram).expect("resident range is in bounds");
+        }
+        DpuSnapshot {
+            mram,
+            symbols: self.symbols.clone(),
+            loaded: self.loaded.clone(),
+        }
+    }
+
+    /// Restores a previously captured snapshot, replacing all content.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::MramOutOfBounds`] if the snapshot was taken on a DPU
+    /// with a larger MRAM bank.
+    pub fn restore(&mut self, snap: &DpuSnapshot) -> Result<(), SimError> {
+        self.reset_content();
+        if !snap.mram.is_empty() {
+            self.mram.write(0, &snap.mram)?;
+        }
+        self.symbols = snap.symbols.clone();
+        self.loaded = snap.loaded.clone();
+        self.state = DpuState::Idle;
+        Ok(())
+    }
+
+    /// Zeroes MRAM, WRAM accounting and symbols — the manager's erase step.
+    pub fn reset_content(&mut self) {
+        self.mram.reset();
+        self.wram.reset();
+        for v in self.symbols.values_mut() {
+            v.iter_mut().for_each(|b| *b = 0);
+        }
+        self.state = DpuState::Idle;
+    }
+}
+
+/// A captured DPU state (resident MRAM, host symbols, loaded image).
+#[derive(Debug, Clone)]
+pub struct DpuSnapshot {
+    mram: Vec<u8>,
+    symbols: HashMap<String, Vec<u8>>,
+    loaded: Option<KernelImage>,
+}
+
+impl DpuSnapshot {
+    /// Resident MRAM bytes captured.
+    #[must_use]
+    pub fn mram_bytes(&self) -> usize {
+        self.mram.len()
+    }
+}
+
+/// Execution context handed to a kernel's entry point.
+///
+/// Provides host-symbol access and the [`parallel`](DpuContext::parallel)
+/// phase combinator. Created by [`Dpu::launch`]; not constructible directly.
+#[derive(Debug)]
+pub struct DpuContext<'a> {
+    dpu: &'a mut Dpu,
+    nr_tasklets: usize,
+    cycles: u64,
+    phases: u64,
+    instructions: u64,
+}
+
+impl<'a> DpuContext<'a> {
+    /// Number of tasklets this launch runs with.
+    #[must_use]
+    pub fn nr_tasklets(&self) -> usize {
+        self.nr_tasklets
+    }
+
+    /// MRAM capacity of this DPU.
+    #[must_use]
+    pub fn mram_size(&self) -> u64 {
+        self.dpu.mram.capacity()
+    }
+
+    /// Reads a `u32` host symbol.
+    ///
+    /// # Errors
+    ///
+    /// Faults if the symbol is missing or not 4 bytes.
+    pub fn host_u32(&self, name: &str) -> Result<u32, DpuFault> {
+        let mut b = [0u8; 4];
+        self.dpu
+            .read_symbol(name, &mut b)
+            .map_err(|e| DpuFault::new(e.to_string()))?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    /// Reads a `u64` host symbol.
+    ///
+    /// # Errors
+    ///
+    /// Faults if the symbol is missing or not 8 bytes.
+    pub fn host_u64(&self, name: &str) -> Result<u64, DpuFault> {
+        let mut b = [0u8; 8];
+        self.dpu
+            .read_symbol(name, &mut b)
+            .map_err(|e| DpuFault::new(e.to_string()))?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Writes a `u32` host symbol.
+    ///
+    /// # Errors
+    ///
+    /// Faults if the symbol is missing or not 4 bytes.
+    pub fn set_host_u32(&mut self, name: &str, v: u32) -> Result<(), DpuFault> {
+        self.dpu
+            .write_symbol(name, &v.to_le_bytes())
+            .map_err(|e| DpuFault::new(e.to_string()))
+    }
+
+    /// Writes a `u64` host symbol.
+    ///
+    /// # Errors
+    ///
+    /// Faults if the symbol is missing or not 8 bytes.
+    pub fn set_host_u64(&mut self, name: &str, v: u64) -> Result<(), DpuFault> {
+        self.dpu
+            .write_symbol(name, &v.to_le_bytes())
+            .map_err(|e| DpuFault::new(e.to_string()))
+    }
+
+    /// Runs one barrier-delimited parallel phase: `f` executes once per
+    /// tasklet (ids `0..nr_tasklets`), and the phase's cycles are charged
+    /// according to the pipeline law documented at module level.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first tasklet fault.
+    pub fn parallel<F>(&mut self, mut f: F) -> Result<(), DpuFault>
+    where
+        F: FnMut(&mut TaskletCtx<'_>) -> Result<(), DpuFault>,
+    {
+        let n = self.nr_tasklets;
+        let mut sum_instr: u64 = 0;
+        let mut max_instr: u64 = 0;
+        let mut sum_dma: u64 = 0;
+        for id in 0..n {
+            let mut tc = TaskletCtx {
+                dpu: &mut *self.dpu,
+                id,
+                nr_tasklets: n,
+                instrs: 0,
+                dma_cycles: 0,
+            };
+            f(&mut tc)?;
+            sum_instr += tc.instrs;
+            max_instr = max_instr.max(tc.instrs);
+            sum_dma += tc.dma_cycles;
+        }
+        let compute = sum_instr.max(PIPELINE_DEPTH.saturating_mul(max_instr));
+        self.cycles = self.cycles.saturating_add(compute.max(sum_dma));
+        self.phases += 1;
+        self.instructions += sum_instr;
+        Ok(())
+    }
+
+    /// Runs a phase on tasklet 0 only (the common
+    /// `if (me() == 0) { ... } barrier_wait(...)` idiom).
+    ///
+    /// # Errors
+    ///
+    /// Propagates a tasklet fault.
+    pub fn single<F>(&mut self, mut f: F) -> Result<(), DpuFault>
+    where
+        F: FnMut(&mut TaskletCtx<'_>) -> Result<(), DpuFault>,
+    {
+        let mut tc = TaskletCtx {
+            dpu: &mut *self.dpu,
+            id: 0,
+            nr_tasklets: self.nr_tasklets,
+            instrs: 0,
+            dma_cycles: 0,
+        };
+        f(&mut tc)?;
+        let compute = tc.instrs.saturating_mul(PIPELINE_DEPTH);
+        self.cycles = self.cycles.saturating_add(compute.max(tc.dma_cycles));
+        self.phases += 1;
+        self.instructions += tc.instrs;
+        Ok(())
+    }
+}
+
+/// Per-tasklet view of the DPU inside a parallel phase.
+#[derive(Debug)]
+pub struct TaskletCtx<'a> {
+    dpu: &'a mut Dpu,
+    id: usize,
+    nr_tasklets: usize,
+    instrs: u64,
+    dma_cycles: u64,
+}
+
+impl<'a> TaskletCtx<'a> {
+    /// This tasklet's id (`me()` in the UPMEM runtime).
+    #[must_use]
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Number of tasklets in the launch.
+    #[must_use]
+    pub fn nr_tasklets(&self) -> usize {
+        self.nr_tasklets
+    }
+
+    /// MRAM capacity of this DPU.
+    #[must_use]
+    pub fn mram_size(&self) -> u64 {
+        self.dpu.mram.capacity()
+    }
+
+    /// Charges `n` pipeline instructions to this tasklet. Kernels call this
+    /// for their compute loops (the MRAM helpers charge automatically).
+    pub fn charge(&mut self, n: u64) {
+        self.instrs = self.instrs.saturating_add(n);
+    }
+
+    fn charge_dma(&mut self, bytes: usize) {
+        // Cost model mirror: fixed cost per <=2 KiB transfer + per-8-byte
+        // cost; constants are mirrored in `simkit::CostModel` for the
+        // host-side conversion to time.
+        let chunks = bytes.div_ceil(DMA_MAX).max(1) as u64;
+        let fixed = 77u64;
+        let per8 = 4u64;
+        self.dma_cycles = self
+            .dma_cycles
+            .saturating_add(chunks * fixed + (bytes as u64).div_ceil(8) * per8);
+        // Issuing a DMA also costs a handful of pipeline instructions.
+        self.charge(4 * chunks);
+    }
+
+    /// DMA from MRAM into a WRAM buffer (`mram_read`).
+    ///
+    /// # Errors
+    ///
+    /// Faults on an out-of-bounds MRAM access.
+    pub fn mram_read(&mut self, addr: u64, dst: &mut [u8]) -> Result<(), DpuFault> {
+        self.charge_dma(dst.len());
+        self.dpu
+            .mram
+            .read(addr, dst)
+            .map_err(|e| DpuFault::in_tasklet(self.id, e.to_string()))
+    }
+
+    /// DMA from a WRAM buffer into MRAM (`mram_write`).
+    ///
+    /// # Errors
+    ///
+    /// Faults on an out-of-bounds MRAM access.
+    pub fn mram_write(&mut self, addr: u64, src: &[u8]) -> Result<(), DpuFault> {
+        self.charge_dma(src.len());
+        self.dpu
+            .mram
+            .write(addr, src)
+            .map_err(|e| DpuFault::in_tasklet(self.id, e.to_string()))
+    }
+
+    /// Reads little-endian `u32`s from MRAM.
+    ///
+    /// # Errors
+    ///
+    /// Faults on an out-of-bounds MRAM access.
+    pub fn mram_read_u32s(&mut self, addr: u64, dst: &mut [u32]) -> Result<(), DpuFault> {
+        let mut raw = vec![0u8; dst.len() * 4];
+        self.mram_read(addr, &mut raw)?;
+        for (i, w) in dst.iter_mut().enumerate() {
+            *w = u32::from_le_bytes(raw[i * 4..i * 4 + 4].try_into().expect("4-byte chunk"));
+        }
+        Ok(())
+    }
+
+    /// Writes little-endian `u32`s to MRAM.
+    ///
+    /// # Errors
+    ///
+    /// Faults on an out-of-bounds MRAM access.
+    pub fn mram_write_u32s(&mut self, addr: u64, src: &[u32]) -> Result<(), DpuFault> {
+        let mut raw = Vec::with_capacity(src.len() * 4);
+        for w in src {
+            raw.extend_from_slice(&w.to_le_bytes());
+        }
+        self.mram_write(addr, &raw)
+    }
+
+    /// Reads little-endian `u64`s from MRAM.
+    ///
+    /// # Errors
+    ///
+    /// Faults on an out-of-bounds MRAM access.
+    pub fn mram_read_u64s(&mut self, addr: u64, dst: &mut [u64]) -> Result<(), DpuFault> {
+        let mut raw = vec![0u8; dst.len() * 8];
+        self.mram_read(addr, &mut raw)?;
+        for (i, w) in dst.iter_mut().enumerate() {
+            *w = u64::from_le_bytes(raw[i * 8..i * 8 + 8].try_into().expect("8-byte chunk"));
+        }
+        Ok(())
+    }
+
+    /// Writes little-endian `u64`s to MRAM.
+    ///
+    /// # Errors
+    ///
+    /// Faults on an out-of-bounds MRAM access.
+    pub fn mram_write_u64s(&mut self, addr: u64, src: &[u64]) -> Result<(), DpuFault> {
+        let mut raw = Vec::with_capacity(src.len() * 8);
+        for w in src {
+            raw.extend_from_slice(&w.to_le_bytes());
+        }
+        self.mram_write(addr, &raw)
+    }
+
+    /// Accounts a WRAM allocation of `bytes` (`mem_alloc`). The payload
+    /// itself lives in an ordinary `Vec` owned by the kernel.
+    ///
+    /// # Errors
+    ///
+    /// Faults if WRAM is exhausted.
+    pub fn wram_alloc(&mut self, bytes: usize) -> Result<(), DpuFault> {
+        self.charge(2);
+        self.dpu
+            .wram
+            .alloc(bytes)
+            .map_err(|e| DpuFault::in_tasklet(self.id, e.to_string()))
+    }
+
+    /// Resets the WRAM heap (`mem_reset`), usually from tasklet 0.
+    pub fn wram_reset(&mut self) {
+        self.charge(1);
+        self.dpu.wram.reset();
+    }
+
+    /// Reads a `u32` host symbol.
+    ///
+    /// # Errors
+    ///
+    /// Faults if the symbol is missing or not 4 bytes.
+    pub fn host_u32(&mut self, name: &str) -> Result<u32, DpuFault> {
+        self.charge(1);
+        let mut b = [0u8; 4];
+        self.dpu
+            .read_symbol(name, &mut b)
+            .map_err(|e| DpuFault::in_tasklet(self.id, e.to_string()))?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    /// Reads a `u64` host symbol.
+    ///
+    /// # Errors
+    ///
+    /// Faults if the symbol is missing or not 8 bytes.
+    pub fn host_u64(&mut self, name: &str) -> Result<u64, DpuFault> {
+        self.charge(1);
+        let mut b = [0u8; 8];
+        self.dpu
+            .read_symbol(name, &mut b)
+            .map_err(|e| DpuFault::in_tasklet(self.id, e.to_string()))?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Atomically adds to a `u32` host symbol (mutex-protected shared
+    /// variable in the UPMEM runtime).
+    ///
+    /// # Errors
+    ///
+    /// Faults if the symbol is missing or not 4 bytes.
+    pub fn add_host_u32(&mut self, name: &str, v: u32) -> Result<(), DpuFault> {
+        let cur = self.host_u32(name)?;
+        self.charge(3); // lock, add, unlock
+        self.dpu
+            .write_symbol(name, &cur.wrapping_add(v).to_le_bytes())
+            .map_err(|e| DpuFault::in_tasklet(self.id, e.to_string()))
+    }
+
+    /// Atomically adds to a `u64` host symbol.
+    ///
+    /// # Errors
+    ///
+    /// Faults if the symbol is missing or not 8 bytes.
+    pub fn add_host_u64(&mut self, name: &str, v: u64) -> Result<(), DpuFault> {
+        let cur = self.host_u64(name)?;
+        self.charge(3);
+        self.dpu
+            .write_symbol(name, &cur.wrapping_add(v).to_le_bytes())
+            .map_err(|e| DpuFault::in_tasklet(self.id, e.to_string()))
+    }
+
+    /// Writes a `u32` host symbol (last writer wins, like a plain store).
+    ///
+    /// # Errors
+    ///
+    /// Faults if the symbol is missing or not 4 bytes.
+    pub fn set_host_u32(&mut self, name: &str, v: u32) -> Result<(), DpuFault> {
+        self.charge(1);
+        self.dpu
+            .write_symbol(name, &v.to_le_bytes())
+            .map_err(|e| DpuFault::in_tasklet(self.id, e.to_string()))
+    }
+
+    /// Writes a `u64` host symbol.
+    ///
+    /// # Errors
+    ///
+    /// Faults if the symbol is missing or not 8 bytes.
+    pub fn set_host_u64(&mut self, name: &str, v: u64) -> Result<(), DpuFault> {
+        self.charge(1);
+        self.dpu
+            .write_symbol(name, &v.to_le_bytes())
+            .map_err(|e| DpuFault::in_tasklet(self.id, e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{DpuKernel, KernelImage, SymbolDef};
+
+    struct CountZeroes;
+    impl DpuKernel for CountZeroes {
+        fn image(&self) -> KernelImage {
+            KernelImage::new("count_zeroes", 2048)
+                .with_symbol(SymbolDef::u32("zero_count"))
+                .with_symbol(SymbolDef::u32("partition_size"))
+        }
+        fn run(&self, ctx: &mut DpuContext<'_>) -> Result<(), DpuFault> {
+            let n = ctx.host_u32("partition_size")? as usize;
+            let tasklets = ctx.nr_tasklets();
+            ctx.parallel(|t| {
+                let per = n / tasklets;
+                let base = MRAM_HEAP_BASE + (t.id() * per * 4) as u64;
+                t.wram_alloc(per * 4)?;
+                let mut buf = vec![0u32; per];
+                t.mram_read_u32s(base, &mut buf)?;
+                let zeroes = buf.iter().filter(|v| **v == 0).count() as u32;
+                t.charge(3 * per as u64);
+                t.add_host_u32("zero_count", zeroes)?;
+                Ok(())
+            })
+        }
+    }
+
+    fn dpu() -> Dpu {
+        Dpu::new(&PimConfig::small())
+    }
+
+    #[test]
+    fn launch_requires_loaded_program() {
+        let mut d = dpu();
+        let err = d.launch(&CountZeroes, 8).unwrap_err();
+        assert!(matches!(err, SimError::NoProgramLoaded));
+    }
+
+    #[test]
+    fn tasklet_count_validated() {
+        let mut d = dpu();
+        d.load(CountZeroes.image()).unwrap();
+        assert!(matches!(d.launch(&CountZeroes, 0), Err(SimError::InvalidTasklets(0))));
+        assert!(matches!(d.launch(&CountZeroes, 25), Err(SimError::InvalidTasklets(25))));
+    }
+
+    #[test]
+    fn count_zeroes_end_to_end() {
+        let mut d = dpu();
+        d.load(CountZeroes.image()).unwrap();
+        // 64 words: every 4th word zero -> 16 zeroes.
+        let words: Vec<u32> = (0..64u32).map(|i| if i % 4 == 0 { 0 } else { i }).collect();
+        let mut raw = Vec::new();
+        for w in &words {
+            raw.extend_from_slice(&w.to_le_bytes());
+        }
+        d.mram_mut().write(MRAM_HEAP_BASE, &raw).unwrap();
+        d.write_symbol("partition_size", &64u32.to_le_bytes()).unwrap();
+        let report = d.launch(&CountZeroes, 16).unwrap();
+        assert!(report.cycles > 0);
+        assert_eq!(report.phases, 1);
+        let mut out = [0u8; 4];
+        d.read_symbol("zero_count", &mut out).unwrap();
+        assert_eq!(u32::from_le_bytes(out), 16);
+        assert!(matches!(d.state(), DpuState::Done));
+    }
+
+    #[test]
+    fn relaunch_resets_accumulator_symbols_only_on_load() {
+        let mut d = dpu();
+        d.load(CountZeroes.image()).unwrap();
+        d.write_symbol("partition_size", &16u32.to_le_bytes()).unwrap();
+        d.launch(&CountZeroes, 4).unwrap();
+        let mut out = [0u8; 4];
+        d.read_symbol("zero_count", &mut out).unwrap();
+        let first = u32::from_le_bytes(out);
+        // Launching again accumulates (host did not clear the symbol) —
+        // matching real hardware where __host variables persist.
+        d.launch(&CountZeroes, 4).unwrap();
+        d.read_symbol("zero_count", &mut out).unwrap();
+        assert_eq!(u32::from_le_bytes(out), first * 2);
+        // Re-loading the image clears symbols.
+        d.load(CountZeroes.image()).unwrap();
+        d.read_symbol("zero_count", &mut out).unwrap();
+        assert_eq!(u32::from_le_bytes(out), 0);
+    }
+
+    struct Faulty;
+    impl DpuKernel for Faulty {
+        fn image(&self) -> KernelImage {
+            KernelImage::new("faulty", 64)
+        }
+        fn run(&self, ctx: &mut DpuContext<'_>) -> Result<(), DpuFault> {
+            ctx.parallel(|t| {
+                if t.id() == 2 {
+                    Err(DpuFault::in_tasklet(t.id(), "synthetic fault"))
+                } else {
+                    Ok(())
+                }
+            })
+        }
+    }
+
+    #[test]
+    fn fault_surfaces_and_sets_state() {
+        let mut d = dpu();
+        d.load(Faulty.image()).unwrap();
+        let err = d.launch(&Faulty, 4).unwrap_err();
+        assert!(matches!(err, SimError::Fault(_)));
+        assert!(matches!(d.state(), DpuState::Fault(_)));
+    }
+
+    struct OobRead;
+    impl DpuKernel for OobRead {
+        fn image(&self) -> KernelImage {
+            KernelImage::new("oob", 64)
+        }
+        fn run(&self, ctx: &mut DpuContext<'_>) -> Result<(), DpuFault> {
+            let size = ctx.mram_size();
+            ctx.parallel(|t| {
+                let mut b = [0u8; 16];
+                t.mram_read(size - 8, &mut b)?;
+                Ok(())
+            })
+        }
+    }
+
+    #[test]
+    fn out_of_bounds_mram_access_faults() {
+        let mut d = dpu();
+        d.load(OobRead.image()).unwrap();
+        assert!(matches!(d.launch(&OobRead, 1), Err(SimError::Fault(_))));
+    }
+
+    struct WramHog;
+    impl DpuKernel for WramHog {
+        fn image(&self) -> KernelImage {
+            KernelImage::new("wram_hog", 64)
+        }
+        fn run(&self, ctx: &mut DpuContext<'_>) -> Result<(), DpuFault> {
+            ctx.parallel(|t| t.wram_alloc(40 << 10))
+        }
+    }
+
+    #[test]
+    fn wram_exhaustion_faults_second_tasklet() {
+        let mut d = dpu();
+        d.load(WramHog.image()).unwrap();
+        // 2 tasklets x 40 KiB > 64 KiB
+        assert!(matches!(d.launch(&WramHog, 2), Err(SimError::Fault(_))));
+        // 1 tasklet fits.
+        d.load(WramHog.image()).unwrap();
+        assert!(d.launch(&WramHog, 1).is_ok());
+    }
+
+    struct TenInstr;
+    impl DpuKernel for TenInstr {
+        fn image(&self) -> KernelImage {
+            KernelImage::new("ten", 64)
+        }
+        fn run(&self, ctx: &mut DpuContext<'_>) -> Result<(), DpuFault> {
+            ctx.parallel(|t| {
+                t.charge(100);
+                Ok(())
+            })
+        }
+    }
+
+    #[test]
+    fn pipeline_law_below_and_above_11_tasklets() {
+        // With < 11 tasklets, cycles = 11 * per-tasklet instructions
+        // (pipeline underfilled); with >= 11, cycles = total instructions.
+        for (tasklets, expect) in [(1usize, 1100u64), (4, 1100), (11, 1100), (16, 1600)] {
+            let mut d = dpu();
+            d.load(TenInstr.image()).unwrap();
+            let r = d.launch(&TenInstr, tasklets).unwrap();
+            assert_eq!(r.cycles, expect, "tasklets={tasklets}");
+        }
+    }
+
+    #[test]
+    fn iram_overflow_rejected() {
+        let mut d = dpu();
+        let img = KernelImage::new("big", 25 << 10);
+        assert!(matches!(d.load(img), Err(SimError::IramOverflow { .. })));
+    }
+
+    #[test]
+    fn symbol_size_mismatch_rejected() {
+        let mut d = dpu();
+        d.load(CountZeroes.image()).unwrap();
+        assert!(matches!(
+            d.write_symbol("zero_count", &[0u8; 8]),
+            Err(SimError::SymbolSizeMismatch { .. })
+        ));
+        let mut small = [0u8; 2];
+        assert!(d.read_symbol("zero_count", &mut small).is_err());
+        assert!(matches!(d.write_symbol("nope", &[0; 4]), Err(SimError::UnknownSymbol(_))));
+    }
+
+    #[test]
+    fn reset_content_clears_mram_and_symbols() {
+        let mut d = dpu();
+        d.load(CountZeroes.image()).unwrap();
+        d.mram_mut().write(0, &[9; 32]).unwrap();
+        d.write_symbol("partition_size", &7u32.to_le_bytes()).unwrap();
+        d.reset_content();
+        let mut buf = [1u8; 32];
+        d.mram().read(0, &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 32]);
+        let mut s = [9u8; 4];
+        d.read_symbol("partition_size", &mut s).unwrap();
+        assert_eq!(u32::from_le_bytes(s), 0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Error types for the hardware simulator.
+
+use core::fmt;
+
+/// An error raised by the simulated hardware or by invalid host requests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// An MRAM access fell outside the bank.
+    MramOutOfBounds {
+        /// Requested offset.
+        offset: u64,
+        /// Requested length.
+        len: u64,
+        /// Bank capacity.
+        capacity: u64,
+    },
+    /// A WRAM allocation exceeded the working memory.
+    WramOverflow {
+        /// Bytes requested.
+        requested: usize,
+        /// Bytes still available.
+        available: usize,
+    },
+    /// A kernel image does not fit in IRAM.
+    IramOverflow {
+        /// Image size in bytes.
+        image: usize,
+        /// IRAM capacity.
+        capacity: usize,
+    },
+    /// A rank index beyond the machine.
+    InvalidRank(usize),
+    /// A DPU index beyond the rank's functional DPUs.
+    InvalidDpu(usize),
+    /// A launch was requested with an unsupported tasklet count.
+    InvalidTasklets(usize),
+    /// `dpu_launch` without a loaded program.
+    NoProgramLoaded,
+    /// A kernel name was not found in the registry.
+    UnknownKernel(String),
+    /// A host symbol was not found on the DPU.
+    UnknownSymbol(String),
+    /// Read/write of a symbol with mismatched size.
+    SymbolSizeMismatch {
+        /// The symbol name.
+        name: String,
+        /// Size registered on the DPU.
+        expected: usize,
+        /// Size of the host buffer.
+        got: usize,
+    },
+    /// A DPU program faulted during execution.
+    Fault(DpuFault),
+    /// A rank operation exceeded the 4 GB hardware transfer limit.
+    XferTooLarge(u64),
+    /// Operation on a rank currently executing a program.
+    RankBusy,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::MramOutOfBounds { offset, len, capacity } => write!(
+                f,
+                "mram access out of bounds: offset {offset} len {len} exceeds capacity {capacity}"
+            ),
+            SimError::WramOverflow { requested, available } => write!(
+                f,
+                "wram allocation of {requested} bytes exceeds {available} available"
+            ),
+            SimError::IramOverflow { image, capacity } => {
+                write!(f, "kernel image of {image} bytes exceeds {capacity} bytes of iram")
+            }
+            SimError::InvalidRank(r) => write!(f, "invalid rank index {r}"),
+            SimError::InvalidDpu(d) => write!(f, "invalid dpu index {d}"),
+            SimError::InvalidTasklets(n) => {
+                write!(f, "invalid tasklet count {n} (must be 1..=24)")
+            }
+            SimError::NoProgramLoaded => write!(f, "no program loaded on the dpu"),
+            SimError::UnknownKernel(name) => write!(f, "unknown kernel `{name}`"),
+            SimError::UnknownSymbol(name) => write!(f, "unknown host symbol `{name}`"),
+            SimError::SymbolSizeMismatch { name, expected, got } => write!(
+                f,
+                "symbol `{name}` has size {expected} but host buffer is {got} bytes"
+            ),
+            SimError::Fault(fault) => write!(f, "dpu fault: {fault}"),
+            SimError::XferTooLarge(bytes) => {
+                write!(f, "rank transfer of {bytes} bytes exceeds the 4 GB hardware limit")
+            }
+            SimError::RankBusy => write!(f, "rank is busy executing a program"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<DpuFault> for SimError {
+    fn from(fault: DpuFault) -> Self {
+        SimError::Fault(fault)
+    }
+}
+
+/// A fault raised from inside a DPU program (the hardware analogue is the
+/// DPU entering the FAULT state, readable through the control interface).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DpuFault {
+    /// Tasklet that faulted, if attributable.
+    pub tasklet: Option<usize>,
+    /// Human-readable fault description.
+    pub message: String,
+}
+
+impl DpuFault {
+    /// Creates a fault not attributed to a particular tasklet.
+    #[must_use]
+    pub fn new(message: impl Into<String>) -> Self {
+        DpuFault { tasklet: None, message: message.into() }
+    }
+
+    /// Creates a fault attributed to `tasklet`.
+    #[must_use]
+    pub fn in_tasklet(tasklet: usize, message: impl Into<String>) -> Self {
+        DpuFault { tasklet: Some(tasklet), message: message.into() }
+    }
+}
+
+impl fmt::Display for DpuFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.tasklet {
+            Some(t) => write!(f, "tasklet {t}: {}", self.message),
+            None => f.write_str(&self.message),
+        }
+    }
+}
+
+impl std::error::Error for DpuFault {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = SimError::MramOutOfBounds { offset: 10, len: 20, capacity: 16 };
+        let s = e.to_string();
+        assert!(s.contains("out of bounds"));
+        assert!(s.contains("10"));
+        let f = DpuFault::in_tasklet(3, "division by zero");
+        assert_eq!(f.to_string(), "tasklet 3: division by zero");
+    }
+
+    #[test]
+    fn fault_converts_to_sim_error() {
+        let e: SimError = DpuFault::new("boom").into();
+        assert!(matches!(e, SimError::Fault(_)));
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+        assert_send_sync::<DpuFault>();
+    }
+}

@@ -1,0 +1,184 @@
+//! Byte interleaving across the 8 chips of a rank.
+//!
+//! A rank answers a 64-bit DDR burst with one byte lane per chip, so host
+//! buffers destined for a single DPU's MRAM must be *interleaved*: byte `i`
+//! of the logical buffer lands in lane `i % 8`. The UPMEM SDK performs this
+//! swizzle on the host CPU — it is the hot loop the vPIM authors rewrote
+//! from Rust/AVX2 into C/AVX-512 (§4.2, "AVX512 and C enhancements").
+//!
+//! Two functionally identical implementations are provided:
+//!
+//! * [`interleave_scalar`] / [`deinterleave_scalar`] — a deliberately
+//!   straightforward per-byte loop, standing in for the slow path
+//!   (`vPIM-rust`);
+//! * [`interleave_fast`] / [`deinterleave_fast`] — a word-at-a-time
+//!   safe-Rust swizzle processing a full 64-byte line per iteration,
+//!   standing in for the C/AVX-512 rewrite (`vPIM-C`).
+//!
+//! Criterion benches (`cargo bench -p vpim-bench`) measure the real gap;
+//! the [`simkit::CostModel`] charges the modeled gap in virtual time.
+//! Interleaving is also a pillar of vPIM's isolation story (§3.5): when a
+//! rank is used as plain memory, interleaving scatters every 64-bit word
+//! across all 8 chips, so no single DPU program can reconstruct another
+//! tenant's data.
+
+/// Number of byte lanes (chips) in a rank.
+pub const LANES: usize = 8;
+/// Bytes per interleaved line (8 lanes × 8 bytes per burst).
+pub const LINE: usize = 64;
+
+/// Interleaves `src` into `dst` one byte at a time (slow reference path).
+///
+/// Both slices must have equal length; the length need not be a multiple of
+/// the line size (the tail is swizzled with the same rule).
+///
+/// # Panics
+///
+/// Panics if `src.len() != dst.len()`.
+pub fn interleave_scalar(src: &[u8], dst: &mut [u8]) {
+    assert_eq!(src.len(), dst.len(), "interleave buffers must match");
+    let n = src.len();
+    for (i, &b) in src.iter().enumerate() {
+        // Byte i goes to lane (i % LANES), position (i / LANES) in the lane.
+        dst[permuted_index(i, n)] = b;
+    }
+}
+
+/// Reverses [`interleave_scalar`].
+///
+/// # Panics
+///
+/// Panics if `src.len() != dst.len()`.
+pub fn deinterleave_scalar(src: &[u8], dst: &mut [u8]) {
+    assert_eq!(src.len(), dst.len(), "interleave buffers must match");
+    let n = src.len();
+    for i in 0..n {
+        dst[i] = src[permuted_index(i, n)];
+    }
+}
+
+/// The interleaving permutation: logical index → lane-major index.
+///
+/// For a buffer of `n` bytes, the first `floor(n / 8) * 8` bytes spread
+/// across 8 equal lanes; any tail bytes stay in place (the hardware pads
+/// bursts, which transfers identity for our purposes).
+#[inline]
+#[must_use]
+pub fn permuted_index(i: usize, n: usize) -> usize {
+    let body = (n / LANES) * LANES;
+    if i >= body {
+        return i;
+    }
+    let chunk = body / LANES;
+    let lane = i % LANES;
+    let pos = i / LANES;
+    lane * chunk + pos
+}
+
+/// Interleaves `src` into `dst`, one 64-byte line at a time (fast path).
+///
+/// Functionally identical to [`interleave_scalar`]; ~an order of magnitude
+/// faster because it writes each lane's bytes in runs with simple strides.
+///
+/// # Panics
+///
+/// Panics if `src.len() != dst.len()`.
+pub fn interleave_fast(src: &[u8], dst: &mut [u8]) {
+    assert_eq!(src.len(), dst.len(), "interleave buffers must match");
+    let n = src.len();
+    let body = (n / LANES) * LANES;
+    let chunk = body / LANES;
+    // Split dst into its 8 lanes and fill each lane with a strided gather,
+    // walking src one cache line at a time.
+    let (dst_body, dst_tail) = dst.split_at_mut(body);
+    for (lane, lane_buf) in dst_body.chunks_exact_mut(chunk.max(1)).enumerate().take(LANES) {
+        let mut s = lane;
+        for d in lane_buf.iter_mut() {
+            *d = src[s];
+            s += LANES;
+        }
+    }
+    dst_tail.copy_from_slice(&src[body..]);
+}
+
+/// Reverses [`interleave_fast`].
+///
+/// # Panics
+///
+/// Panics if `src.len() != dst.len()`.
+pub fn deinterleave_fast(src: &[u8], dst: &mut [u8]) {
+    assert_eq!(src.len(), dst.len(), "interleave buffers must match");
+    let n = src.len();
+    let body = (n / LANES) * LANES;
+    let chunk = body / LANES;
+    let (src_body, src_tail) = src.split_at(body);
+    for (lane, lane_buf) in src_body.chunks_exact(chunk.max(1)).enumerate().take(LANES) {
+        let mut d = lane;
+        for &b in lane_buf {
+            dst[d] = b;
+            d += LANES;
+        }
+    }
+    dst[body..].copy_from_slice(src_tail);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn permutation_is_bijective() {
+        for n in [0usize, 1, 7, 8, 16, 63, 64, 65, 256] {
+            let mut seen = vec![false; n];
+            for i in 0..n {
+                let p = permuted_index(i, n);
+                assert!(p < n, "index {p} out of range for n={n}");
+                assert!(!seen[p], "collision at {p} for n={n}");
+                seen[p] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn known_small_pattern() {
+        // 16 bytes, 8 lanes of 2: byte 0 -> lane0[0], byte 8 -> lane0[1], ...
+        let src: Vec<u8> = (0u8..16).collect();
+        let mut dst = vec![0u8; 16];
+        interleave_fast(&src, &mut dst);
+        assert_eq!(dst, vec![0, 8, 1, 9, 2, 10, 3, 11, 4, 12, 5, 13, 6, 14, 7, 15]);
+    }
+
+    proptest! {
+        /// Fast and scalar deinterleave agree, and each roundtrips.
+        #[test]
+        fn fast_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..2048)) {
+            let mut inter = vec![0u8; data.len()];
+            interleave_fast(&data, &mut inter);
+            let mut back = vec![0u8; data.len()];
+            deinterleave_fast(&inter, &mut back);
+            prop_assert_eq!(back, data);
+        }
+
+        #[test]
+        fn scalar_matches_fast(data in proptest::collection::vec(any::<u8>(), 0..1024)) {
+            let mut a = vec![0u8; data.len()];
+            let mut b = vec![0u8; data.len()];
+            interleave_fast(&data, &mut a);
+            // scalar path via the explicit permutation
+            for (i, &byte) in data.iter().enumerate() {
+                b[permuted_index(i, data.len())] = byte;
+            }
+            prop_assert_eq!(a, b);
+        }
+
+        #[test]
+        fn scalar_deinterleave_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..1024)) {
+            let mut inter = vec![0u8; data.len()];
+            interleave_fast(&data, &mut inter);
+            let mut back = vec![0u8; data.len()];
+            deinterleave_scalar(&inter, &mut back);
+            prop_assert_eq!(back, data);
+        }
+    }
+}

@@ -1,0 +1,450 @@
+//! A rank: the unit vPIM allocates to virtual machines.
+//!
+//! A rank bundles 64 DPUs (8 chips × 8), a control interface, and the
+//! DDR-visible memory window through which hosts move data. Rank-level
+//! transfers are the operations vPIM virtualizes (`write-to-rank`,
+//! `read-from-rank`, CI ops), each moving at most 4 GB (§3.1).
+
+use parking_lot::Mutex;
+
+use crate::ci::{CiCommand, CiCounters, CiStatus};
+use crate::dpu::{Dpu, DpuState, LaunchReport};
+use crate::error::SimError;
+use crate::geometry::{PimConfig, MAX_RANK_XFER};
+use crate::interleave;
+use crate::kernel::{KernelImage, KernelRegistry};
+
+/// A captured rank state: one [`crate::dpu::DpuSnapshot`] per DPU.
+#[derive(Debug, Clone)]
+pub struct RankSnapshot {
+    dpus: Vec<crate::dpu::DpuSnapshot>,
+}
+
+impl RankSnapshot {
+    /// Total resident MRAM bytes captured across the rank.
+    #[must_use]
+    pub fn resident_bytes(&self) -> usize {
+        self.dpus.iter().map(crate::dpu::DpuSnapshot::mram_bytes).sum()
+    }
+}
+
+/// One UPMEM rank.
+///
+/// DPUs are individually locked so backend worker threads can operate on
+/// different DPUs of the same rank concurrently (vPIM's 8-thread DPU
+/// operation pool, §4.2).
+#[derive(Debug)]
+pub struct Rank {
+    id: usize,
+    dpus: Vec<Mutex<Dpu>>,
+    ci: CiCounters,
+    config: PimConfig,
+}
+
+impl Rank {
+    /// Creates rank `id` with the geometry from `config`.
+    #[must_use]
+    pub fn new(id: usize, config: &PimConfig) -> Self {
+        let n = config.dpus_in_rank(id);
+        Rank {
+            id,
+            dpus: (0..n).map(|_| Mutex::new(Dpu::new(config))).collect(),
+            ci: CiCounters::new(),
+            config: config.clone(),
+        }
+    }
+
+    /// This rank's index in the machine.
+    #[must_use]
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Number of functional DPUs.
+    #[must_use]
+    pub fn dpu_count(&self) -> usize {
+        self.dpus.len()
+    }
+
+    /// MRAM capacity per DPU.
+    #[must_use]
+    pub fn mram_size(&self) -> u64 {
+        self.config.mram_size
+    }
+
+    /// Whether transfers really execute the interleave transform (see
+    /// [`PimConfig::verify_interleave`]).
+    #[must_use]
+    pub fn verify_interleave(&self) -> bool {
+        self.config.verify_interleave
+    }
+
+    /// DPU clock frequency in MHz.
+    #[must_use]
+    pub fn freq_mhz(&self) -> u64 {
+        self.config.freq_mhz
+    }
+
+    /// Control-interface counters.
+    #[must_use]
+    pub fn ci(&self) -> &CiCounters {
+        &self.ci
+    }
+
+    fn check_dpu(&self, dpu: usize) -> Result<(), SimError> {
+        if dpu < self.dpus.len() {
+            Ok(())
+        } else {
+            Err(SimError::InvalidDpu(dpu))
+        }
+    }
+
+    fn check_len(len: u64) -> Result<(), SimError> {
+        if len > MAX_RANK_XFER {
+            Err(SimError::XferTooLarge(len))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Writes host bytes into one DPU's MRAM at `offset` — the data half of
+    /// a `write-to-rank`. When the config enables interleave verification
+    /// the buffer really goes through the interleave/deinterleave pair the
+    /// host driver and DDR bus would apply.
+    ///
+    /// # Errors
+    ///
+    /// Invalid DPU index, transfer larger than 4 GB, or an out-of-bounds
+    /// MRAM range.
+    pub fn write_dpu(&self, dpu: usize, offset: u64, data: &[u8]) -> Result<(), SimError> {
+        self.check_dpu(dpu)?;
+        Self::check_len(data.len() as u64)?;
+        if self.config.verify_interleave {
+            let mut wire = vec![0u8; data.len()];
+            interleave::interleave_fast(data, &mut wire);
+            let mut logical = vec![0u8; data.len()];
+            interleave::deinterleave_fast(&wire, &mut logical);
+            self.dpus[dpu].lock().mram_mut().write(offset, &logical)
+        } else {
+            self.dpus[dpu].lock().mram_mut().write(offset, data)
+        }
+    }
+
+    /// Reads one DPU's MRAM into host bytes — the data half of a
+    /// `read-from-rank`.
+    ///
+    /// # Errors
+    ///
+    /// Invalid DPU index, transfer larger than 4 GB, or an out-of-bounds
+    /// MRAM range.
+    pub fn read_dpu(&self, dpu: usize, offset: u64, dst: &mut [u8]) -> Result<(), SimError> {
+        self.check_dpu(dpu)?;
+        Self::check_len(dst.len() as u64)?;
+        if self.config.verify_interleave {
+            let mut logical = vec![0u8; dst.len()];
+            self.dpus[dpu].lock().mram().read(offset, &mut logical)?;
+            let mut wire = vec![0u8; dst.len()];
+            interleave::interleave_fast(&logical, &mut wire);
+            interleave::deinterleave_fast(&wire, dst);
+            Ok(())
+        } else {
+            self.dpus[dpu].lock().mram().read(offset, dst)
+        }
+    }
+
+    /// Loads a program image onto the given DPUs (all functional DPUs if
+    /// `dpus` is `None`), like `dpu_load` broadcasting an ELF to the rank.
+    ///
+    /// # Errors
+    ///
+    /// Invalid DPU index or an image exceeding IRAM capacity.
+    pub fn load_program(&self, dpus: Option<&[usize]>, image: &KernelImage) -> Result<(), SimError> {
+        let ids: Vec<usize> = match dpus {
+            Some(ids) => ids.to_vec(),
+            None => (0..self.dpus.len()).collect(),
+        };
+        for &d in &ids {
+            self.check_dpu(d)?;
+        }
+        for &d in &ids {
+            self.dpus[d].lock().load(image.clone())?;
+        }
+        Ok(())
+    }
+
+    /// Writes a host symbol on one DPU.
+    ///
+    /// # Errors
+    ///
+    /// Invalid DPU index, unknown symbol, or size mismatch.
+    pub fn write_symbol(&self, dpu: usize, name: &str, bytes: &[u8]) -> Result<(), SimError> {
+        self.check_dpu(dpu)?;
+        self.ci.record(CiCommand::Poll); // symbol transfers ride the CI
+        self.dpus[dpu].lock().write_symbol(name, bytes)
+    }
+
+    /// Reads a host symbol from one DPU.
+    ///
+    /// # Errors
+    ///
+    /// Invalid DPU index, unknown symbol, or size mismatch.
+    pub fn read_symbol(&self, dpu: usize, name: &str, bytes: &mut [u8]) -> Result<(), SimError> {
+        self.check_dpu(dpu)?;
+        self.ci.record(CiCommand::Poll);
+        self.dpus[dpu].lock().read_symbol(name, bytes)
+    }
+
+    /// Boots the loaded program on the given DPUs with `nr_tasklets`
+    /// tasklets, running each to completion, and returns per-DPU launch
+    /// reports. Execution is synchronous; callers model launch latency from
+    /// the reported cycle counts.
+    ///
+    /// # Errors
+    ///
+    /// Any per-DPU launch error (missing program, bad tasklet count, fault).
+    /// On fault the DPU is left in [`DpuState::Fault`] for CI inspection.
+    pub fn launch(
+        &self,
+        dpus: Option<&[usize]>,
+        nr_tasklets: usize,
+        registry: &KernelRegistry,
+    ) -> Result<Vec<(usize, LaunchReport)>, SimError> {
+        let ids: Vec<usize> = match dpus {
+            Some(ids) => ids.to_vec(),
+            None => (0..self.dpus.len()).collect(),
+        };
+        for &d in &ids {
+            self.check_dpu(d)?;
+        }
+        let mut reports = Vec::with_capacity(ids.len());
+        for &d in &ids {
+            self.ci.record(CiCommand::Boot {
+                nr_tasklets: nr_tasklets.min(u8::MAX as usize) as u8,
+            });
+            let mut dpu = self.dpus[d].lock();
+            let name = dpu
+                .loaded_image()
+                .ok_or(SimError::NoProgramLoaded)?
+                .name
+                .clone();
+            let kernel = registry.get(&name)?;
+            let report = dpu.launch(kernel.as_ref(), nr_tasklets)?;
+            reports.push((d, report));
+        }
+        Ok(reports)
+    }
+
+    /// Reads one DPU's run status through the CI.
+    ///
+    /// # Errors
+    ///
+    /// Invalid DPU index.
+    pub fn poll_status(&self, dpu: usize) -> Result<CiStatus, SimError> {
+        self.check_dpu(dpu)?;
+        self.ci.record(CiCommand::Poll);
+        Ok(match self.dpus[dpu].lock().state() {
+            DpuState::Idle => CiStatus::Idle,
+            DpuState::Running => CiStatus::Running,
+            DpuState::Done => CiStatus::Done,
+            DpuState::Fault(_) => CiStatus::Fault,
+        })
+    }
+
+    /// Records `n` extra CI poll operations (the SDK's polling loop during
+    /// a synchronous launch).
+    pub fn record_polls(&self, n: u64) {
+        self.ci.record_polls(n);
+    }
+
+    /// Captures the whole rank's persistent state (checkpoint half of the
+    /// paper's future-work pause/resume consolidation, §7).
+    #[must_use]
+    pub fn snapshot(&self) -> RankSnapshot {
+        RankSnapshot {
+            dpus: self.dpus.iter().map(|d| d.lock().snapshot()).collect(),
+        }
+    }
+
+    /// Restores a rank snapshot taken on a rank of the same geometry.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidDpu`] on a DPU-count mismatch; MRAM bound errors
+    /// if the snapshot came from a larger bank.
+    pub fn restore(&self, snap: &RankSnapshot) -> Result<(), SimError> {
+        if snap.dpus.len() != self.dpus.len() {
+            return Err(SimError::InvalidDpu(snap.dpus.len()));
+        }
+        for (dpu, ds) in self.dpus.iter().zip(&snap.dpus) {
+            dpu.lock().restore(ds)?;
+        }
+        Ok(())
+    }
+
+    /// Erases all rank content (MRAM, WRAM accounting, symbols) — the
+    /// manager's reset when a rank transitions NANA → NAAV (§3.5).
+    pub fn reset_content(&self) {
+        for d in &self.dpus {
+            d.lock().reset_content();
+        }
+    }
+
+    /// Physically resident MRAM bytes across the rank (diagnostics).
+    #[must_use]
+    pub fn resident_bytes(&self) -> usize {
+        self.dpus.iter().map(|d| d.lock().mram().resident_bytes()).sum()
+    }
+
+    /// Runs `f` with exclusive access to one DPU (driver-internal paths).
+    ///
+    /// # Errors
+    ///
+    /// Invalid DPU index.
+    pub fn with_dpu<T>(
+        &self,
+        dpu: usize,
+        f: impl FnOnce(&mut Dpu) -> T,
+    ) -> Result<T, SimError> {
+        self.check_dpu(dpu)?;
+        Ok(f(&mut self.dpus[dpu].lock()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dpu::DpuContext;
+    use crate::error::DpuFault;
+    use crate::kernel::{DpuKernel, SymbolDef};
+    use std::sync::Arc;
+
+    fn rank() -> Rank {
+        Rank::new(0, &PimConfig::small())
+    }
+
+    #[test]
+    fn write_read_roundtrip_through_interleave() {
+        let r = rank();
+        let data: Vec<u8> = (0..=255).collect();
+        r.write_dpu(3, 128, &data).unwrap();
+        let mut back = vec![0u8; 256];
+        r.read_dpu(3, 128, &mut back).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn dpu_index_validated() {
+        let r = rank();
+        assert!(matches!(r.write_dpu(8, 0, &[0]), Err(SimError::InvalidDpu(8))));
+        let mut b = [0u8];
+        assert!(matches!(r.read_dpu(99, 0, &mut b), Err(SimError::InvalidDpu(99))));
+    }
+
+    struct AddOne;
+    impl DpuKernel for AddOne {
+        fn image(&self) -> KernelImage {
+            KernelImage::new("add_one", 512).with_symbol(SymbolDef::u32("n"))
+        }
+        fn run(&self, ctx: &mut DpuContext<'_>) -> Result<(), DpuFault> {
+            let n = ctx.host_u32("n")? as usize;
+            let tasklets = ctx.nr_tasklets();
+            ctx.parallel(|t| {
+                let per = n.div_ceil(tasklets);
+                let lo = t.id() * per;
+                let hi = ((t.id() + 1) * per).min(n);
+                if lo >= hi {
+                    return Ok(());
+                }
+                let mut buf = vec![0u32; hi - lo];
+                t.mram_read_u32s((lo * 4) as u64, &mut buf)?;
+                for v in &mut buf {
+                    *v = v.wrapping_add(1);
+                }
+                t.charge(2 * (hi - lo) as u64);
+                t.mram_write_u32s((lo * 4) as u64, &buf)?;
+                Ok(())
+            })
+        }
+    }
+
+    #[test]
+    fn launch_across_dpus_transforms_data() {
+        let r = rank();
+        let registry = KernelRegistry::new();
+        registry.register(Arc::new(AddOne));
+        r.load_program(None, &AddOne.image()).unwrap();
+
+        let n = 64usize;
+        for d in 0..r.dpu_count() {
+            let words: Vec<u32> = (0..n as u32).map(|i| i + d as u32).collect();
+            let mut raw = Vec::new();
+            for w in &words {
+                raw.extend_from_slice(&w.to_le_bytes());
+            }
+            r.write_dpu(d, 0, &raw).unwrap();
+            r.write_symbol(d, "n", &(n as u32).to_le_bytes()).unwrap();
+        }
+
+        let reports = r.launch(None, 12, &registry).unwrap();
+        assert_eq!(reports.len(), r.dpu_count());
+        assert!(reports.iter().all(|(_, rep)| rep.cycles > 0));
+
+        for d in 0..r.dpu_count() {
+            let mut raw = vec![0u8; n * 4];
+            r.read_dpu(d, 0, &mut raw).unwrap();
+            let first = u32::from_le_bytes(raw[0..4].try_into().unwrap());
+            assert_eq!(first, d as u32 + 1);
+        }
+        assert_eq!(r.poll_status(0).unwrap(), CiStatus::Done);
+    }
+
+    #[test]
+    fn ci_ops_counted() {
+        let r = rank();
+        let before = r.ci().total();
+        let _ = r.poll_status(0);
+        let _ = r.poll_status(0);
+        r.record_polls(10);
+        assert_eq!(r.ci().total(), before + 12);
+    }
+
+    #[test]
+    fn launch_without_program_fails() {
+        let r = rank();
+        let registry = KernelRegistry::new();
+        assert!(matches!(
+            r.launch(Some(&[0]), 8, &registry),
+            Err(SimError::NoProgramLoaded)
+        ));
+    }
+
+    #[test]
+    fn reset_content_erases_every_dpu() {
+        let r = rank();
+        for d in 0..r.dpu_count() {
+            r.write_dpu(d, 0, &[0xFF; 64]).unwrap();
+        }
+        assert!(r.resident_bytes() > 0);
+        r.reset_content();
+        assert_eq!(r.resident_bytes(), 0);
+        let mut buf = [1u8; 64];
+        r.read_dpu(0, 0, &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 64]);
+    }
+
+    #[test]
+    fn oversized_transfer_rejected() {
+        // Use a config whose MRAM is big enough logically but the transfer
+        // limit triggers first: fake a >4GB length via empty slice is not
+        // possible, so check the guard directly through read path length.
+        let r = rank();
+        // 4GB+1 cannot be allocated; the guard is still exercised by
+        // checking the helper on the boundary value.
+        assert!(Rank::check_len(MAX_RANK_XFER).is_ok());
+        assert!(matches!(
+            Rank::check_len(MAX_RANK_XFER + 1),
+            Err(SimError::XferTooLarge(_))
+        ));
+        drop(r);
+    }
+}

@@ -1,0 +1,75 @@
+//! Error type for the virtio substrate.
+
+use core::fmt;
+
+use crate::memory::Gpa;
+
+/// Errors raised by guest memory or virtqueue handling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum VirtioError {
+    /// A guest-physical access fell outside guest memory.
+    OutOfBounds {
+        /// Faulting address.
+        gpa: Gpa,
+        /// Access length.
+        len: u64,
+    },
+    /// The guest page allocator is exhausted.
+    OutOfPages {
+        /// Pages requested.
+        requested: usize,
+        /// Pages free.
+        free: usize,
+    },
+    /// Freeing a page that is not allocated.
+    BadFree(Gpa),
+    /// No free descriptors for the requested chain.
+    QueueFull,
+    /// A descriptor chain is malformed (bad next pointer or a loop).
+    BadDescriptor(u16),
+    /// A chain longer than the queue size (loop guard).
+    ChainTooLong,
+    /// Queue size is not a power of two or exceeds the virtio maximum.
+    BadQueueSize(u16),
+    /// An MMIO access targeted an unknown register offset.
+    BadRegister(u64),
+}
+
+impl fmt::Display for VirtioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VirtioError::OutOfBounds { gpa, len } => {
+                write!(f, "guest access out of bounds: {gpa:?} + {len}")
+            }
+            VirtioError::OutOfPages { requested, free } => {
+                write!(f, "guest page allocator exhausted: requested {requested}, free {free}")
+            }
+            VirtioError::BadFree(gpa) => write!(f, "freeing unallocated guest page {gpa:?}"),
+            VirtioError::QueueFull => write!(f, "virtqueue has no free descriptors"),
+            VirtioError::BadDescriptor(i) => write!(f, "malformed descriptor {i}"),
+            VirtioError::ChainTooLong => write!(f, "descriptor chain exceeds queue size"),
+            VirtioError::BadQueueSize(n) => write!(f, "invalid queue size {n}"),
+            VirtioError::BadRegister(off) => write!(f, "unknown mmio register offset {off:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for VirtioError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = VirtioError::OutOfPages { requested: 4, free: 1 };
+        assert!(e.to_string().contains("requested 4"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn f<T: Send + Sync>() {}
+        f::<VirtioError>();
+    }
+}

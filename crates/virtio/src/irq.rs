@@ -1,0 +1,145 @@
+//! The device interrupt line.
+//!
+//! When the backend finishes an operation it injects an IRQ to wake the
+//! guest driver (§4.2, "the thread injects the IRQ to notify the guest
+//! driver to resume execution"). We model the line as a counting event with
+//! blocking waiters; the *cost* of an injection is charged by the caller
+//! via [`simkit::CostModel::irq_inject_ns`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+/// A level of pending interrupts plus waiters.
+#[derive(Debug, Default)]
+struct Line {
+    pending: Mutex<u64>,
+    cv: Condvar,
+}
+
+/// A shared interrupt line between a device (asserts) and a driver (waits).
+///
+/// # Example
+///
+/// ```
+/// use pim_virtio::IrqLine;
+///
+/// let irq = IrqLine::new(11);
+/// irq.assert_irq();
+/// assert!(irq.try_take());
+/// assert!(!irq.try_take());
+/// ```
+#[derive(Debug, Clone)]
+pub struct IrqLine {
+    line: Arc<Line>,
+    number: u32,
+    injections: Arc<AtomicU64>,
+}
+
+impl IrqLine {
+    /// Creates line `number` (the GSI advertised on the kernel cmdline).
+    #[must_use]
+    pub fn new(number: u32) -> Self {
+        IrqLine {
+            line: Arc::new(Line::default()),
+            number,
+            injections: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// The interrupt number.
+    #[must_use]
+    pub fn number(&self) -> u32 {
+        self.number
+    }
+
+    /// Total injections so far (telemetry for the figure harness).
+    #[must_use]
+    pub fn injections(&self) -> u64 {
+        self.injections.load(Ordering::Relaxed)
+    }
+
+    /// Device side: assert the line (one completion).
+    pub fn assert_irq(&self) {
+        self.injections.fetch_add(1, Ordering::Relaxed);
+        let mut p = self.line.pending.lock();
+        *p += 1;
+        drop(p);
+        self.line.cv.notify_all();
+    }
+
+    /// Driver side: consume one pending interrupt if any.
+    #[must_use]
+    pub fn try_take(&self) -> bool {
+        let mut p = self.line.pending.lock();
+        if *p > 0 {
+            *p -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Driver side: block until an interrupt arrives or `timeout` passes.
+    /// Returns `true` if an interrupt was consumed.
+    #[must_use]
+    pub fn wait(&self, timeout: Duration) -> bool {
+        let mut p = self.line.pending.lock();
+        if *p == 0 {
+            let _ = self.line.cv.wait_for(&mut p, timeout);
+        }
+        if *p > 0 {
+            *p -= 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn assert_then_take() {
+        let irq = IrqLine::new(5);
+        assert!(!irq.try_take());
+        irq.assert_irq();
+        irq.assert_irq();
+        assert_eq!(irq.injections(), 2);
+        assert!(irq.try_take());
+        assert!(irq.try_take());
+        assert!(!irq.try_take());
+    }
+
+    #[test]
+    fn waiter_wakes_on_injection() {
+        let irq = IrqLine::new(7);
+        let waiter = {
+            let irq = irq.clone();
+            thread::spawn(move || irq.wait(Duration::from_secs(5)))
+        };
+        thread::sleep(Duration::from_millis(10));
+        irq.assert_irq();
+        assert!(waiter.join().unwrap());
+    }
+
+    #[test]
+    fn wait_times_out() {
+        let irq = IrqLine::new(9);
+        assert!(!irq.wait(Duration::from_millis(5)));
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = IrqLine::new(1);
+        let b = a.clone();
+        a.assert_irq();
+        assert!(b.try_take());
+        assert_eq!(b.injections(), 1);
+    }
+}

@@ -1,0 +1,394 @@
+//! Guest physical memory.
+//!
+//! Firecracker maps the VM's RAM into its own address space, so any guest
+//! physical address (GPA) the frontend puts in a virtqueue can be turned
+//! into a host virtual address (HVA) and accessed without copying — the
+//! zero-copy pillar of vPIM (§4.1/§4.2). In safe Rust we model an HVA as a
+//! scoped view: [`GuestMemory::with_slice`]/[`GuestMemory::with_slice_mut`] hand the
+//! backend a borrowed window of guest RAM, which is exactly the capability
+//! an mmap'ed HVA provides.
+//!
+//! The crate also provides a page allocator used by the simulated guest
+//! userspace to place application buffers (the pages whose GPAs the
+//! frontend serializes into the transfer matrix).
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use crate::error::VirtioError;
+
+/// Page size of the simulated guest (standard 4 KiB).
+pub const PAGE_SIZE: u64 = 4096;
+
+/// A guest physical address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Gpa(pub u64);
+
+impl Gpa {
+    /// Byte offset addition.
+    #[must_use]
+    pub fn add(self, off: u64) -> Gpa {
+        Gpa(self.0 + off)
+    }
+
+    /// The page this address belongs to.
+    #[must_use]
+    pub fn page(self) -> u64 {
+        self.0 / PAGE_SIZE
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    ram: RwLock<Vec<u8>>,
+    allocator: Mutex<PageAllocator>,
+}
+
+#[derive(Debug)]
+struct PageAllocator {
+    /// Free page indices within the allocatable range.
+    free: BTreeSet<u64>,
+    total: u64,
+}
+
+/// The VM's physical address space.
+///
+/// Cheaply cloneable (`Arc` inside); the guest driver, the device model and
+/// the VMM all share the same memory, as in a real VMM process.
+#[derive(Debug, Clone)]
+pub struct GuestMemory {
+    inner: Arc<Inner>,
+}
+
+impl GuestMemory {
+    /// Creates `size` bytes of guest RAM starting at GPA 0 (rounded up to a
+    /// whole number of pages).
+    #[must_use]
+    pub fn new(size: u64) -> Self {
+        let pages = size.div_ceil(PAGE_SIZE);
+        let bytes = pages * PAGE_SIZE;
+        GuestMemory {
+            inner: Arc::new(Inner {
+                ram: RwLock::new(vec![0u8; bytes as usize]),
+                allocator: Mutex::new(PageAllocator {
+                    free: (0..pages).collect(),
+                    total: pages,
+                }),
+            }),
+        }
+    }
+
+    /// Total bytes of guest RAM.
+    #[must_use]
+    pub fn size(&self) -> u64 {
+        self.inner.ram.read().len() as u64
+    }
+
+    /// Free pages currently available to the allocator.
+    #[must_use]
+    pub fn free_pages(&self) -> usize {
+        self.inner.allocator.lock().free.len()
+    }
+
+    fn check(&self, gpa: Gpa, len: u64) -> Result<(), VirtioError> {
+        let size = self.size();
+        match gpa.0.checked_add(len) {
+            Some(end) if end <= size => Ok(()),
+            _ => Err(VirtioError::OutOfBounds { gpa, len }),
+        }
+    }
+
+    /// Copies bytes into guest memory at `gpa`.
+    ///
+    /// # Errors
+    ///
+    /// [`VirtioError::OutOfBounds`] if the range exceeds guest RAM.
+    pub fn write(&self, gpa: Gpa, data: &[u8]) -> Result<(), VirtioError> {
+        self.check(gpa, data.len() as u64)?;
+        let mut ram = self.inner.ram.write();
+        ram[gpa.0 as usize..gpa.0 as usize + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Copies bytes out of guest memory at `gpa`.
+    ///
+    /// # Errors
+    ///
+    /// [`VirtioError::OutOfBounds`] if the range exceeds guest RAM.
+    pub fn read(&self, gpa: Gpa, dst: &mut [u8]) -> Result<(), VirtioError> {
+        self.check(gpa, dst.len() as u64)?;
+        let ram = self.inner.ram.read();
+        dst.copy_from_slice(&ram[gpa.0 as usize..gpa.0 as usize + dst.len()]);
+        Ok(())
+    }
+
+    /// Writes a little-endian `u16` (virtqueue ring fields).
+    ///
+    /// # Errors
+    ///
+    /// [`VirtioError::OutOfBounds`] if the range exceeds guest RAM.
+    pub fn write_u16(&self, gpa: Gpa, v: u16) -> Result<(), VirtioError> {
+        self.write(gpa, &v.to_le_bytes())
+    }
+
+    /// Reads a little-endian `u16`.
+    ///
+    /// # Errors
+    ///
+    /// [`VirtioError::OutOfBounds`] if the range exceeds guest RAM.
+    pub fn read_u16(&self, gpa: Gpa) -> Result<u16, VirtioError> {
+        let mut b = [0u8; 2];
+        self.read(gpa, &mut b)?;
+        Ok(u16::from_le_bytes(b))
+    }
+
+    /// Writes a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// [`VirtioError::OutOfBounds`] if the range exceeds guest RAM.
+    pub fn write_u32(&self, gpa: Gpa, v: u32) -> Result<(), VirtioError> {
+        self.write(gpa, &v.to_le_bytes())
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// [`VirtioError::OutOfBounds`] if the range exceeds guest RAM.
+    pub fn read_u32(&self, gpa: Gpa) -> Result<u32, VirtioError> {
+        let mut b = [0u8; 4];
+        self.read(gpa, &mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    /// Writes a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`VirtioError::OutOfBounds`] if the range exceeds guest RAM.
+    pub fn write_u64(&self, gpa: Gpa, v: u64) -> Result<(), VirtioError> {
+        self.write(gpa, &v.to_le_bytes())
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`VirtioError::OutOfBounds`] if the range exceeds guest RAM.
+    pub fn read_u64(&self, gpa: Gpa) -> Result<u64, VirtioError> {
+        let mut b = [0u8; 8];
+        self.read(gpa, &mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// GPA→HVA access: runs `f` over a borrowed view of guest RAM — the
+    /// zero-copy window an mmap'ed HVA gives Firecracker.
+    ///
+    /// # Errors
+    ///
+    /// [`VirtioError::OutOfBounds`] if the range exceeds guest RAM.
+    pub fn with_slice<T>(
+        &self,
+        gpa: Gpa,
+        len: u64,
+        f: impl FnOnce(&[u8]) -> T,
+    ) -> Result<T, VirtioError> {
+        self.check(gpa, len)?;
+        let ram = self.inner.ram.read();
+        Ok(f(&ram[gpa.0 as usize..(gpa.0 + len) as usize]))
+    }
+
+    /// Mutable GPA→HVA access.
+    ///
+    /// # Errors
+    ///
+    /// [`VirtioError::OutOfBounds`] if the range exceeds guest RAM.
+    pub fn with_slice_mut<T>(
+        &self,
+        gpa: Gpa,
+        len: u64,
+        f: impl FnOnce(&mut [u8]) -> T,
+    ) -> Result<T, VirtioError> {
+        self.check(gpa, len)?;
+        let mut ram = self.inner.ram.write();
+        Ok(f(&mut ram[gpa.0 as usize..(gpa.0 + len) as usize]))
+    }
+
+    /// Allocates `n` guest pages (not necessarily contiguous), returning
+    /// their base GPAs. Used by the simulated guest userspace for
+    /// application buffers.
+    ///
+    /// # Errors
+    ///
+    /// [`VirtioError::OutOfPages`] if fewer than `n` pages are free.
+    pub fn alloc_pages(&self, n: usize) -> Result<Vec<Gpa>, VirtioError> {
+        let mut alloc = self.inner.allocator.lock();
+        if alloc.free.len() < n {
+            return Err(VirtioError::OutOfPages { requested: n, free: alloc.free.len() });
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let page = *alloc.free.iter().next().expect("checked non-empty");
+            alloc.free.remove(&page);
+            out.push(Gpa(page * PAGE_SIZE));
+        }
+        Ok(out)
+    }
+
+    /// Allocates `n` *contiguous* pages and returns the base GPA (queue
+    /// rings need contiguity).
+    ///
+    /// # Errors
+    ///
+    /// [`VirtioError::OutOfPages`] if no contiguous run of `n` pages exists.
+    pub fn alloc_contiguous(&self, n: usize) -> Result<Gpa, VirtioError> {
+        let mut alloc = self.inner.allocator.lock();
+        let free: Vec<u64> = alloc.free.iter().copied().collect();
+        let mut run_start = 0usize;
+        let mut run_len = 0usize;
+        for (i, &p) in free.iter().enumerate() {
+            if run_len == 0 || p == free[i - 1] + 1 {
+                if run_len == 0 {
+                    run_start = i;
+                }
+                run_len += 1;
+                if run_len == n {
+                    let pages: Vec<u64> = free[run_start..=i].to_vec();
+                    for p in &pages {
+                        alloc.free.remove(p);
+                    }
+                    return Ok(Gpa(pages[0] * PAGE_SIZE));
+                }
+            } else {
+                run_start = i;
+                run_len = 1;
+                if run_len == n {
+                    alloc.free.remove(&p);
+                    return Ok(Gpa(p * PAGE_SIZE));
+                }
+            }
+        }
+        Err(VirtioError::OutOfPages { requested: n, free: alloc.free.len() })
+    }
+
+    /// Returns pages to the allocator.
+    ///
+    /// # Errors
+    ///
+    /// [`VirtioError::BadFree`] when freeing a page that is not allocated
+    /// (double free) or not page aligned.
+    pub fn free_pages_back(&self, pages: &[Gpa]) -> Result<(), VirtioError> {
+        let mut alloc = self.inner.allocator.lock();
+        for gpa in pages {
+            if gpa.0 % PAGE_SIZE != 0 {
+                return Err(VirtioError::BadFree(*gpa));
+            }
+            let idx = gpa.page();
+            if idx >= alloc.total || !alloc.free.insert(idx) {
+                return Err(VirtioError::BadFree(*gpa));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mem = GuestMemory::new(64 << 10);
+        mem.write(Gpa(100), b"hello world").unwrap();
+        let mut buf = [0u8; 11];
+        mem.read(Gpa(100), &mut buf).unwrap();
+        assert_eq!(&buf, b"hello world");
+    }
+
+    #[test]
+    fn bounds_checked() {
+        let mem = GuestMemory::new(PAGE_SIZE);
+        assert!(mem.write(Gpa(PAGE_SIZE - 1), &[0, 0]).is_err());
+        assert!(mem.write(Gpa(u64::MAX), &[0]).is_err());
+        let mut b = [0u8];
+        assert!(mem.read(Gpa(PAGE_SIZE), &mut b).is_err());
+    }
+
+    #[test]
+    fn typed_accessors() {
+        let mem = GuestMemory::new(PAGE_SIZE);
+        mem.write_u16(Gpa(0), 0xBEEF).unwrap();
+        assert_eq!(mem.read_u16(Gpa(0)).unwrap(), 0xBEEF);
+        mem.write_u32(Gpa(8), 0xDEAD_BEEF).unwrap();
+        assert_eq!(mem.read_u32(Gpa(8)).unwrap(), 0xDEAD_BEEF);
+        mem.write_u64(Gpa(16), u64::MAX - 1).unwrap();
+        assert_eq!(mem.read_u64(Gpa(16)).unwrap(), u64::MAX - 1);
+    }
+
+    #[test]
+    fn with_slice_views() {
+        let mem = GuestMemory::new(PAGE_SIZE);
+        mem.write(Gpa(0), &[1, 2, 3, 4]).unwrap();
+        let sum = mem
+            .with_slice(Gpa(0), 4, |s| s.iter().map(|b| u32::from(*b)).sum::<u32>())
+            .unwrap();
+        assert_eq!(sum, 10);
+        mem.with_slice_mut(Gpa(0), 4, |s| s.reverse()).unwrap();
+        let mut buf = [0u8; 4];
+        mem.read(Gpa(0), &mut buf).unwrap();
+        assert_eq!(buf, [4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn page_allocator_alloc_free() {
+        let mem = GuestMemory::new(8 * PAGE_SIZE);
+        let pages = mem.alloc_pages(8).unwrap();
+        assert_eq!(pages.len(), 8);
+        assert_eq!(mem.free_pages(), 0);
+        assert!(mem.alloc_pages(1).is_err());
+        mem.free_pages_back(&pages).unwrap();
+        assert_eq!(mem.free_pages(), 8);
+    }
+
+    #[test]
+    fn double_free_detected() {
+        let mem = GuestMemory::new(4 * PAGE_SIZE);
+        let pages = mem.alloc_pages(1).unwrap();
+        mem.free_pages_back(&pages).unwrap();
+        assert!(matches!(mem.free_pages_back(&pages), Err(VirtioError::BadFree(_))));
+        assert!(mem.free_pages_back(&[Gpa(3)]).is_err()); // unaligned
+    }
+
+    #[test]
+    fn contiguous_allocation() {
+        let mem = GuestMemory::new(8 * PAGE_SIZE);
+        // Fragment: take pages 0..8, free 2,3,4.
+        let all = mem.alloc_pages(8).unwrap();
+        mem.free_pages_back(&[all[2], all[3], all[4]]).unwrap();
+        let base = mem.alloc_contiguous(3).unwrap();
+        assert_eq!(base.page(), all[2].page());
+        assert!(mem.alloc_contiguous(1).is_err());
+    }
+
+    proptest! {
+        /// Allocator never hands out the same page twice while held.
+        #[test]
+        fn allocator_uniqueness(takes in proptest::collection::vec(1usize..4, 1..8)) {
+            let mem = GuestMemory::new(64 * PAGE_SIZE);
+            let mut held: Vec<Gpa> = Vec::new();
+            for n in takes {
+                if let Ok(mut pages) = mem.alloc_pages(n) {
+                    held.append(&mut pages);
+                }
+            }
+            let mut sorted: Vec<u64> = held.iter().map(|g| g.0).collect();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), held.len());
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! VM configuration — the payload a host sends to the Firecracker API
+//! server when provisioning a microVM (§3.2/§3.3).
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one vUPMEM device attached to a VM.
+///
+/// A VM may request as many vUPMEM devices as there are physical ranks
+/// (§3.3); each device is later linked to a physical rank by the manager.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VupmemConfig {
+    /// Device tag used in diagnostics and manager requests.
+    pub tag: String,
+}
+
+impl VupmemConfig {
+    /// Creates a device config with the given tag.
+    #[must_use]
+    pub fn new(tag: impl Into<String>) -> Self {
+        VupmemConfig { tag: tag.into() }
+    }
+}
+
+/// The VM configuration accepted by the API server.
+///
+/// # Example
+///
+/// ```
+/// use pim_vmm::VmConfig;
+///
+/// let cfg = VmConfig::builder()
+///     .vcpus(16)
+///     .mem_mib(1024)
+///     .vupmem_devices(2)
+///     .build();
+/// assert_eq!(cfg.vupmem.len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VmConfig {
+    /// Number of vCPUs (the paper's VMs default to 16).
+    pub vcpus: usize,
+    /// Guest memory size in MiB (the paper's VMs use 128 GiB; scaled here).
+    pub mem_mib: u64,
+    /// Path of the guest kernel image (cosmetic in the simulation, but part
+    /// of the API payload).
+    pub kernel: String,
+    /// vUPMEM devices to attach.
+    pub vupmem: Vec<VupmemConfig>,
+}
+
+impl VmConfig {
+    /// Starts a builder with the defaults used throughout the evaluation:
+    /// 16 vCPUs, 512 MiB guest RAM (scaled from the paper's 128 GiB), one
+    /// vUPMEM device.
+    #[must_use]
+    pub fn builder() -> VmConfigBuilder {
+        VmConfigBuilder::default()
+    }
+}
+
+impl Default for VmConfig {
+    fn default() -> Self {
+        VmConfig::builder().build()
+    }
+}
+
+/// Builder for [`VmConfig`].
+#[derive(Debug, Clone)]
+pub struct VmConfigBuilder {
+    vcpus: usize,
+    mem_mib: u64,
+    kernel: String,
+    vupmem: usize,
+}
+
+impl Default for VmConfigBuilder {
+    fn default() -> Self {
+        VmConfigBuilder {
+            vcpus: 16,
+            mem_mib: 512,
+            kernel: "vmlinux-5.10-vpim".to_string(),
+            vupmem: 1,
+        }
+    }
+}
+
+impl VmConfigBuilder {
+    /// Sets the vCPU count.
+    #[must_use]
+    pub fn vcpus(mut self, n: usize) -> Self {
+        self.vcpus = n;
+        self
+    }
+
+    /// Sets guest memory in MiB.
+    #[must_use]
+    pub fn mem_mib(mut self, mib: u64) -> Self {
+        self.mem_mib = mib;
+        self
+    }
+
+    /// Sets the kernel image path.
+    #[must_use]
+    pub fn kernel(mut self, path: impl Into<String>) -> Self {
+        self.kernel = path.into();
+        self
+    }
+
+    /// Sets the number of vUPMEM devices to attach.
+    #[must_use]
+    pub fn vupmem_devices(mut self, n: usize) -> Self {
+        self.vupmem = n;
+        self
+    }
+
+    /// Builds the configuration.
+    #[must_use]
+    pub fn build(self) -> VmConfig {
+        VmConfig {
+            vcpus: self.vcpus.max(1),
+            mem_mib: self.mem_mib.max(16),
+            kernel: self.kernel,
+            vupmem: (0..self.vupmem)
+                .map(|i| VupmemConfig::new(format!("vupmem{i}")))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_match_paper_vm() {
+        let cfg = VmConfig::default();
+        assert_eq!(cfg.vcpus, 16);
+        assert_eq!(cfg.vupmem.len(), 1);
+        assert_eq!(cfg.vupmem[0].tag, "vupmem0");
+    }
+
+    #[test]
+    fn builder_clamps_degenerate_values() {
+        let cfg = VmConfig::builder().vcpus(0).mem_mib(0).build();
+        assert_eq!(cfg.vcpus, 1);
+        assert_eq!(cfg.mem_mib, 16);
+    }
+
+    #[test]
+    fn multiple_devices_get_distinct_tags() {
+        let cfg = VmConfig::builder().vupmem_devices(3).build();
+        let tags: Vec<&str> = cfg.vupmem.iter().map(|d| d.tag.as_str()).collect();
+        assert_eq!(tags, ["vupmem0", "vupmem1", "vupmem2"]);
+    }
+}

@@ -1,0 +1,95 @@
+//! The VMM-side virtio device abstraction.
+
+use core::fmt;
+
+use pim_virtio::mmio::MmioBlock;
+use pim_virtio::{GuestMemory, IrqLine, VirtioError};
+
+/// Errors surfaced by device models or the VMM.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum VmmError {
+    /// The virtio transport failed.
+    Virtio(VirtioError),
+    /// A device-model failure (message from the device).
+    Device(String),
+    /// The VM is not in a state that allows the operation.
+    BadState(String),
+}
+
+impl fmt::Display for VmmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmmError::Virtio(e) => write!(f, "virtio transport error: {e}"),
+            VmmError::Device(msg) => write!(f, "device error: {msg}"),
+            VmmError::BadState(msg) => write!(f, "invalid vm state: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for VmmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VmmError::Virtio(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<VirtioError> for VmmError {
+    fn from(e: VirtioError) -> Self {
+        VmmError::Virtio(e)
+    }
+}
+
+/// A virtio device attached to a [`crate::Vm`].
+///
+/// Implemented by vPIM's vUPMEM device model; the VMM only needs the
+/// transport surface (MMIO block, IRQ line) and the notify entry point its
+/// event loop invokes.
+pub trait VirtioDevice: Send + Sync {
+    /// Device tag for diagnostics.
+    fn tag(&self) -> String;
+
+    /// The virtio device id advertised over MMIO.
+    fn device_id(&self) -> u32;
+
+    /// The MMIO register block.
+    fn mmio(&self) -> &MmioBlock;
+
+    /// The interrupt line toward the guest.
+    fn irq(&self) -> &IrqLine;
+
+    /// Called once at boot, after the guest driver set `DRIVER_OK`.
+    ///
+    /// # Errors
+    ///
+    /// Device-specific activation failures.
+    fn activate(&self, mem: &GuestMemory) -> Result<(), VmmError>;
+
+    /// Handles a queue notification (the guest "kick").
+    ///
+    /// # Errors
+    ///
+    /// Device-specific processing failures.
+    fn handle_notify(&self, queue: u32) -> Result<(), VmmError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_and_source() {
+        use std::error::Error;
+        let e: VmmError = VirtioError::QueueFull.into();
+        assert!(e.to_string().contains("virtio"));
+        assert!(e.source().is_some());
+        assert!(VmmError::Device("x".into()).source().is_none());
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        fn _take(_d: &dyn VirtioDevice) {}
+    }
+}

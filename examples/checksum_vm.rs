@@ -1,0 +1,70 @@
+//! The UPMEM checksum demo inside a vPIM microVM, with the paper's
+//! application- and driver-centric breakdowns printed side by side
+//! (the §5.3.1 workflow at example scale).
+//!
+//! ```text
+//! cargo run --example checksum_vm
+//! ```
+
+use std::sync::Arc;
+
+use microbench::Checksum;
+use simkit::{AppSegment, CostModel, DriverSegment};
+use upmem_driver::UpmemDriver;
+use upmem_sdk::DpuSet;
+use upmem_sim::{PimConfig, PimMachine};
+use vpim::{Variant, VpimConfig, VpimSystem};
+
+fn main() {
+    let machine = PimMachine::new(PimConfig {
+        ranks: 2,
+        functional_dpus: vec![16, 16],
+        mram_size: 8 << 20,
+        ..PimConfig::small()
+    });
+    Checksum::register(&machine);
+    let driver = Arc::new(UpmemDriver::new(machine));
+
+    let file_bytes = 2 << 20; // a 2 MiB "file" per DPU
+    let dpus = 16;
+
+    // Native baseline.
+    let (native_total, native_value) = {
+        let mut set = DpuSet::alloc_native(&driver, dpus, CostModel::default()).expect("alloc");
+        let run = Checksum::run(&mut set, file_bytes, 42).expect("checksum");
+        assert!(run.verified);
+        (set.timeline().app_total(), run.value)
+    };
+    println!("native checksum: {native_value:#010x} in {native_total}");
+
+    // The same demo, unmodified, inside VMs of three vPIM variants.
+    for variant in [Variant::VpimRust, Variant::VpimC, Variant::Vpim] {
+        let sys = VpimSystem::start(driver.clone(), VpimConfig::variant_config(variant));
+        let vm = sys.launch_vm("checksum-vm", 1).expect("vm");
+        let mut set = DpuSet::alloc_vm(vm.frontends(), dpus, CostModel::default()).expect("alloc");
+        let run = Checksum::run(&mut set, file_bytes, 42).expect("checksum");
+        assert!(run.verified && run.value == native_value);
+        let tl = set.take_timeline();
+        println!(
+            "\n{variant} (overhead {:.2}x, {} messages)",
+            tl.app_total().ratio(native_total),
+            tl.messages()
+        );
+        println!(
+            "  app-centric:    CPU-DPU {} | DPU {} | Inter-DPU {} | DPU-CPU {}",
+            tl.app(AppSegment::CpuToDpu),
+            tl.app(AppSegment::Dpu),
+            tl.app(AppSegment::InterDpu),
+            tl.app(AppSegment::DpuToCpu),
+        );
+        println!(
+            "  driver-centric: CI {} | R-rank {} | W-rank {}",
+            tl.driver(DriverSegment::Ci),
+            tl.driver(DriverSegment::ReadRank),
+            tl.driver(DriverSegment::WriteRank),
+        );
+        drop(set);
+        drop(vm);
+        sys.shutdown();
+    }
+}

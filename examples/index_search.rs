@@ -1,0 +1,64 @@
+//! The Wikipedia-style index search (§5.3.2) on a vPIM VM: builds a
+//! synthetic corpus, shards its inverted index across DPUs, and streams
+//! query batches through the virtualized device.
+//!
+//! ```text
+//! cargo run --example index_search
+//! ```
+
+use std::sync::Arc;
+
+use microbench::{IndexSearch, IndexSearchParams};
+use simkit::CostModel;
+use upmem_driver::UpmemDriver;
+use upmem_sdk::DpuSet;
+use upmem_sim::{PimConfig, PimMachine};
+use vpim::{VpimConfig, VpimSystem};
+
+fn main() {
+    let machine = PimMachine::new(PimConfig {
+        ranks: 2,
+        functional_dpus: vec![16, 16],
+        mram_size: 8 << 20,
+        ..PimConfig::small()
+    });
+    IndexSearch::register(&machine);
+    let driver = Arc::new(UpmemDriver::new(machine));
+
+    let params = IndexSearchParams {
+        n_docs: 430,
+        doc_len: 128,
+        vocab: 1024,
+        n_queries: 96,
+        batch: 32,
+    };
+    println!(
+        "corpus: {} docs x {} words, vocab {}, {} queries in batches of {}",
+        params.n_docs, params.doc_len, params.vocab, params.n_queries, params.batch
+    );
+
+    for dpus in [4usize, 16, 32] {
+        // Native.
+        let (native_hits, native_t) = {
+            let mut set =
+                DpuSet::alloc_native(&driver, dpus, CostModel::default()).expect("alloc");
+            let run = IndexSearch::run(&mut set, &params, 42).expect("search");
+            assert!(run.verified);
+            (run.total_hits, set.timeline().app_total())
+        };
+        // vPIM.
+        let sys = VpimSystem::start(driver.clone(), VpimConfig::full());
+        let vm = sys.launch_vm("search-vm", dpus.div_ceil(16)).expect("vm");
+        let mut set = DpuSet::alloc_vm(vm.frontends(), dpus, CostModel::default()).expect("alloc");
+        let run = IndexSearch::run(&mut set, &params, 42).expect("search");
+        assert!(run.verified && run.total_hits == native_hits);
+        let virt_t = set.timeline().app_total();
+        println!(
+            "{dpus:>3} DPUs: {native_hits:>4} hits | native {native_t} | vPIM {virt_t} | overhead {:.2}x",
+            virt_t.ratio(native_t)
+        );
+        drop(set);
+        drop(vm);
+        sys.shutdown();
+    }
+}

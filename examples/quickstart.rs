@@ -1,0 +1,115 @@
+//! Quickstart: the paper's Fig. 2 example — count the zeroes in an array —
+//! written once and run on both transports.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use std::sync::Arc;
+
+use simkit::{AppSegment, CostModel};
+use upmem_driver::UpmemDriver;
+use upmem_sdk::DpuSet;
+use upmem_sim::dpu::MRAM_HEAP_BASE;
+use upmem_sim::error::DpuFault;
+use upmem_sim::kernel::{DpuKernel, KernelImage, SymbolDef};
+use upmem_sim::{DpuContext, PimConfig, PimMachine};
+use vpim::{VpimConfig, VpimSystem};
+
+/// The DPU-side program of Fig. 2(b): each tasklet scans its slice of the
+/// partition and accumulates into the `zero_count` host variable.
+struct CountZeroes;
+
+impl DpuKernel for CountZeroes {
+    fn image(&self) -> KernelImage {
+        KernelImage::new("count_zeroes", 2 << 10)
+            .with_symbol(SymbolDef::u32("zero_count"))
+            .with_symbol(SymbolDef::u32("partition_size"))
+    }
+
+    fn run(&self, ctx: &mut DpuContext<'_>) -> Result<(), DpuFault> {
+        let n = ctx.host_u32("partition_size")? as usize;
+        let tasklets = ctx.nr_tasklets();
+        ctx.parallel(|t| {
+            let per = n.div_ceil(tasklets);
+            let lo = (t.id() * per).min(n);
+            let hi = ((t.id() + 1) * per).min(n);
+            if lo >= hi {
+                return Ok(());
+            }
+            t.wram_alloc((hi - lo) * 4)?;
+            let mut buf = vec![0u32; hi - lo];
+            t.mram_read_u32s(MRAM_HEAP_BASE + (lo * 4) as u64, &mut buf)?;
+            let zeroes = buf.iter().filter(|v| **v == 0).count() as u32;
+            t.charge(3 * (hi - lo) as u64);
+            t.add_host_u32("zero_count", zeroes)?;
+            Ok(())
+        })
+    }
+}
+
+/// The host-side program of Fig. 2(a), against the SDK mirror.
+fn count_zero(set: &mut DpuSet, array: &[u32]) -> u32 {
+    let nr_dpus = set.nr_dpus();
+    let each = array.len() / nr_dpus;
+    set.load("count_zeroes").expect("load DPU program");
+
+    set.set_segment(AppSegment::CpuToDpu);
+    let bufs: Vec<Vec<u8>> = (0..nr_dpus)
+        .map(|d| {
+            array[d * each..(d + 1) * each]
+                .iter()
+                .flat_map(|v| v.to_le_bytes())
+                .collect()
+        })
+        .collect();
+    for d in 0..nr_dpus {
+        set.set_symbol_u32(d, "partition_size", each as u32).expect("xfer parameter");
+        set.set_symbol_u32(d, "zero_count", 0).expect("reset accumulator");
+    }
+    set.push_to_heap(0, &bufs).expect("transfer data");
+
+    set.set_segment(AppSegment::Dpu);
+    set.launch(16).expect("launch DPU program");
+
+    set.set_segment(AppSegment::DpuToCpu);
+    (0..nr_dpus)
+        .map(|d| set.symbol_u32(d, "zero_count").expect("copy result to CPU"))
+        .sum()
+}
+
+fn main() {
+    // A host with two small ranks; register the DPU "binary".
+    let machine = PimMachine::new(PimConfig::small());
+    machine.register_kernel(Arc::new(CountZeroes));
+    let driver = Arc::new(UpmemDriver::new(machine));
+
+    // The input: every fourth element is zero.
+    let array: Vec<u32> = (0..64 * 1024u32).map(|i| if i % 4 == 0 { 0 } else { i }).collect();
+    let expected = array.iter().filter(|v| **v == 0).count() as u32;
+
+    // --- Native execution (performance mode, the paper's baseline).
+    let native = {
+        let mut set = DpuSet::alloc_native(&driver, 8, CostModel::default()).expect("alloc");
+        let zeroes = count_zero(&mut set, &array);
+        println!("native: {zeroes} zeroes in {} (expected {expected})", set.timeline().app_total());
+        assert_eq!(zeroes, expected);
+        set.timeline().app_total()
+    };
+
+    // --- The same code inside a vPIM VM.
+    let sys = VpimSystem::start(driver, VpimConfig::full());
+    let vm = sys.launch_vm("quickstart-vm", 1).expect("launch VM");
+    let mut set = DpuSet::alloc_vm(vm.frontends(), 8, CostModel::default()).expect("alloc");
+    let zeroes = count_zero(&mut set, &array);
+    let virt = set.timeline().app_total();
+    println!(
+        "vPIM:   {zeroes} zeroes in {virt} ({} guest<->VMM messages, overhead {:.2}x)",
+        set.timeline().messages(),
+        virt.ratio(native)
+    );
+    assert_eq!(zeroes, expected);
+    drop(set);
+    drop(vm);
+    sys.shutdown();
+}

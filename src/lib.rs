@@ -1,0 +1,22 @@
+//! # vpim-system — workspace umbrella for the vPIM reproduction
+//!
+//! This crate hosts the cross-crate integration tests (`tests/`) and the
+//! runnable examples (`examples/`). The substance lives in the member
+//! crates:
+//!
+//! * [`upmem_sim`] — the UPMEM hardware simulator,
+//! * [`upmem_driver`] — the host kernel driver model,
+//! * [`pim_virtio`] / [`pim_vmm`] — the virtio + Firecracker substrate,
+//! * [`vpim`] — the paper's contribution (frontend, backend, manager),
+//! * [`upmem_sdk`] — the host SDK mirror,
+//! * [`prim`] / [`microbench`] — the evaluation workloads.
+
+pub use microbench;
+pub use pim_virtio;
+pub use pim_vmm;
+pub use prim;
+pub use simkit;
+pub use upmem_driver;
+pub use upmem_sdk;
+pub use upmem_sim;
+pub use vpim;

