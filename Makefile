@@ -1,0 +1,24 @@
+# Convenience targets; all of them work offline (deps are vendored, see
+# vendor/ and .cargo/config.toml).
+
+.PHONY: tier1 build test figures bench clean
+
+# The repo's tier-1 gate (ROADMAP.md): release build + full test suite.
+tier1:
+	sh ci/offline-gate.sh
+
+build:
+	cargo build --offline --workspace
+
+test:
+	cargo test --offline -q
+
+# Regenerate the paper's tables and figures (quick scale).
+figures:
+	cargo run --release --offline -p vpim-bench --bin figures
+
+bench:
+	cargo bench --offline -p vpim-bench
+
+clean:
+	cargo clean

@@ -75,6 +75,16 @@ fn bench_small_write_ablation(c: &mut Criterion) {
                 }
             });
         });
+        // The telemetry registry is the source of truth for what the
+        // variant actually did — merges collapse messages when batching is
+        // on, and stay at zero when it is off.
+        let snap = sys.registry().snapshot();
+        eprintln!(
+            "small_writes_x128/{label}: {} appends, {} merges, {} vmexits",
+            snap.count("frontend.batch.appends"),
+            snap.count("frontend.batch.merges"),
+            snap.count("vmm.vmexits"),
+        );
         drop(set);
         drop(vm);
         sys.shutdown();
@@ -101,6 +111,13 @@ fn bench_small_read_ablation(c: &mut Criterion) {
                 }
             });
         });
+        let snap = sys.registry().snapshot();
+        eprintln!(
+            "small_reads_x128/{label}: {} prefetch hits, {} misses, {} IRQs",
+            snap.count("frontend.prefetch.hits"),
+            snap.count("frontend.prefetch.misses"),
+            snap.count("virtio.irq.injections"),
+        );
         drop(set);
         drop(vm);
         sys.shutdown();

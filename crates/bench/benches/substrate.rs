@@ -100,6 +100,7 @@ fn bench_wire_codec(c: &mut Criterion) {
     });
     let resp = Response {
         status: 0,
+        kind: 0,
         error: String::new(),
         deser_ns: 1,
         translate_ns: 2,

@@ -4,7 +4,8 @@
 //! Usage: figures [--paper] [EXPERIMENT...]
 //!
 //! Experiments: table1 table2 fig8 fig9 fig10 fig11 fig12 fig13 fig14
-//!              fig15 boot manager memovh ablations summary all quick
+//!              fig15 boot manager memovh ablations metrics summary all
+//!              quick
 //!
 //! `quick` (the default) runs everything except the long Fig. 8 full sweep
 //! (it runs Fig. 8 on a representative application subset). `all` runs the
@@ -95,6 +96,10 @@ fn main() {
     }
     if run("memovh") {
         println!("{}", render::memovh());
+    }
+    if run("metrics") {
+        eprintln!("[running metrics dump...]");
+        println!("{}", render::metrics_dump(&experiments::metrics_dump(&env)));
     }
     if run("ablations") {
         eprintln!("[running ablations...]");

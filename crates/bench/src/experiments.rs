@@ -1,6 +1,6 @@
 //! One function per table/figure of the paper's evaluation.
 
-use simkit::{stats, Timeline, VirtualNanos};
+use simkit::{stats, MetricsSnapshot, Timeline, VirtualNanos};
 use upmem_sdk::DpuSet;
 use vpim::Variant;
 
@@ -133,6 +133,29 @@ fn checksum_vpim(env: &BenchEnv, variant: Variant, dpus: usize, bytes: usize) ->
     tl
 }
 
+/// Like [`checksum_vpim`], but the run's segment timeline is flushed into
+/// the system's [`simkit::MetricsRegistry`] and the *whole* registry — the
+/// timeline plus every layer's counters (prefetch, batching, vmexits, IRQs,
+/// manager transitions) — comes back as one snapshot. Fig. 12/13 render
+/// from this instead of scraping the `Timeline` struct.
+fn checksum_vpim_metrics(
+    env: &BenchEnv,
+    variant: Variant,
+    dpus: usize,
+    bytes: usize,
+) -> MetricsSnapshot {
+    let (sys, vm) = env.vpim_vm(variant, dpus).expect("vpim vm");
+    let mut set = env.vm_set(&vm, dpus).expect("vm alloc");
+    let run = Checksum::run(&mut set, bytes, 42).expect("checksum");
+    assert!(run.verified);
+    set.take_timeline().flush_into(sys.registry(), "");
+    let snap = sys.registry().snapshot();
+    drop(set);
+    drop(vm);
+    sys.shutdown();
+    snap
+}
+
 /// Fig. 9: checksum sensitivity to (a) vCPUs, (b) DPUs, (c) transfer size.
 #[derive(Debug, Clone)]
 pub struct Fig9 {
@@ -259,25 +282,34 @@ pub fn fig11(env: &BenchEnv) -> Fig11 {
 }
 
 /// Fig. 12: driver-centric breakdown (CI / R-rank / W-rank) for vPIM-rust
-/// vs full vPIM — checksum, 60 DPUs, 8 MB.
+/// vs full vPIM — checksum, 60 DPUs, 8 MB. Each row is a full telemetry
+/// snapshot; the renderer reads the `driver.*` segment metrics.
 #[must_use]
-pub fn fig12(env: &BenchEnv) -> Vec<(Variant, Timeline)> {
+pub fn fig12(env: &BenchEnv) -> Vec<(Variant, MetricsSnapshot)> {
     let bytes = env.scale().mb(8);
     [Variant::VpimRust, Variant::Vpim]
         .into_iter()
-        .map(|v| (v, checksum_vpim(env, v, 60, bytes)))
+        .map(|v| (v, checksum_vpim_metrics(env, v, 60, bytes)))
         .collect()
 }
 
 /// Fig. 13: write-to-rank step breakdown (Page/Ser/Int/Deser/T-data) for
-/// the two data paths — checksum, 60 DPUs, 8 MB.
+/// the two data paths — checksum, 60 DPUs, 8 MB. Each row is a full
+/// telemetry snapshot; the renderer reads the `write.*` step metrics.
 #[must_use]
-pub fn fig13(env: &BenchEnv) -> Vec<(Variant, Timeline)> {
+pub fn fig13(env: &BenchEnv) -> Vec<(Variant, MetricsSnapshot)> {
     let bytes = env.scale().mb(8);
     [Variant::VpimRust, Variant::VpimC]
         .into_iter()
-        .map(|v| (v, checksum_vpim(env, v, 60, bytes)))
+        .map(|v| (v, checksum_vpim_metrics(env, v, 60, bytes)))
         .collect()
+}
+
+/// `figures metrics`: one full-vPIM checksum run, returned as the complete
+/// telemetry registry snapshot (every metric of every layer by name).
+#[must_use]
+pub fn metrics_dump(env: &BenchEnv) -> MetricsSnapshot {
+    checksum_vpim_metrics(env, Variant::Vpim, 60, env.scale().mb(8))
 }
 
 /// Fig. 14: NW under the optimization ladder (vPIM-C, +P, +B, +PB), plus
@@ -526,12 +558,7 @@ pub fn ablation_prefetch_pages(env: &BenchEnv) -> Vec<(usize, VirtualNanos, u64)
     [0usize, 4, 16, 64]
         .into_iter()
         .map(|pages| {
-            let mut cfg = vpim::VpimConfig::full();
-            if pages == 0 {
-                cfg.prefetch_cache = false;
-            } else {
-                cfg.prefetch_pages_per_dpu = pages;
-            }
+            let cfg = vpim::VpimConfig::builder().prefetch_pages(pages).build();
             let sys = vpim::VpimSystem::start_with(
                 env.driver().clone(),
                 cfg,
@@ -569,12 +596,7 @@ pub fn ablation_batch_pages(env: &BenchEnv) -> Vec<(usize, VirtualNanos, u64)> {
     [0usize, 16, 64, 256]
         .into_iter()
         .map(|pages| {
-            let mut cfg = vpim::VpimConfig::full();
-            if pages == 0 {
-                cfg.request_batching = false;
-            } else {
-                cfg.batch_pages_per_dpu = pages;
-            }
+            let cfg = vpim::VpimConfig::builder().batch_pages(pages).build();
             let sys = vpim::VpimSystem::start_with(
                 env.driver().clone(),
                 cfg,

@@ -1,7 +1,9 @@
 //! Text rendering of experiment results (the figures as tables).
 
 use simkit::stats::TextTable;
-use simkit::{AppSegment, DriverSegment, Timeline, VirtualNanos, WriteStep};
+use simkit::{
+    AppSegment, DriverSegment, MetricValue, MetricsSnapshot, Timeline, VirtualNanos, WriteStep,
+};
 
 use crate::experiments::{Fig11, Fig14, Fig15, Fig8Row, ManagerReport, OverheadSummary};
 
@@ -189,9 +191,10 @@ pub fn fig11(f: &Fig11) -> String {
     out
 }
 
-/// Renders Fig. 12 (driver-centric breakdown).
+/// Renders Fig. 12 (driver-centric breakdown) from telemetry snapshots,
+/// reading the `driver.*` segment metrics by name.
 #[must_use]
-pub fn fig12(rows: &[(vpim::Variant, Timeline)]) -> String {
+pub fn fig12(rows: &[(vpim::Variant, MetricsSnapshot)]) -> String {
     let mut t = TextTable::new(vec![
         "variant".into(),
         "CI(ms)".into(),
@@ -199,13 +202,17 @@ pub fn fig12(rows: &[(vpim::Variant, Timeline)]) -> String {
         "W-rank(ms)".into(),
         "total(ms)".into(),
     ]);
-    for (v, tl) in rows {
+    for (v, snap) in rows {
+        let total = DriverSegment::ALL
+            .iter()
+            .map(|s| snap.time(s.metric_name()))
+            .fold(VirtualNanos::ZERO, |a, d| a + d);
         t.row(vec![
             v.label().into(),
-            ms(tl.driver(DriverSegment::Ci)),
-            ms(tl.driver(DriverSegment::ReadRank)),
-            ms(tl.driver(DriverSegment::WriteRank)),
-            ms(tl.driver_total()),
+            ms(snap.time(DriverSegment::Ci.metric_name())),
+            ms(snap.time(DriverSegment::ReadRank.metric_name())),
+            ms(snap.time(DriverSegment::WriteRank.metric_name())),
+            ms(total),
         ]);
     }
     format!(
@@ -214,9 +221,10 @@ pub fn fig12(rows: &[(vpim::Variant, Timeline)]) -> String {
     )
 }
 
-/// Renders Fig. 13 (write-to-rank step breakdown).
+/// Renders Fig. 13 (write-to-rank step breakdown) from telemetry
+/// snapshots, reading the `write.*` step metrics by name.
 #[must_use]
-pub fn fig13(rows: &[(vpim::Variant, Timeline)]) -> String {
+pub fn fig13(rows: &[(vpim::Variant, MetricsSnapshot)]) -> String {
     let mut t = TextTable::new(vec![
         "variant".into(),
         "Page(ms)".into(),
@@ -226,21 +234,46 @@ pub fn fig13(rows: &[(vpim::Variant, Timeline)]) -> String {
         "T-data(ms)".into(),
         "T-data share".into(),
     ]);
-    for (v, tl) in rows {
-        let total = tl.write_total();
-        let tdata = tl.write_step(WriteStep::TransferData);
+    for (v, snap) in rows {
+        let total = WriteStep::ALL
+            .iter()
+            .map(|s| snap.time(s.metric_name()))
+            .fold(VirtualNanos::ZERO, |a, d| a + d);
+        let tdata = snap.time(WriteStep::TransferData.metric_name());
         t.row(vec![
             v.label().into(),
-            ms(tl.write_step(WriteStep::PageMgmt)),
-            ms(tl.write_step(WriteStep::Serialize)),
-            ms(tl.write_step(WriteStep::Interrupt)),
-            ms(tl.write_step(WriteStep::Deserialize)),
+            ms(snap.time(WriteStep::PageMgmt.metric_name())),
+            ms(snap.time(WriteStep::Serialize.metric_name())),
+            ms(snap.time(WriteStep::Interrupt.metric_name())),
+            ms(snap.time(WriteStep::Deserialize.metric_name())),
             ms(tdata),
             format!("{:.1}%", 100.0 * tdata.ratio(total)),
         ]);
     }
     format!(
         "Fig. 13: write-to-rank step breakdown (checksum, 60 DPUs, 8 MB)\n{}",
+        t.render()
+    )
+}
+
+/// Renders a full registry snapshot as a sorted `name = value` listing
+/// (the `figures metrics` dump).
+#[must_use]
+pub fn metrics_dump(snap: &MetricsSnapshot) -> String {
+    let mut t = TextTable::new(vec!["metric".into(), "value".into()]);
+    for (name, value) in snap.iter() {
+        let rendered = match value {
+            MetricValue::Count(n) => n.to_string(),
+            MetricValue::Level(l) => l.to_string(),
+            MetricValue::Time(d) => format!("{} ms", ms(*d)),
+            MetricValue::Histogram { count, total, .. } => {
+                format!("{count} events, {} ms total", ms(*total))
+            }
+        };
+        t.row(vec![name.into(), rendered]);
+    }
+    format!(
+        "Telemetry registry after one full-vPIM checksum (60 DPUs, 8 MB)\n{}",
         t.render()
     )
 }

@@ -9,14 +9,13 @@
 
 pub mod datapath;
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, MutexGuard};
 use pim_virtio::queue::DescChain;
 use pim_virtio::{Gpa, GuestMemory};
 use simkit::compose::pool_schedule;
-use simkit::{CostModel, VirtualNanos};
+use simkit::{CostModel, Counter, HasErrorKind, MetricsRegistry, VirtualNanos};
 use upmem_driver::{PerfMapping, UpmemDriver};
 
 use crate::config::VpimConfig;
@@ -36,15 +35,28 @@ pub const STATUS_NOT_LINKED: u32 = 3;
 /// Response status: malformed request.
 pub const STATUS_BAD: u32 = 4;
 
-/// Request counters (telemetry for tests and figures).
-#[derive(Debug, Default)]
+/// Request counters (telemetry for tests and figures). The cells are
+/// registry-owned ([`MetricsRegistry::counter`]), so every backend sharing a
+/// registry aggregates into `backend.writes` / `backend.reads` /
+/// `backend.ci`.
+#[derive(Debug)]
 pub struct BackendCounters {
     /// `write-to-rank` requests processed.
-    pub writes: AtomicU64,
+    pub writes: Counter,
     /// `read-from-rank` requests processed.
-    pub reads: AtomicU64,
+    pub reads: Counter,
     /// CI-class requests processed (load, launch, poll, symbols).
-    pub ci: AtomicU64,
+    pub ci: Counter,
+}
+
+impl BackendCounters {
+    fn from_registry(registry: &MetricsRegistry) -> Self {
+        BackendCounters {
+            writes: registry.counter("backend.writes"),
+            reads: registry.counter("backend.reads"),
+            ci: registry.counter("backend.ci"),
+        }
+    }
 }
 
 /// The per-device backend.
@@ -61,7 +73,8 @@ pub struct Backend {
 
 impl Backend {
     /// Creates a backend for one vUPMEM device owned by `owner` (the VM
-    /// tag; used for manager requests and driver claims).
+    /// tag; used for manager requests and driver claims). Counters go into
+    /// a private registry; use [`Self::with_registry`] to publish them.
     #[must_use]
     pub fn new(
         driver: Arc<UpmemDriver>,
@@ -70,6 +83,21 @@ impl Backend {
         cm: CostModel,
         owner: String,
     ) -> Self {
+        Self::with_registry(driver, manager, vcfg, cm, owner, &MetricsRegistry::new())
+    }
+
+    /// Creates a backend whose request counters live in `registry` (as
+    /// `backend.writes` / `backend.reads` / `backend.ci`, shared with every
+    /// other backend on the same registry).
+    #[must_use]
+    pub fn with_registry(
+        driver: Arc<UpmemDriver>,
+        manager: ManagerClient,
+        vcfg: VpimConfig,
+        cm: CostModel,
+        owner: String,
+        registry: &MetricsRegistry,
+    ) -> Self {
         Backend {
             driver,
             manager,
@@ -77,7 +105,7 @@ impl Backend {
             cm,
             owner,
             perf: Mutex::new(None),
-            counters: BackendCounters::default(),
+            counters: BackendCounters::from_registry(registry),
         }
     }
 
@@ -123,7 +151,7 @@ impl Backend {
     pub fn process(&self, mem: &GuestMemory, chain: &DescChain) -> Response {
         match self.try_process(mem, chain) {
             Ok(resp) => resp,
-            Err(e) => Response::err(classify(&e), e.to_string()),
+            Err(e) => Response::err(classify(&e), e.kind(), e.to_string()),
         }
     }
 
@@ -208,7 +236,7 @@ impl Backend {
         nr_dpus: u32,
         chain: &DescChain,
     ) -> Result<Response, VpimError> {
-        self.counters.writes.fetch_add(1, Ordering::Relaxed);
+        self.counters.writes.inc();
         let matrix = TransferMatrix::deserialize(mem, middle)?;
         if matrix.entries.len() != nr_dpus as usize {
             return Err(VpimError::BadRequest(format!(
@@ -261,7 +289,7 @@ impl Backend {
         nr_dpus: u32,
         chain: &DescChain,
     ) -> Result<Response, VpimError> {
-        self.counters.reads.fetch_add(1, Ordering::Relaxed);
+        self.counters.reads.inc();
         let matrix = TransferMatrix::deserialize(mem, middle)?;
         if matrix.entries.len() != nr_dpus as usize {
             return Err(VpimError::BadRequest(format!(
@@ -310,7 +338,7 @@ impl Backend {
     }
 
     fn handle_load(&self, name: &str, dpus: &[u32]) -> Result<Response, VpimError> {
-        self.counters.ci.fetch_add(1, Ordering::Relaxed);
+        self.counters.ci.inc();
         let guard = self.ensure_linked()?;
         let perf = guard.as_ref().expect("linked above");
         let image = self.driver.machine().registry().get(name)?.image();
@@ -323,7 +351,7 @@ impl Backend {
     }
 
     fn handle_launch(&self, dpus: &[u32], nr_tasklets: u32) -> Result<Response, VpimError> {
-        self.counters.ci.fetch_add(1, Ordering::Relaxed);
+        self.counters.ci.inc();
         let guard = self.ensure_linked()?;
         let perf = guard.as_ref().expect("linked above");
         let list = Self::dpu_list(dpus);
@@ -333,7 +361,7 @@ impl Backend {
     }
 
     fn handle_poll(&self, dpu: u32) -> Result<Response, VpimError> {
-        self.counters.ci.fetch_add(1, Ordering::Relaxed);
+        self.counters.ci.inc();
         let guard = self.ensure_linked()?;
         let perf = guard.as_ref().expect("linked above");
         let status = perf.poll_status(dpu as usize)?;
@@ -354,7 +382,7 @@ impl Backend {
         name: &str,
         len: u32,
     ) -> Result<Response, VpimError> {
-        self.counters.ci.fetch_add(1, Ordering::Relaxed);
+        self.counters.ci.inc();
         let (gpa, blen) = *middle
             .first()
             .ok_or_else(|| VpimError::BadRequest("write-symbol without payload".into()))?;
@@ -369,7 +397,7 @@ impl Backend {
     }
 
     fn handle_scatter(&self, name: &str, entries: &[(u32, u32)]) -> Result<Response, VpimError> {
-        self.counters.ci.fetch_add(1, Ordering::Relaxed);
+        self.counters.ci.inc();
         let guard = self.ensure_linked()?;
         let perf = guard.as_ref().expect("linked above");
         for (dpu, value) in entries {
@@ -382,7 +410,7 @@ impl Backend {
     }
 
     fn handle_read_symbol(&self, dpu: u32, name: &str, len: u32) -> Result<Response, VpimError> {
-        self.counters.ci.fetch_add(1, Ordering::Relaxed);
+        self.counters.ci.inc();
         let guard = self.ensure_linked()?;
         let perf = guard.as_ref().expect("linked above");
         let mut bytes = vec![0u8; len as usize];
@@ -504,8 +532,8 @@ mod tests {
         rml.release();
         rl.release();
 
-        assert_eq!(r.backend.counters().writes.load(Ordering::Relaxed), 1);
-        assert_eq!(r.backend.counters().reads.load(Ordering::Relaxed), 1);
+        assert_eq!(r.backend.counters().writes.get(), 1);
+        assert_eq!(r.backend.counters().reads.get(), 1);
     }
 
     #[test]

@@ -57,6 +57,12 @@ impl std::fmt::Display for Variant {
 
 /// Which vPIM optimizations are enabled (§4, Table 2).
 ///
+/// Construct configurations with [`VpimConfig::builder`] (or the named
+/// shorthands [`full`](VpimConfig::full) /
+/// [`variant_config`](VpimConfig::variant_config)). The fields stay public
+/// for *reading*; mutating them in place is deprecated in favour of the
+/// builder, which keeps the flag set consistent with a Table 2 row.
+///
 /// # Example
 ///
 /// ```
@@ -66,6 +72,8 @@ impl std::fmt::Display for Variant {
 /// assert_eq!(full.variant(), Variant::Vpim);
 /// let rust = VpimConfig::variant_config(Variant::VpimRust);
 /// assert!(!rust.prefetch_cache);
+/// let custom = VpimConfig::builder().prefetch(false).parallel(false).build();
+/// assert_eq!(custom.variant(), Variant::VpimB);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct VpimConfig {
@@ -84,7 +92,99 @@ pub struct VpimConfig {
     pub batch_pages_per_dpu: usize,
 }
 
+/// Fluent constructor for [`VpimConfig`], starting from the fully
+/// optimized configuration. Each setter returns the builder, so a custom
+/// flag set reads as one expression:
+///
+/// ```
+/// use vpim::VpimConfig;
+///
+/// let cfg = VpimConfig::builder()
+///     .prefetch_pages(4)
+///     .batching(false)
+///     .build();
+/// assert!(cfg.prefetch_cache);
+/// assert_eq!(cfg.prefetch_pages_per_dpu, 4);
+/// assert!(!cfg.request_batching);
+/// ```
+#[derive(Debug, Clone)]
+pub struct VpimConfigBuilder {
+    cfg: VpimConfig,
+}
+
+impl VpimConfigBuilder {
+    /// Selects the backend data path ("C Code Enhancement" when
+    /// [`DataPath::Vectorized`]).
+    #[must_use]
+    pub fn data_path(mut self, path: DataPath) -> Self {
+        self.cfg.data_path = path;
+        self
+    }
+
+    /// Enables or disables the frontend prefetch cache.
+    #[must_use]
+    pub fn prefetch(mut self, on: bool) -> Self {
+        self.cfg.prefetch_cache = on;
+        self
+    }
+
+    /// Sets the prefetch cache capacity in pages per DPU (paper: 16) and
+    /// enables the cache; `0` disables it instead.
+    #[must_use]
+    pub fn prefetch_pages(mut self, pages: usize) -> Self {
+        if pages == 0 {
+            self.cfg.prefetch_cache = false;
+        } else {
+            self.cfg.prefetch_cache = true;
+            self.cfg.prefetch_pages_per_dpu = pages;
+        }
+        self
+    }
+
+    /// Enables or disables frontend request batching.
+    #[must_use]
+    pub fn batching(mut self, on: bool) -> Self {
+        self.cfg.request_batching = on;
+        self
+    }
+
+    /// Sets the batch buffer capacity in pages per DPU (paper: 64) and
+    /// enables batching; `0` disables it instead.
+    #[must_use]
+    pub fn batch_pages(mut self, pages: usize) -> Self {
+        if pages == 0 {
+            self.cfg.request_batching = false;
+        } else {
+            self.cfg.request_batching = true;
+            self.cfg.batch_pages_per_dpu = pages;
+        }
+        self
+    }
+
+    /// Enables or disables parallel operation handling across ranks.
+    #[must_use]
+    pub fn parallel(mut self, on: bool) -> Self {
+        self.cfg.parallel_handling = on;
+        self
+    }
+
+    /// Finishes the configuration.
+    #[must_use]
+    pub fn build(self) -> VpimConfig {
+        self.cfg
+    }
+}
+
 impl VpimConfig {
+    /// Starts a [`VpimConfigBuilder`] from the fully optimized
+    /// configuration; switch individual optimizations off from there.
+    #[must_use]
+    pub fn builder() -> VpimConfigBuilder {
+        VpimConfigBuilder {
+            cfg: VpimConfig::full(),
+        }
+    }
+
     /// The fully optimized configuration (`vPIM`).
     #[must_use]
     pub fn full() -> Self {
@@ -101,37 +201,20 @@ impl VpimConfig {
     /// The configuration for a named Table 2 variant.
     #[must_use]
     pub fn variant_config(v: Variant) -> Self {
-        let base = VpimConfig::full();
+        let b = VpimConfig::builder();
         match v {
-            Variant::VpimRust => VpimConfig {
-                data_path: DataPath::Scalar,
-                prefetch_cache: false,
-                request_batching: false,
-                parallel_handling: false,
-                ..base
-            },
-            Variant::VpimC => VpimConfig {
-                prefetch_cache: false,
-                request_batching: false,
-                parallel_handling: false,
-                ..base
-            },
-            Variant::VpimP => VpimConfig {
-                request_batching: false,
-                parallel_handling: false,
-                ..base
-            },
-            Variant::VpimB => VpimConfig {
-                prefetch_cache: false,
-                parallel_handling: false,
-                ..base
-            },
-            Variant::VpimPB | Variant::VpimSeq => VpimConfig {
-                parallel_handling: false,
-                ..base
-            },
-            Variant::Vpim => base,
+            Variant::VpimRust => b
+                .data_path(DataPath::Scalar)
+                .prefetch(false)
+                .batching(false)
+                .parallel(false),
+            Variant::VpimC => b.prefetch(false).batching(false).parallel(false),
+            Variant::VpimP => b.batching(false).parallel(false),
+            Variant::VpimB => b.prefetch(false).parallel(false),
+            Variant::VpimPB | Variant::VpimSeq => b.parallel(false),
+            Variant::Vpim => b,
         }
+        .build()
     }
 
     /// The Table 2 variant this configuration corresponds to (closest named
@@ -227,6 +310,41 @@ mod tests {
         let bytes = cfg.frontend_memory_overhead_per_dpu();
         let mb = bytes as f64 / 1e6;
         assert!((mb - 1.37).abs() < 0.05, "got {mb} MB");
+    }
+
+    #[test]
+    fn builder_defaults_to_full() {
+        assert_eq!(VpimConfig::builder().build(), VpimConfig::full());
+    }
+
+    #[test]
+    fn builder_expresses_every_variant() {
+        // The named Table 2 rows are just builder chains; spot-check the
+        // extremes and one middle row.
+        let rust = VpimConfig::builder()
+            .data_path(DataPath::Scalar)
+            .prefetch(false)
+            .batching(false)
+            .parallel(false)
+            .build();
+        assert_eq!(rust, VpimConfig::variant_config(Variant::VpimRust));
+        let pb = VpimConfig::builder().parallel(false).build();
+        assert_eq!(pb, VpimConfig::variant_config(Variant::VpimPB));
+        assert_eq!(VpimConfig::builder().build(), VpimConfig::variant_config(Variant::Vpim));
+    }
+
+    #[test]
+    fn builder_page_setters_toggle_features() {
+        let off = VpimConfig::builder().prefetch_pages(0).batch_pages(0).build();
+        assert!(!off.prefetch_cache);
+        assert!(!off.request_batching);
+        // Capacities keep their defaults so re-enabling is sane.
+        assert_eq!(off.prefetch_pages_per_dpu, 16);
+        assert_eq!(off.batch_pages_per_dpu, 64);
+        let sized = VpimConfig::builder().prefetch_pages(4).batch_pages(256).build();
+        assert!(sized.prefetch_cache && sized.request_batching);
+        assert_eq!(sized.prefetch_pages_per_dpu, 4);
+        assert_eq!(sized.batch_pages_per_dpu, 256);
     }
 
     #[test]

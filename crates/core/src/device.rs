@@ -30,6 +30,19 @@ impl VupmemDevice {
     /// advertises on the kernel command line.
     #[must_use]
     pub fn new(tag: impl Into<String>, backend: Backend, irq_number: u32) -> Self {
+        Self::with_registry(tag, backend, irq_number, &simkit::MetricsRegistry::new())
+    }
+
+    /// [`new`](Self::new), with the IRQ line's injection count published
+    /// into `registry` as `virtio.irq.injections` (shared with every other
+    /// device on the same registry).
+    #[must_use]
+    pub fn with_registry(
+        tag: impl Into<String>,
+        backend: Backend,
+        irq_number: u32,
+        registry: &simkit::MetricsRegistry,
+    ) -> Self {
         VupmemDevice {
             tag: tag.into(),
             mmio: MmioBlock::new(
@@ -38,7 +51,7 @@ impl VupmemDevice {
                 u32::from(spec::TRANSFERQ_SIZE),
                 vec![0u8; 64],
             ),
-            irq: IrqLine::new(irq_number),
+            irq: IrqLine::with_counter(irq_number, registry.counter("virtio.irq.injections")),
             backend,
             mem: Mutex::new(None),
             transferq: Mutex::new(None),

@@ -4,6 +4,7 @@ use core::fmt;
 
 use pim_virtio::VirtioError;
 use pim_vmm::VmmError;
+use simkit::{ErrorKind, HasErrorKind};
 use upmem_driver::DriverError;
 use upmem_sim::SimError;
 
@@ -31,6 +32,15 @@ pub enum VpimError {
     BadRequest(String),
     /// A transfer exceeded a protocol bound (e.g. > 64 DPUs in a matrix).
     ProtocolViolation(String),
+    /// An error reported by the backend across the virtio transport. The
+    /// structured cause cannot cross the ring, but its [`ErrorKind`] does
+    /// (carried in the status page), so classification survives.
+    Remote {
+        /// The backend-side error class.
+        kind: ErrorKind,
+        /// The backend's rendered error message.
+        message: String,
+    },
 }
 
 impl fmt::Display for VpimError {
@@ -45,6 +55,7 @@ impl fmt::Display for VpimError {
             VpimError::NotLinked => write!(f, "vupmem device is not linked to a physical rank"),
             VpimError::BadRequest(msg) => write!(f, "malformed request: {msg}"),
             VpimError::ProtocolViolation(msg) => write!(f, "protocol violation: {msg}"),
+            VpimError::Remote { message, .. } => write!(f, "backend: {message}"),
         }
     }
 }
@@ -84,6 +95,24 @@ impl From<VmmError> for VpimError {
     }
 }
 
+impl HasErrorKind for VpimError {
+    fn kind(&self) -> ErrorKind {
+        match self {
+            VpimError::Virtio(e) => e.kind(),
+            VpimError::Driver(e) => e.kind(),
+            VpimError::Sim(e) => e.kind(),
+            // The VMM arm carries only a rendered message (transport replies
+            // cross the virtio ring as strings), so classify conservatively.
+            VpimError::Vmm(_) => ErrorKind::Protocol,
+            VpimError::NoRankAvailable => ErrorKind::ResourceExhausted,
+            VpimError::ManagerDown | VpimError::NotLinked => ErrorKind::Unavailable,
+            VpimError::BadRequest(_) => ErrorKind::InvalidInput,
+            VpimError::ProtocolViolation(_) => ErrorKind::Protocol,
+            VpimError::Remote { kind, .. } => *kind,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -96,6 +125,18 @@ mod tests {
         let e: VpimError = SimError::InvalidRank(1).into();
         assert!(e.to_string().contains("hardware"));
         assert!(VpimError::NoRankAvailable.source().is_none());
+    }
+
+    #[test]
+    fn kind_survives_layer_conversions() {
+        let e: VpimError = SimError::MramOutOfBounds { offset: 1, len: 2, capacity: 1 }.into();
+        assert_eq!(e.kind(), ErrorKind::OutOfBounds);
+        let e: VpimError = VirtioError::QueueFull.into();
+        assert_eq!(e.kind(), ErrorKind::ResourceExhausted);
+        let e: VpimError = DriverError::RankInUse { rank: 0, owner: "x".into() }.into();
+        assert_eq!(e.kind(), ErrorKind::Busy);
+        assert_eq!(VpimError::NoRankAvailable.kind(), ErrorKind::ResourceExhausted);
+        assert_eq!(VpimError::ManagerDown.kind(), ErrorKind::Unavailable);
     }
 
     #[test]

@@ -22,7 +22,7 @@ use pim_virtio::mmio::{reg, status as mmio_status};
 use pim_virtio::queue::{DriverQueue, QueueLayout};
 use pim_virtio::{Gpa, GuestMemory};
 use pim_vmm::{EventManager, VirtioDevice};
-use simkit::{CostModel, VirtualNanos, WriteStep};
+use simkit::{CostModel, Counter, Gauge, MetricsRegistry, VirtualNanos, WriteStep};
 use upmem_sim::ci::CiStatus;
 
 use crate::config::VpimConfig;
@@ -44,6 +44,46 @@ struct FrontState {
     batch: BatchBuffer,
 }
 
+/// Registry-owned cells this frontend records into. The prefetch/batch
+/// cells are shared with the (re-creatable) cache structures so counts
+/// survive [`Frontend::initialize`]; the queue-depth gauge tracks in-flight
+/// `transferq` chains for this device.
+#[derive(Debug, Clone)]
+struct FrontMetrics {
+    prefetch_hits: Counter,
+    prefetch_misses: Counter,
+    batch_appends: Counter,
+    batch_merges: Counter,
+    batch_flushes: Counter,
+    queue_depth: Gauge,
+}
+
+impl FrontMetrics {
+    fn from_registry(registry: &MetricsRegistry, device_idx: usize) -> Self {
+        FrontMetrics {
+            prefetch_hits: registry.counter("frontend.prefetch.hits"),
+            prefetch_misses: registry.counter("frontend.prefetch.misses"),
+            batch_appends: registry.counter("frontend.batch.appends"),
+            batch_merges: registry.counter("frontend.batch.merges"),
+            batch_flushes: registry.counter("frontend.batch.flushes"),
+            queue_depth: registry.gauge(&format!("virtio.queue.depth.rank{device_idx}")),
+        }
+    }
+
+    fn prefetch_cache(&self, nr_dpus: usize, pages_per_dpu: usize) -> PrefetchCache {
+        PrefetchCache::new(nr_dpus, pages_per_dpu)
+            .with_counters(self.prefetch_hits.clone(), self.prefetch_misses.clone())
+    }
+
+    fn batch_buffer(&self, nr_dpus: usize, pages_per_dpu: usize) -> BatchBuffer {
+        BatchBuffer::new(nr_dpus, pages_per_dpu).with_counters(
+            self.batch_appends.clone(),
+            self.batch_merges.clone(),
+            self.batch_flushes.clone(),
+        )
+    }
+}
+
 /// The guest-side driver for one vUPMEM device.
 #[derive(Debug)]
 pub struct Frontend {
@@ -54,6 +94,7 @@ pub struct Frontend {
     queue: Mutex<DriverQueue>,
     cm: CostModel,
     vcfg: VpimConfig,
+    metrics: FrontMetrics,
     state: Mutex<FrontState>,
 }
 
@@ -73,6 +114,25 @@ impl Frontend {
         mem: GuestMemory,
         cm: CostModel,
         vcfg: VpimConfig,
+    ) -> Result<Frontend, VpimError> {
+        Self::probe_with_registry(device, device_idx, em, mem, cm, vcfg, &MetricsRegistry::new())
+    }
+
+    /// [`probe`](Self::probe), with prefetch/batch/queue-depth metrics
+    /// published into `registry` (`frontend.prefetch.*`, `frontend.batch.*`,
+    /// `virtio.queue.depth.rank{device_idx}`).
+    ///
+    /// # Errors
+    ///
+    /// Guest memory exhaustion or MMIO errors.
+    pub fn probe_with_registry(
+        device: Arc<VupmemDevice>,
+        device_idx: usize,
+        em: EventManager,
+        mem: GuestMemory,
+        cm: CostModel,
+        vcfg: VpimConfig,
+        registry: &MetricsRegistry,
     ) -> Result<Frontend, VpimError> {
         let m = device.mmio();
         m.write(reg::STATUS, mmio_status::ACKNOWLEDGE)?;
@@ -103,6 +163,7 @@ impl Frontend {
                 | mmio_status::DRIVER_OK,
         )?;
 
+        let metrics = FrontMetrics::from_registry(registry, device_idx);
         Ok(Frontend {
             device,
             device_idx,
@@ -114,9 +175,10 @@ impl Frontend {
             state: Mutex::new(FrontState {
                 nr_dpus: 0,
                 mram_size: 0,
-                prefetch: PrefetchCache::new(0, 0),
-                batch: BatchBuffer::new(0, 0),
+                prefetch: metrics.prefetch_cache(0, 0),
+                batch: metrics.batch_buffer(0, 0),
             }),
+            metrics,
         })
     }
 
@@ -135,9 +197,11 @@ impl Frontend {
         let mut st = self.state.lock();
         st.nr_dpus = cfg.nr_dpus;
         st.mram_size = cfg.mram_size;
-        st.prefetch =
-            PrefetchCache::new(cfg.nr_dpus as usize, self.vcfg.prefetch_pages_per_dpu);
-        st.batch = BatchBuffer::new(cfg.nr_dpus as usize, self.vcfg.batch_pages_per_dpu);
+        st.prefetch = self
+            .metrics
+            .prefetch_cache(cfg.nr_dpus as usize, self.vcfg.prefetch_pages_per_dpu);
+        st.batch =
+            self.metrics.batch_buffer(cfg.nr_dpus as usize, self.vcfg.batch_pages_per_dpu);
         Ok(report)
     }
 
@@ -183,6 +247,13 @@ impl Frontend {
         self.state.lock().batch.stats()
     }
 
+    /// Batch-buffer merges: appends whose target pages were all already
+    /// dirty in the current batch window.
+    #[must_use]
+    pub fn batch_merges(&self) -> u64 {
+        self.metrics.batch_merges.get()
+    }
+
     // ------------------------------------------------------------ transport
 
     fn response_error(resp: &Response) -> VpimError {
@@ -192,7 +263,10 @@ impl Frontend {
             )),
             crate::backend::STATUS_NOT_LINKED => VpimError::NotLinked,
             crate::backend::STATUS_BAD => VpimError::BadRequest(resp.error.clone()),
-            _ => VpimError::Vmm(resp.error.clone()),
+            _ => match simkit::ErrorKind::from_code(resp.kind) {
+                Some(kind) => VpimError::Remote { kind, message: resp.error.clone() },
+                None => VpimError::Vmm(resp.error.clone()),
+            },
         }
     }
 
@@ -212,6 +286,7 @@ impl Frontend {
         bufs.extend_from_slice(extra);
         bufs.push((status_page, 4096, true));
         self.queue.lock().add_chain(&bufs)?;
+        self.metrics.queue_depth.add(1);
 
         // The guest kick: an MMIO write that traps to the VMM.
         self.device.mmio().write(reg::QUEUE_NOTIFY, spec::TRANSFERQ)?;
@@ -228,13 +303,14 @@ impl Frontend {
             .lock()
             .poll_used()?
             .ok_or_else(|| VpimError::Vmm("irq without used entry".to_string()))?;
+        self.metrics.queue_depth.sub(1);
 
         let raw = self.mem.with_slice(status_page, 4096, <[u8]>::to_vec)?;
         let resp = Response::decode(&raw)?;
         self.mem.free_pages_back(&pages)?;
 
         let mut report = OpReport::default();
-        report.messages = 1;
+        report.add_messages(1);
         report.step(WriteStep::Interrupt, self.cm.virtio_round_trip());
         if resp.is_ok() {
             Ok((resp, report))
@@ -268,7 +344,7 @@ impl Frontend {
             let mut st = self.state.lock();
             for (dpu, off, d) in entries {
                 if st.batch.append(*dpu, *off, d) {
-                    report.duration += self.cm.batch_append(d.len() as u64);
+                    report.add_duration(self.cm.batch_append(d.len() as u64));
                 } else {
                     // Same-DPU entries overran the buffer mid-loop: flush
                     // and retry once.
@@ -276,7 +352,7 @@ impl Frontend {
                     report.absorb(&self.flush_batch()?);
                     st = self.state.lock();
                     if st.batch.append(*dpu, *off, d) {
-                        report.duration += self.cm.batch_append(d.len() as u64);
+                        report.add_duration(self.cm.batch_append(d.len() as u64));
                     } else {
                         drop(st);
                         report.absorb(&self.write_direct(&[(*dpu, *off, *d)])?);
@@ -331,8 +407,8 @@ impl Frontend {
                 VirtualNanos::from_nanos(resp.deser_ns + resp.translate_ns),
             );
             r.step(WriteStep::TransferData, VirtualNanos::from_nanos(resp.transfer_ns));
-            r.ddr += VirtualNanos::from_nanos(resp.ddr_ns);
-            r.rank_ops += 1;
+            r.add_ddr(VirtualNanos::from_nanos(resp.ddr_ns));
+            r.add_rank_ops(1);
             meta_lease.release();
             data_lease.release();
             report.absorb(&r);
@@ -375,7 +451,7 @@ impl Frontend {
             // Try the cache.
             let hit = self.state.lock().prefetch.lookup(*dpu as usize, *offset, *len);
             if let Some(data) = hit {
-                report.duration += self.cm.prefetch_hit(*len);
+                report.add_duration(self.cm.prefetch_hit(*len));
                 outputs[i] = Some(data);
                 continue;
             }
@@ -397,7 +473,7 @@ impl Frontend {
                 .lookup(*dpu as usize, *offset, *len)
                 .expect("freshly installed segment must serve the miss");
             drop(st);
-            report.duration += self.cm.prefetch_hit(*len);
+            report.add_duration(self.cm.prefetch_hit(*len));
             outputs[i] = Some(served);
         }
         Ok((
@@ -427,11 +503,11 @@ impl Frontend {
                 VirtualNanos::from_nanos(resp.deser_ns + resp.translate_ns),
             );
             r.step(WriteStep::TransferData, VirtualNanos::from_nanos(resp.transfer_ns));
-            r.ddr += VirtualNanos::from_nanos(resp.ddr_ns);
-            r.rank_ops += 1;
+            r.add_ddr(VirtualNanos::from_nanos(resp.ddr_ns));
+            r.add_rank_ops(1);
             for entry in &matrix.entries {
                 let data = TransferMatrix::gather(&self.mem, entry)?;
-                r.duration += self.cm.memcpy(entry.len);
+                r.add_duration(self.cm.memcpy(entry.len));
                 outputs.push(data);
             }
             meta_lease.release();
@@ -470,7 +546,7 @@ impl Frontend {
         let (resp, rt) =
             self.roundtrip(&Request::Launch { dpus: dpus.to_vec(), nr_tasklets }, &[])?;
         report.absorb(&rt);
-        report.launch_cycles = resp.launch_cycles;
+        report.set_launch_cycles(resp.launch_cycles);
         Ok(report)
     }
 

@@ -7,6 +7,8 @@
 //! the requested address. The cache is invalidated by `write-to-rank`,
 //! program launches, and rank release.
 
+use simkit::Counter;
+
 /// One DPU's cached MRAM segment.
 #[derive(Debug, Clone)]
 struct Segment {
@@ -19,8 +21,8 @@ struct Segment {
 pub struct PrefetchCache {
     capacity_bytes: u64,
     segments: Vec<Option<Segment>>,
-    hits: u64,
-    misses: u64,
+    hits: Counter,
+    misses: Counter,
 }
 
 impl PrefetchCache {
@@ -30,9 +32,19 @@ impl PrefetchCache {
         PrefetchCache {
             capacity_bytes: pages_per_dpu as u64 * 4096,
             segments: vec![None; nr_dpus],
-            hits: 0,
-            misses: 0,
+            hits: Counter::new(),
+            misses: Counter::new(),
         }
+    }
+
+    /// Replaces the hit/miss cells with registry-owned counters (e.g.
+    /// `frontend.prefetch.hits` / `frontend.prefetch.misses`). Counts
+    /// survive cache re-creation because the cells do.
+    #[must_use]
+    pub fn with_counters(mut self, hits: Counter, misses: Counter) -> Self {
+        self.hits = hits;
+        self.misses = misses;
+        self
     }
 
     /// Cache segment size in bytes (the fetch granule).
@@ -60,11 +72,11 @@ impl PrefetchCache {
         });
         match served {
             Some(data) => {
-                self.hits += 1;
+                self.hits.inc();
                 Some(data)
             }
             None => {
-                self.misses += 1;
+                self.misses.inc();
                 None
             }
         }
@@ -87,7 +99,7 @@ impl PrefetchCache {
     /// `(hits, misses)` counters.
     #[must_use]
     pub fn stats(&self) -> (u64, u64) {
-        (self.hits, self.misses)
+        (self.hits.get(), self.misses.get())
     }
 }
 

@@ -61,7 +61,7 @@ pub mod report;
 pub mod spec;
 pub mod system;
 
-pub use config::{Variant, VpimConfig};
+pub use config::{Variant, VpimConfig, VpimConfigBuilder};
 pub use error::VpimError;
 pub use report::OpReport;
 pub use system::{VpimSystem, VpimVm};

@@ -105,10 +105,26 @@ impl std::fmt::Debug for Manager {
 
 impl Manager {
     /// Starts the manager on a host: spawns the worker pool, the sysfs
-    /// observer and the reset worker.
+    /// observer and the reset worker. Telemetry goes into a private
+    /// registry; use [`Self::start_with_registry`] to publish it.
     #[must_use]
     pub fn start(driver: Arc<UpmemDriver>, cm: CostModel, cfg: ManagerConfig) -> Self {
-        let state = Arc::new(TableState::new(driver.clone(), cm));
+        Self::start_with_registry(driver, cm, cfg, &simkit::MetricsRegistry::new())
+    }
+
+    /// [`start`](Self::start), with the rank state machine's transition
+    /// count published into `registry` as `manager.rank_state.transitions`.
+    #[must_use]
+    pub fn start_with_registry(
+        driver: Arc<UpmemDriver>,
+        cm: CostModel,
+        cfg: ManagerConfig,
+        registry: &simkit::MetricsRegistry,
+    ) -> Self {
+        let state = Arc::new(
+            TableState::new(driver.clone(), cm)
+                .with_transition_counter(registry.counter("manager.rank_state.transitions")),
+        );
         let stop = Arc::new(AtomicBool::new(false));
         let (tx, rx): (Sender<Msg>, Receiver<Msg>) = unbounded();
         let (reset_tx, reset_rx) = unbounded::<usize>();
@@ -182,6 +198,12 @@ impl Manager {
     #[must_use]
     pub fn stats(&self) -> ManagerStats {
         self.state.stats()
+    }
+
+    /// Rank state-machine edges walked (NAAV↔ALLO↔NANA, Fig. 5).
+    #[must_use]
+    pub fn state_transitions(&self) -> u64 {
+        self.state.transitions()
     }
 
     /// The modeled duration of one allocation round trip when a NAAV rank

@@ -6,7 +6,7 @@ use std::time::Duration;
 
 use crossbeam::channel::Sender;
 use parking_lot::{Condvar, Mutex};
-use simkit::{CostModel, VirtualNanos};
+use simkit::{CostModel, Counter, VirtualNanos};
 use upmem_driver::{RankStatus, UpmemDriver};
 
 use crate::error::VpimError;
@@ -90,6 +90,8 @@ pub(crate) struct TableState {
     table: Mutex<Table>,
     changed: Condvar,
     stats: Stats,
+    /// NAAV↔ALLO↔NANA edges walked (Fig. 5), one tick per rank per edge.
+    transitions: Counter,
     reset_tx: Mutex<Option<Sender<usize>>>,
 }
 
@@ -112,8 +114,22 @@ impl TableState {
             }),
             changed: Condvar::new(),
             stats: Stats::default(),
+            transitions: Counter::new(),
             reset_tx: Mutex::new(None),
         }
+    }
+
+    /// Replaces the transition cell with a registry-owned counter (e.g.
+    /// `manager.rank_state.transitions`).
+    #[must_use]
+    pub(crate) fn with_transition_counter(mut self, transitions: Counter) -> Self {
+        self.transitions = transitions;
+        self
+    }
+
+    /// State-machine edges walked so far.
+    pub(crate) fn transitions(&self) -> u64 {
+        self.transitions.get()
     }
 
     pub(crate) fn driver(&self) -> &Arc<UpmemDriver> {
@@ -153,6 +169,7 @@ impl TableState {
                 t.entries[i].state = State::Allo { owner: owner.to_string() };
                 t.entries[i].claims_at_alloc = self.driver.sysfs().claim_count(i);
                 t.entries[i].last_owner = Some(owner.to_string());
+                self.transitions.inc(); // NANA -> ALLO
                 self.stats.allocations.fetch_add(1, Ordering::Relaxed);
                 self.stats.reuses.fetch_add(1, Ordering::Relaxed);
                 return Ok(AllocOutcome { rank: i, reused: true });
@@ -166,6 +183,7 @@ impl TableState {
                     t.entries[i].state = State::Allo { owner: owner.to_string() };
                     t.entries[i].claims_at_alloc = self.driver.sysfs().claim_count(i);
                     t.entries[i].last_owner = Some(owner.to_string());
+                    self.transitions.inc(); // NAAV -> ALLO
                     self.stats.allocations.fetch_add(1, Ordering::Relaxed);
                     return Ok(AllocOutcome { rank: i, reused: false });
                 }
@@ -195,9 +213,11 @@ impl TableState {
                     e.state = State::Allo { owner: owner.clone() };
                     e.last_owner = Some(owner.clone());
                     e.claims_at_alloc = claims.saturating_sub(1);
+                    self.transitions.inc(); // NAAV -> ALLO (external claim)
                 }
                 (RankStatus::Free, State::Allo { .. }) if *claims > e.claims_at_alloc => {
                     e.state = State::Nana;
+                    self.transitions.inc(); // ALLO -> NANA (release observed)
                     to_reset.push(i);
                 }
                 _ => {}
@@ -241,6 +261,7 @@ impl TableState {
                     e.resetting = false;
                     if e.state == State::Nana {
                         e.state = State::Naav;
+                        self.transitions.inc(); // NANA -> NAAV (reset done)
                     }
                 }
             }

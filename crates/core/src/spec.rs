@@ -331,6 +331,10 @@ impl Request {
 pub struct Response {
     /// 0 on success; a nonzero code plus `error` text otherwise.
     pub status: u32,
+    /// [`simkit::ErrorKind`] wire code ([`simkit::ErrorKind::code`]) of the
+    /// failure, or 0 on success. Lets the guest recover the error class
+    /// even when the status collapses many causes (e.g. `STATUS_HW`).
+    pub kind: u32,
     /// Human-readable error (empty on success).
     pub error: String,
     /// Backend deserialization time, ns.
@@ -349,12 +353,17 @@ pub struct Response {
 
 impl Response {
     /// Size of the fixed part of the encoding.
-    pub const FIXED_LEN: usize = 4 + 2 + 8 * 5 + 4;
+    pub const FIXED_LEN: usize = 4 + 4 + 2 + 8 * 5 + 4;
 
     /// An error response.
     #[must_use]
-    pub fn err(code: u32, message: impl Into<String>) -> Self {
-        Response { status: code, error: message.into(), ..Response::default() }
+    pub fn err(code: u32, kind: simkit::ErrorKind, message: impl Into<String>) -> Self {
+        Response {
+            status: code,
+            kind: kind.code(),
+            error: message.into(),
+            ..Response::default()
+        }
     }
 
     /// Encodes into the status buffer format.
@@ -362,6 +371,7 @@ impl Response {
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(Self::FIXED_LEN + self.payload.len());
         out.extend_from_slice(&self.status.to_le_bytes());
+        out.extend_from_slice(&self.kind.to_le_bytes());
         put_str(&mut out, &self.error);
         out.extend_from_slice(&self.deser_ns.to_le_bytes());
         out.extend_from_slice(&self.translate_ns.to_le_bytes());
@@ -381,6 +391,7 @@ impl Response {
     pub fn decode(bytes: &[u8]) -> Result<Self, VpimError> {
         let mut pos = 0usize;
         let status = get_u32(bytes, &mut pos)?;
+        let kind = get_u32(bytes, &mut pos)?;
         let error = get_str(bytes, &mut pos)?;
         let get_u64 = |pos: &mut usize| -> Result<u64, VpimError> {
             let raw = bytes
@@ -401,6 +412,7 @@ impl Response {
             .to_vec();
         Ok(Response {
             status,
+            kind,
             error,
             deser_ns,
             translate_ns,
@@ -486,6 +498,7 @@ mod tests {
     fn response_roundtrip_with_payload() {
         let resp = Response {
             status: 0,
+            kind: 0,
             error: String::new(),
             deser_ns: 123,
             translate_ns: 456,
@@ -501,11 +514,15 @@ mod tests {
 
     #[test]
     fn error_response_roundtrip() {
-        let resp = Response::err(7, "mram access out of bounds");
+        let resp = Response::err(7, simkit::ErrorKind::OutOfBounds, "mram access out of bounds");
         let dec = Response::decode(&resp.encode()).unwrap();
         assert!(!dec.is_ok());
         assert_eq!(dec.status, 7);
         assert_eq!(dec.error, "mram access out of bounds");
+        assert_eq!(
+            simkit::ErrorKind::from_code(dec.kind),
+            Some(simkit::ErrorKind::OutOfBounds)
+        );
     }
 
     proptest! {

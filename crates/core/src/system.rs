@@ -4,7 +4,7 @@
 use std::sync::Arc;
 
 use pim_vmm::{BootReport, DispatchMode, Vm, VmConfig};
-use simkit::CostModel;
+use simkit::{CostModel, MetricsRegistry};
 use upmem_driver::UpmemDriver;
 
 use crate::backend::Backend;
@@ -15,13 +15,15 @@ use crate::frontend::Frontend;
 use crate::manager::{Manager, ManagerConfig};
 
 /// A host running vPIM: the driver, the manager daemon, and the knobs every
-/// VM launched on this host inherits.
+/// VM launched on this host inherits. All layers record into one
+/// [`MetricsRegistry`] (see [`Self::registry`]).
 #[derive(Debug)]
 pub struct VpimSystem {
     driver: Arc<UpmemDriver>,
     manager: Option<Manager>,
     vcfg: VpimConfig,
     cm: CostModel,
+    registry: MetricsRegistry,
 }
 
 impl VpimSystem {
@@ -39,8 +41,9 @@ impl VpimSystem {
         cm: CostModel,
         mcfg: ManagerConfig,
     ) -> Self {
-        let manager = Manager::start(driver.clone(), cm.clone(), mcfg);
-        VpimSystem { driver, manager: Some(manager), vcfg, cm }
+        let registry = MetricsRegistry::new();
+        let manager = Manager::start_with_registry(driver.clone(), cm.clone(), mcfg, &registry);
+        VpimSystem { driver, manager: Some(manager), vcfg, cm, registry }
     }
 
     /// The host driver.
@@ -70,6 +73,16 @@ impl VpimSystem {
     #[must_use]
     pub fn cost_model(&self) -> &CostModel {
         &self.cm
+    }
+
+    /// The host-wide metrics registry. Every layer records here:
+    /// `frontend.prefetch.*` and `frontend.batch.*` (guest driver),
+    /// `backend.*` (device model), `manager.rank_state.transitions`,
+    /// `vmm.vmexits`, `virtio.irq.injections`, and the per-device
+    /// `virtio.queue.depth.rank{i}` gauges.
+    #[must_use]
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
     }
 
     /// Launches a microVM with `n_devices` vUPMEM devices and 512 MiB of
@@ -104,21 +117,27 @@ impl VpimSystem {
             .mem_mib(mem_mib)
             .build();
         let mut vm = Vm::new(cfg, dispatch);
+        // Guest kicks from every VM on this host aggregate into one
+        // `vmm.vmexits` cell (install before the manager is cloned below).
+        vm.event_manager_mut()
+            .set_kick_counter(self.registry.counter("vmm.vmexits"));
 
         let manager = self.manager();
         let mut devices = Vec::with_capacity(n_devices);
         for i in 0..n_devices {
-            let backend = Backend::new(
+            let backend = Backend::with_registry(
                 self.driver.clone(),
                 manager.client(),
                 self.vcfg,
                 self.cm.clone(),
                 format!("{tag}/vupmem{i}"),
+                &self.registry,
             );
-            let device = Arc::new(VupmemDevice::new(
+            let device = Arc::new(VupmemDevice::with_registry(
                 format!("{tag}/vupmem{i}"),
                 backend,
                 Vm::irq_number(i),
+                &self.registry,
             ));
             vm.event_manager_mut().register(device.clone());
             devices.push(device);
@@ -128,13 +147,14 @@ impl VpimSystem {
         let em = vm.event_manager().clone();
         let mut frontends = Vec::with_capacity(n_devices);
         for (i, device) in devices.iter().enumerate() {
-            frontends.push(Arc::new(Frontend::probe(
+            frontends.push(Arc::new(Frontend::probe_with_registry(
                 device.clone(),
                 i,
                 em.clone(),
                 vm.memory().clone(),
                 self.cm.clone(),
                 self.vcfg,
+                &self.registry,
             )?));
         }
         // …the VMM boots (devices activate)…
@@ -266,10 +286,95 @@ mod tests {
         let fe = vm.frontend(0);
         let data = vec![0xC3u8; 10_000];
         let report = fe.write_rank(&[(1, 64, &data)]).unwrap();
-        assert!(report.messages >= 1);
+        assert!(report.messages() >= 1);
         let (out, rreport) = fe.read_rank(&[(1, 64, 10_000)]).unwrap();
         assert_eq!(out[0], data);
-        assert!(rreport.duration > simkit::VirtualNanos::ZERO);
+        assert!(rreport.duration() > simkit::VirtualNanos::ZERO);
+        sys.shutdown();
+    }
+
+    #[test]
+    fn registry_records_prefetch_hits_and_misses() {
+        let sys = system();
+        let vm = sys.launch_vm("vm-0", 1).unwrap();
+        let fe = vm.frontend(0);
+        fe.write_rank(&[(0, 0, &[7u8; 256])]).unwrap();
+        // First small read misses (and installs a segment), second hits.
+        let _ = fe.read_rank(&[(0, 0, 64)]).unwrap();
+        let _ = fe.read_rank(&[(0, 64, 64)]).unwrap();
+        let snap = sys.registry().snapshot();
+        assert!(snap.count("frontend.prefetch.misses") >= 1, "{snap:?}");
+        assert!(snap.count("frontend.prefetch.hits") >= 1, "{snap:?}");
+        sys.shutdown();
+    }
+
+    #[test]
+    fn registry_records_batch_merges() {
+        let sys = system();
+        let vm = sys.launch_vm("vm-0", 1).unwrap();
+        let fe = vm.frontend(0);
+        // Two small writes landing on the same MRAM page: the second is a
+        // merge within the batch window.
+        fe.write_rank(&[(0, 0, &[1u8; 128])]).unwrap();
+        fe.write_rank(&[(0, 128, &[2u8; 128])]).unwrap();
+        let snap = sys.registry().snapshot();
+        assert!(snap.count("frontend.batch.appends") >= 2, "{snap:?}");
+        assert_eq!(snap.count("frontend.batch.merges"), 1, "{snap:?}");
+        assert_eq!(fe.batch_merges(), 1);
+        sys.shutdown();
+    }
+
+    #[test]
+    fn registry_records_vmexits() {
+        let sys = system();
+        let vm = sys.launch_vm("vm-0", 1).unwrap();
+        // Initialization alone kicks the device (Configure round trip).
+        let before = sys.registry().snapshot().count("vmm.vmexits");
+        assert!(before >= 1);
+        vm.frontend(0).write_rank(&[(0, 0, &[3u8; 8192])]).unwrap();
+        let after = sys.registry().snapshot().count("vmm.vmexits");
+        assert!(after > before, "write must trap to the VMM ({before} -> {after})");
+        sys.shutdown();
+    }
+
+    #[test]
+    fn registry_records_irq_injections() {
+        let sys = system();
+        let vm = sys.launch_vm("vm-0", 1).unwrap();
+        let before = sys.registry().snapshot().count("virtio.irq.injections");
+        assert!(before >= 1, "configure completion already injected");
+        vm.frontend(0).write_rank(&[(0, 0, &[4u8; 8192])]).unwrap();
+        let after = sys.registry().snapshot().count("virtio.irq.injections");
+        assert!(after > before);
+        sys.shutdown();
+    }
+
+    #[test]
+    fn registry_tracks_queue_depth_per_rank() {
+        let sys = system();
+        let vm = sys.launch_vm("vm-0", 2).unwrap();
+        vm.frontend(1).write_rank(&[(0, 0, &[5u8; 8192])]).unwrap();
+        let snap = sys.registry().snapshot();
+        // The gauge exists per device and is back to zero once every
+        // request completed (requests are synchronous on this path).
+        assert!(snap.get("virtio.queue.depth.rank0").is_some(), "{snap:?}");
+        assert!(snap.get("virtio.queue.depth.rank1").is_some(), "{snap:?}");
+        assert_eq!(snap.level("virtio.queue.depth.rank0"), 0);
+        assert_eq!(snap.level("virtio.queue.depth.rank1"), 0);
+        sys.shutdown();
+    }
+
+    #[test]
+    fn registry_records_rank_state_transitions() {
+        let sys = system();
+        let vm = sys.launch_vm("vm-0", 1).unwrap();
+        // Linking the device walked NAAV -> ALLO.
+        assert!(sys.registry().snapshot().count("manager.rank_state.transitions") >= 1);
+        assert_eq!(
+            sys.manager().state_transitions(),
+            sys.registry().snapshot().count("manager.rank_state.transitions")
+        );
+        drop(vm);
         sys.shutdown();
     }
 

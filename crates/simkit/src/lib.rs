@@ -37,13 +37,20 @@
 
 pub mod compose;
 pub mod cost;
+pub mod error;
 pub mod rng;
 pub mod stats;
+pub mod telemetry;
 pub mod time;
 pub mod timeline;
 
 pub use compose::{parallel, pool, sequential};
 pub use cost::CostModel;
+pub use error::{ErrorKind, HasErrorKind};
 pub use rng::SimRng;
+pub use telemetry::{
+    Counter, Gauge, Instrument, MetricSet, MetricValue, MetricsRegistry, MetricsSnapshot, Span,
+    TimeCounter, VtHistogram,
+};
 pub use time::VirtualNanos;
 pub use timeline::{AppSegment, DriverSegment, Timeline, WriteStep};

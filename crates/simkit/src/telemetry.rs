@@ -1,0 +1,888 @@
+//! Lock-cheap telemetry: a metrics registry, typed instruments, and
+//! hierarchical spans over the virtual clock.
+//!
+//! The vPIM paper argues almost entirely through *event counts and segment
+//! times* — vmexits, IRQ injections, CI operations, prefetch hits, batch
+//! flushes, per-segment durations (Figs. 12–16). This module gives every
+//! layer one uniform way to record and query them:
+//!
+//! * [`MetricsRegistry`] — a shared, cloneable handle to a process-wide (or
+//!   per-system) set of named metrics. Reads and writes on the hot path are
+//!   single atomic operations; the registry lock is only taken when a
+//!   metric handle is first created or a snapshot is taken.
+//! * [`Counter`], [`Gauge`], [`TimeCounter`], [`VtHistogram`] — typed
+//!   instruments. Handles are `Arc`-backed clones of the registered slot,
+//!   so a component can keep a hot local handle and the registry still sees
+//!   every update.
+//! * [`Span`] — a named position in a dot-separated hierarchy
+//!   (`"sdk.launch.driver.ci"`). Recording into a span charges its own
+//!   [`TimeCounter`], bumps its event counter, and feeds its latency
+//!   histogram; `child()` nests one level deeper over the same registry.
+//! * [`MetricSet`] — a small, *unshared* bag of named counts and virtual
+//!   times. Per-operation reports ([`crate::Timeline`], the core crate's
+//!   `OpReport`) are thin views over a `MetricSet`; `flush_into` publishes
+//!   a set into a registry in one call.
+//! * [`Instrument`] — the one trait every layer records through: anything
+//!   that can name its registry gets `count`/`charge`/`observe`/`span` for
+//!   free.
+//!
+//! # Example
+//!
+//! ```
+//! use simkit::telemetry::{Instrument, MetricsRegistry};
+//! use simkit::VirtualNanos;
+//!
+//! struct Frontend {
+//!     reg: MetricsRegistry,
+//! }
+//! impl Instrument for Frontend {
+//!     fn registry(&self) -> &MetricsRegistry {
+//!         &self.reg
+//!     }
+//! }
+//!
+//! let fe = Frontend { reg: MetricsRegistry::new() };
+//! fe.count("frontend.prefetch.hits", 3);
+//! fe.charge("frontend.write", VirtualNanos::from_micros(7));
+//! let snap = fe.registry().snapshot();
+//! assert_eq!(snap.count("frontend.prefetch.hits"), 3);
+//! assert_eq!(snap.time("frontend.write").as_micros(), 7);
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::time::VirtualNanos;
+
+/// A monotonically increasing event counter.
+///
+/// Cloning shares the underlying cell, so the same counter can live in a
+/// component's hot path and in the registry simultaneously.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A fresh, unregistered counter (register it with
+    /// [`MetricsRegistry::bind_counter`] to make it queryable).
+    #[must_use]
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous level that can move both ways (queue depths, pool
+/// occupancy).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// A fresh, unregistered gauge.
+    #[must_use]
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Sets the level.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Moves the level up by `n`.
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Moves the level down by `n`.
+    pub fn sub(&self, n: i64) {
+        self.0.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    #[must_use]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An accumulator of virtual time.
+#[derive(Debug, Clone, Default)]
+pub struct TimeCounter(Arc<AtomicU64>);
+
+impl TimeCounter {
+    /// A fresh, unregistered time counter.
+    #[must_use]
+    pub fn new() -> Self {
+        TimeCounter::default()
+    }
+
+    /// Accumulates a duration (saturating).
+    pub fn add(&self, d: VirtualNanos) {
+        // fetch_update would loop; a relaxed fetch_add is fine because the
+        // only way to overflow u64 nanoseconds is a pre-saturated input,
+        // which VirtualNanos arithmetic already flags upstream.
+        self.0.fetch_add(d.as_nanos(), Ordering::Relaxed);
+    }
+
+    /// Accumulated total.
+    #[must_use]
+    pub fn get(&self) -> VirtualNanos {
+        VirtualNanos::from_nanos(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Number of log2 buckets in a [`VtHistogram`] (covers 1 ns … ~584 years).
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A histogram of virtual-time durations in log2 buckets.
+///
+/// Bucket `i` counts samples with `floor(log2(ns)) == i` (bucket 0 also
+/// takes 0 ns samples). Lock-free: recording is one atomic increment.
+#[derive(Debug, Clone, Default)]
+pub struct VtHistogram(Arc<HistogramCells>);
+
+#[derive(Debug)]
+struct HistogramCells {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    total_ns: AtomicU64,
+}
+
+impl Default for HistogramCells {
+    fn default() -> Self {
+        HistogramCells {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            total_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+impl VtHistogram {
+    /// A fresh, unregistered histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        VtHistogram::default()
+    }
+
+    /// Records one duration sample.
+    pub fn record(&self, d: VirtualNanos) {
+        let ns = d.as_nanos();
+        let bucket = if ns == 0 { 0 } else { 63 - ns.leading_zeros() as usize };
+        self.0.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.0.total_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.0.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Sum of all recorded durations.
+    #[must_use]
+    pub fn total(&self) -> VirtualNanos {
+        VirtualNanos::from_nanos(self.0.total_ns.load(Ordering::Relaxed))
+    }
+
+    /// Mean recorded duration (zero when empty).
+    #[must_use]
+    pub fn mean(&self) -> VirtualNanos {
+        let n = self.count();
+        if n == 0 {
+            VirtualNanos::ZERO
+        } else {
+            self.total() / n
+        }
+    }
+
+    /// Per-bucket counts, `buckets()[i]` covering `[2^i, 2^(i+1)) ns`.
+    #[must_use]
+    pub fn buckets(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        std::array::from_fn(|i| self.0.buckets[i].load(Ordering::Relaxed))
+    }
+
+    /// An upper bound below which `quantile` of the samples fall (bucket
+    /// resolution). Zero when empty.
+    #[must_use]
+    pub fn quantile_upper_bound(&self, quantile: f64) -> VirtualNanos {
+        let counts = self.buckets();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return VirtualNanos::ZERO;
+        }
+        let want = (quantile.clamp(0.0, 1.0) * total as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= want.max(1) {
+                let bound = if i >= 63 { u64::MAX } else { (2u64 << i) - 1 };
+                return VirtualNanos::from_nanos(bound);
+            }
+        }
+        VirtualNanos::MAX
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Slot {
+    Counter(Counter),
+    Gauge(Gauge),
+    Time(TimeCounter),
+    Histogram(VtHistogram),
+}
+
+impl Slot {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Slot::Counter(_) => "counter",
+            Slot::Gauge(_) => "gauge",
+            Slot::Time(_) => "time",
+            Slot::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// The value of one metric in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// An event count.
+    Count(u64),
+    /// An instantaneous level.
+    Level(i64),
+    /// Accumulated virtual time.
+    Time(VirtualNanos),
+    /// Histogram summary: sample count, time total, bucket-resolution p99.
+    Histogram {
+        /// Samples recorded.
+        count: u64,
+        /// Sum of all samples.
+        total: VirtualNanos,
+        /// Bucket-resolution 99th-percentile upper bound.
+        p99: VirtualNanos,
+    },
+}
+
+impl fmt::Display for MetricValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetricValue::Count(n) => write!(f, "{n}"),
+            MetricValue::Level(v) => write!(f, "{v}"),
+            MetricValue::Time(d) => write!(f, "{d}"),
+            MetricValue::Histogram { count, total, p99 } => {
+                write!(f, "n={count} total={total} p99<={p99}")
+            }
+        }
+    }
+}
+
+/// A point-in-time copy of every registered metric, ordered by name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    values: BTreeMap<String, MetricValue>,
+}
+
+impl MetricsSnapshot {
+    /// The value of `name`, if registered.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.values.get(name)
+    }
+
+    /// Counter value of `name` (0 when absent or not a counter).
+    #[must_use]
+    pub fn count(&self, name: &str) -> u64 {
+        match self.values.get(name) {
+            Some(MetricValue::Count(n)) => *n,
+            _ => 0,
+        }
+    }
+
+    /// Gauge level of `name` (0 when absent or not a gauge).
+    #[must_use]
+    pub fn level(&self, name: &str) -> i64 {
+        match self.values.get(name) {
+            Some(MetricValue::Level(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Accumulated time of `name` (zero when absent; histograms report
+    /// their total).
+    #[must_use]
+    pub fn time(&self, name: &str) -> VirtualNanos {
+        match self.values.get(name) {
+            Some(MetricValue::Time(d)) => *d,
+            Some(MetricValue::Histogram { total, .. }) => *total,
+            _ => VirtualNanos::ZERO,
+        }
+    }
+
+    /// Iterates `(name, value)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &MetricValue)> {
+        self.values.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Iterates the metrics under a dot-separated `prefix`.
+    pub fn with_prefix<'a>(
+        &'a self,
+        prefix: &'a str,
+    ) -> impl Iterator<Item = (&'a str, &'a MetricValue)> + 'a {
+        self.iter().filter(move |(name, _)| {
+            name.strip_prefix(prefix)
+                .is_some_and(|rest| rest.is_empty() || rest.starts_with('.'))
+        })
+    }
+
+    /// Number of registered metrics.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no metric is registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+/// A shared, cloneable registry of named metrics.
+///
+/// Creating or looking up a handle takes the registry mutex; recording
+/// through a handle is a single atomic. Names are dot-separated paths
+/// (`"frontend.prefetch.hits"`). Re-requesting a name returns a handle to
+/// the same cell.
+///
+/// # Panics
+///
+/// Requesting an existing name as a *different* instrument type (e.g.
+/// `gauge("x")` after `counter("x")`) panics: two layers disagreeing on a
+/// metric's type is a wiring bug worth failing loudly on.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    slots: Arc<Mutex<BTreeMap<String, Slot>>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    fn slot(&self, name: &str, make: impl FnOnce() -> Slot) -> Slot {
+        let mut slots = self.slots.lock();
+        slots.entry(name.to_string()).or_insert_with(make).clone()
+    }
+
+    /// The counter named `name`, created on first use.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Counter {
+        match self.slot(name, || Slot::Counter(Counter::new())) {
+            Slot::Counter(c) => c,
+            other => panic!("metric {name:?} is a {}, not a counter", other.type_name()),
+        }
+    }
+
+    /// The gauge named `name`, created on first use.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Gauge {
+        match self.slot(name, || Slot::Gauge(Gauge::new())) {
+            Slot::Gauge(g) => g,
+            other => panic!("metric {name:?} is a {}, not a gauge", other.type_name()),
+        }
+    }
+
+    /// The virtual-time accumulator named `name`, created on first use.
+    #[must_use]
+    pub fn time(&self, name: &str) -> TimeCounter {
+        match self.slot(name, || Slot::Time(TimeCounter::new())) {
+            Slot::Time(t) => t,
+            other => panic!("metric {name:?} is a {}, not a time counter", other.type_name()),
+        }
+    }
+
+    /// The histogram named `name`, created on first use.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> VtHistogram {
+        match self.slot(name, || Slot::Histogram(VtHistogram::new())) {
+            Slot::Histogram(h) => h,
+            other => panic!("metric {name:?} is a {}, not a histogram", other.type_name()),
+        }
+    }
+
+    /// Registers an *existing* counter cell under `name`, so a component's
+    /// pre-existing hot counter (an IRQ line's injection count, an event
+    /// manager's kick count) becomes queryable without double bookkeeping.
+    /// Returns the counter actually registered (the existing registration
+    /// wins on name collision).
+    pub fn bind_counter(&self, name: &str, counter: &Counter) -> Counter {
+        match self.slot(name, || Slot::Counter(counter.clone())) {
+            Slot::Counter(c) => c,
+            other => panic!("metric {name:?} is a {}, not a counter", other.type_name()),
+        }
+    }
+
+    /// Registers an existing gauge cell under `name` (see
+    /// [`Self::bind_counter`]).
+    pub fn bind_gauge(&self, name: &str, gauge: &Gauge) -> Gauge {
+        match self.slot(name, || Slot::Gauge(gauge.clone())) {
+            Slot::Gauge(g) => g,
+            other => panic!("metric {name:?} is a {}, not a gauge", other.type_name()),
+        }
+    }
+
+    /// A root [`Span`] named `name`.
+    #[must_use]
+    pub fn span(&self, name: &str) -> Span {
+        Span::new(self.clone(), name.to_string())
+    }
+
+    /// Copies every registered metric into an ordered snapshot.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let slots = self.slots.lock();
+        MetricsSnapshot {
+            values: slots
+                .iter()
+                .map(|(name, slot)| {
+                    let value = match slot {
+                        Slot::Counter(c) => MetricValue::Count(c.get()),
+                        Slot::Gauge(g) => MetricValue::Level(g.get()),
+                        Slot::Time(t) => MetricValue::Time(t.get()),
+                        Slot::Histogram(h) => MetricValue::Histogram {
+                            count: h.count(),
+                            total: h.total(),
+                            p99: h.quantile_upper_bound(0.99),
+                        },
+                    };
+                    (name.clone(), value)
+                })
+                .collect(),
+        }
+    }
+
+    /// Names currently registered, in order.
+    #[must_use]
+    pub fn names(&self) -> Vec<String> {
+        self.slots.lock().keys().cloned().collect()
+    }
+}
+
+/// A named position in the metric hierarchy, recording over the virtual
+/// clock.
+///
+/// A span owns three co-named instruments: `<path>` (a [`TimeCounter`]
+/// holding total charged time), `<path>.events` (a [`Counter`]), and
+/// `<path>.latency` (a [`VtHistogram`] of per-record durations). Children
+/// extend the dotted path, giving `Timeline`-style segment trees:
+///
+/// ```
+/// use simkit::telemetry::MetricsRegistry;
+/// use simkit::VirtualNanos;
+///
+/// let reg = MetricsRegistry::new();
+/// let launch = reg.span("sdk.launch");
+/// let ci = launch.child("ci");
+/// ci.record(VirtualNanos::from_micros(4));
+/// launch.record(VirtualNanos::from_micros(10));
+/// let snap = reg.snapshot();
+/// assert_eq!(snap.time("sdk.launch.ci").as_micros(), 4);
+/// assert_eq!(snap.count("sdk.launch.events"), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Span {
+    registry: MetricsRegistry,
+    path: String,
+    elapsed: TimeCounter,
+    events: Counter,
+    latency: VtHistogram,
+}
+
+impl Span {
+    fn new(registry: MetricsRegistry, path: String) -> Self {
+        let elapsed = registry.time(&path);
+        let events = registry.counter(&format!("{path}.events"));
+        let latency = registry.histogram(&format!("{path}.latency"));
+        Span { registry, path, elapsed, events, latency }
+    }
+
+    /// The dotted path of this span.
+    #[must_use]
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// A child span one level deeper.
+    #[must_use]
+    pub fn child(&self, name: &str) -> Span {
+        Span::new(self.registry.clone(), format!("{}.{name}", self.path))
+    }
+
+    /// Records one event of duration `d` against this span.
+    pub fn record(&self, d: VirtualNanos) {
+        self.elapsed.add(d);
+        self.events.inc();
+        self.latency.record(d);
+    }
+
+    /// Charges time without counting an event (merging a sub-report whose
+    /// events were already counted elsewhere).
+    pub fn charge(&self, d: VirtualNanos) {
+        self.elapsed.add(d);
+    }
+
+    /// Total time charged to this span.
+    #[must_use]
+    pub fn elapsed(&self) -> VirtualNanos {
+        self.elapsed.get()
+    }
+
+    /// Events recorded on this span.
+    #[must_use]
+    pub fn events(&self) -> u64 {
+        self.events.get()
+    }
+}
+
+/// A small, unshared bag of named counts and virtual times — the storage
+/// behind per-operation reports.
+///
+/// Unlike [`MetricsRegistry`] handles, a `MetricSet` is plain data: cheap
+/// to create per operation, cloneable, mergeable, and comparable in tests.
+/// [`Self::flush_into`] publishes it into a registry (counts into
+/// counters, times into time counters) in one call.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricSet {
+    counts: BTreeMap<String, u64>,
+    times: BTreeMap<String, VirtualNanos>,
+}
+
+impl MetricSet {
+    /// An empty set.
+    #[must_use]
+    pub fn new() -> Self {
+        MetricSet::default()
+    }
+
+    /// Adds `n` to the count named `name`.
+    pub fn count(&mut self, name: &str, n: u64) {
+        if n != 0 {
+            *self.counts.entry(name.to_string()).or_insert(0) += n;
+        }
+    }
+
+    /// Adds `d` to the time named `name`.
+    pub fn charge(&mut self, name: &str, d: VirtualNanos) {
+        if d > VirtualNanos::ZERO {
+            let slot = self.times.entry(name.to_string()).or_insert(VirtualNanos::ZERO);
+            *slot += d;
+        }
+    }
+
+    /// Sets the count named `name` (overwrites).
+    pub fn set_count(&mut self, name: &str, n: u64) {
+        if n == 0 {
+            self.counts.remove(name);
+        } else {
+            self.counts.insert(name.to_string(), n);
+        }
+    }
+
+    /// Sets the time named `name` (overwrites).
+    pub fn set_time(&mut self, name: &str, d: VirtualNanos) {
+        if d == VirtualNanos::ZERO {
+            self.times.remove(name);
+        } else {
+            self.times.insert(name.to_string(), d);
+        }
+    }
+
+    /// The count named `name` (0 when absent).
+    #[must_use]
+    pub fn get_count(&self, name: &str) -> u64 {
+        self.counts.get(name).copied().unwrap_or(0)
+    }
+
+    /// The time named `name` (zero when absent).
+    #[must_use]
+    pub fn get_time(&self, name: &str) -> VirtualNanos {
+        self.times.get(name).copied().unwrap_or(VirtualNanos::ZERO)
+    }
+
+    /// Accumulates every count and time of `other` into `self`.
+    pub fn merge(&mut self, other: &MetricSet) {
+        for (name, n) in &other.counts {
+            *self.counts.entry(name.clone()).or_insert(0) += n;
+        }
+        for (name, d) in &other.times {
+            let slot = self.times.entry(name.clone()).or_insert(VirtualNanos::ZERO);
+            *slot += *d;
+        }
+    }
+
+    /// Iterates counts in name order.
+    pub fn counts(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counts.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Iterates times in name order.
+    pub fn times(&self) -> impl Iterator<Item = (&str, VirtualNanos)> {
+        self.times.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Sum of the times under a dot-separated `prefix` (or the exact name).
+    #[must_use]
+    pub fn time_under(&self, prefix: &str) -> VirtualNanos {
+        self.times
+            .iter()
+            .filter(|(name, _)| {
+                name.strip_prefix(prefix)
+                    .is_some_and(|rest| rest.is_empty() || rest.starts_with('.'))
+            })
+            .map(|(_, d)| *d)
+            .sum()
+    }
+
+    /// True when nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty() && self.times.is_empty()
+    }
+
+    /// Publishes every count and time into `registry`, optionally under a
+    /// dotted `prefix`.
+    pub fn flush_into(&self, registry: &MetricsRegistry, prefix: &str) {
+        let full = |name: &str| {
+            if prefix.is_empty() {
+                name.to_string()
+            } else {
+                format!("{prefix}.{name}")
+            }
+        };
+        for (name, n) in &self.counts {
+            registry.counter(&full(name)).add(*n);
+        }
+        for (name, d) in &self.times {
+            registry.time(&full(name)).add(*d);
+        }
+    }
+}
+
+/// The one trait every layer records telemetry through.
+///
+/// Implementors only name their registry; recording methods come for free.
+/// Keeping the trait this small means any component that can reach a
+/// [`MetricsRegistry`] — frontend, backend, manager, device model, event
+/// manager, SDK set — instruments identically.
+pub trait Instrument {
+    /// The registry this component records into.
+    fn registry(&self) -> &MetricsRegistry;
+
+    /// Adds `n` events to the counter `name`.
+    fn count(&self, name: &str, n: u64) {
+        self.registry().counter(name).add(n);
+    }
+
+    /// Charges virtual time to the accumulator `name`.
+    fn charge(&self, name: &str, d: VirtualNanos) {
+        self.registry().time(name).add(d);
+    }
+
+    /// Records a duration sample into the histogram `name`.
+    fn observe(&self, name: &str, d: VirtualNanos) {
+        self.registry().histogram(name).record(d);
+    }
+
+    /// Moves the gauge `name` by `delta` (negative moves down).
+    fn gauge_add(&self, name: &str, delta: i64) {
+        self.registry().gauge(name).add(delta);
+    }
+
+    /// Opens (or re-opens) the span at `name`.
+    fn span(&self, name: &str) -> Span {
+        self.registry().span(name)
+    }
+}
+
+impl Instrument for MetricsRegistry {
+    fn registry(&self) -> &MetricsRegistry {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_handles_share_one_cell() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        a.add(2);
+        b.inc();
+        assert_eq!(reg.snapshot().count("x"), 3);
+    }
+
+    #[test]
+    fn bind_counter_exposes_existing_cell() {
+        let reg = MetricsRegistry::new();
+        let hot = Counter::new();
+        hot.add(5);
+        reg.bind_counter("irq.injections", &hot);
+        hot.add(2);
+        assert_eq!(reg.snapshot().count("irq.injections"), 7);
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("depth");
+        g.add(5);
+        g.sub(2);
+        assert_eq!(reg.snapshot().level("depth"), 3);
+        g.set(-1);
+        assert_eq!(g.get(), -1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a gauge")]
+    fn type_confusion_panics() {
+        let reg = MetricsRegistry::new();
+        let _ = reg.counter("x");
+        let _ = reg.gauge("x");
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = VtHistogram::new();
+        for ns in [1u64, 2, 3, 1000, 1_000_000] {
+            h.record(VirtualNanos::from_nanos(ns));
+        }
+        h.record(VirtualNanos::ZERO);
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.total().as_nanos(), 1_001_006);
+        assert!(h.mean().as_nanos() > 0);
+        // The median sample (3 ns) falls in bucket [2,4).
+        assert!(h.quantile_upper_bound(0.5).as_nanos() <= 7);
+        assert!(h.quantile_upper_bound(1.0).as_nanos() >= 1_000_000);
+        assert_eq!(VtHistogram::new().quantile_upper_bound(0.99), VirtualNanos::ZERO);
+    }
+
+    #[test]
+    fn span_hierarchy_records_time_events_latency() {
+        let reg = MetricsRegistry::new();
+        let launch = reg.span("sdk.launch");
+        let ci = launch.child("ci");
+        ci.record(VirtualNanos::from_micros(4));
+        ci.record(VirtualNanos::from_micros(6));
+        launch.charge(VirtualNanos::from_micros(10));
+        assert_eq!(ci.elapsed().as_micros(), 10);
+        assert_eq!(ci.events(), 2);
+        assert_eq!(launch.events(), 0);
+        let snap = reg.snapshot();
+        assert_eq!(snap.time("sdk.launch.ci").as_micros(), 10);
+        assert_eq!(snap.count("sdk.launch.ci.events"), 2);
+        assert_eq!(snap.time("sdk.launch").as_micros(), 10);
+        match snap.get("sdk.launch.ci.latency") {
+            Some(MetricValue::Histogram { count: 2, .. }) => {}
+            other => panic!("unexpected latency value: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn snapshot_prefix_iteration_is_boundary_aware() {
+        let reg = MetricsRegistry::new();
+        reg.counter("frontend.batch.merges").inc();
+        reg.counter("frontend.batches").inc(); // must NOT match prefix
+        reg.time("frontend.batch.flush").add(VirtualNanos::from_nanos(1));
+        let snap = reg.snapshot();
+        let under: Vec<_> = snap.with_prefix("frontend.batch").map(|(n, _)| n).collect();
+        assert_eq!(under, vec!["frontend.batch.flush", "frontend.batch.merges"]);
+    }
+
+    #[test]
+    fn metric_set_records_merges_and_flushes() {
+        let mut a = MetricSet::new();
+        a.count("messages", 2);
+        a.charge("write.ser", VirtualNanos::from_nanos(100));
+        let mut b = MetricSet::new();
+        b.count("messages", 1);
+        b.charge("write.ser", VirtualNanos::from_nanos(50));
+        b.charge("write.page", VirtualNanos::from_nanos(7));
+        a.merge(&b);
+        assert_eq!(a.get_count("messages"), 3);
+        assert_eq!(a.get_time("write.ser").as_nanos(), 150);
+        assert_eq!(a.time_under("write").as_nanos(), 157);
+
+        let reg = MetricsRegistry::new();
+        a.flush_into(&reg, "op");
+        let snap = reg.snapshot();
+        assert_eq!(snap.count("op.messages"), 3);
+        assert_eq!(snap.time("op.write.page").as_nanos(), 7);
+    }
+
+    #[test]
+    fn metric_set_zero_entries_are_not_stored() {
+        let mut s = MetricSet::new();
+        s.count("a", 0);
+        s.charge("b", VirtualNanos::ZERO);
+        assert!(s.is_empty());
+        s.set_count("c", 3);
+        s.set_count("c", 0);
+        s.set_time("d", VirtualNanos::from_nanos(1));
+        s.set_time("d", VirtualNanos::ZERO);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn instrument_default_methods_record() {
+        struct Layer {
+            reg: MetricsRegistry,
+        }
+        impl Instrument for Layer {
+            fn registry(&self) -> &MetricsRegistry {
+                &self.reg
+            }
+        }
+        let l = Layer { reg: MetricsRegistry::new() };
+        l.count("c", 2);
+        l.charge("t", VirtualNanos::from_nanos(9));
+        l.observe("h", VirtualNanos::from_nanos(4));
+        l.gauge_add("g", -3);
+        l.span("s").record(VirtualNanos::from_nanos(1));
+        let snap = l.reg.snapshot();
+        assert_eq!(snap.count("c"), 2);
+        assert_eq!(snap.time("t").as_nanos(), 9);
+        assert_eq!(snap.level("g"), -3);
+        assert_eq!(snap.count("s.events"), 1);
+    }
+
+    #[test]
+    fn registry_clones_share_slots() {
+        let reg = MetricsRegistry::new();
+        let clone = reg.clone();
+        clone.counter("shared").add(4);
+        assert_eq!(reg.snapshot().count("shared"), 4);
+        assert_eq!(reg.names(), vec!["shared".to_string()]);
+    }
+}

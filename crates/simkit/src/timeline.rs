@@ -15,6 +15,7 @@ use core::fmt;
 
 use serde::{Deserialize, Serialize};
 
+use crate::telemetry::{MetricSet, MetricsRegistry};
 use crate::time::VirtualNanos;
 
 /// Application-centric segment of an UPMEM program's execution.
@@ -50,12 +51,14 @@ impl AppSegment {
         }
     }
 
-    const fn index(self) -> usize {
+    /// The canonical telemetry metric name of this segment.
+    #[must_use]
+    pub const fn metric_name(self) -> &'static str {
         match self {
-            AppSegment::CpuToDpu => 0,
-            AppSegment::Dpu => 1,
-            AppSegment::InterDpu => 2,
-            AppSegment::DpuToCpu => 3,
+            AppSegment::CpuToDpu => "app.cpu_dpu",
+            AppSegment::Dpu => "app.dpu",
+            AppSegment::InterDpu => "app.inter_dpu",
+            AppSegment::DpuToCpu => "app.dpu_cpu",
         }
     }
 }
@@ -92,11 +95,13 @@ impl DriverSegment {
         }
     }
 
-    const fn index(self) -> usize {
+    /// The canonical telemetry metric name of this segment.
+    #[must_use]
+    pub const fn metric_name(self) -> &'static str {
         match self {
-            DriverSegment::Ci => 0,
-            DriverSegment::ReadRank => 1,
-            DriverSegment::WriteRank => 2,
+            DriverSegment::Ci => "driver.ci",
+            DriverSegment::ReadRank => "driver.read_rank",
+            DriverSegment::WriteRank => "driver.write_rank",
         }
     }
 }
@@ -144,13 +149,15 @@ impl WriteStep {
         }
     }
 
-    const fn index(self) -> usize {
+    /// The canonical telemetry metric name of this step.
+    #[must_use]
+    pub const fn metric_name(self) -> &'static str {
         match self {
-            WriteStep::PageMgmt => 0,
-            WriteStep::Serialize => 1,
-            WriteStep::Interrupt => 2,
-            WriteStep::Deserialize => 3,
-            WriteStep::TransferData => 4,
+            WriteStep::PageMgmt => "write.page_mgmt",
+            WriteStep::Serialize => "write.serialize",
+            WriteStep::Interrupt => "write.interrupt",
+            WriteStep::Deserialize => "write.deserialize",
+            WriteStep::TransferData => "write.transfer_data",
         }
     }
 }
@@ -161,11 +168,15 @@ impl fmt::Display for WriteStep {
     }
 }
 
-/// A segmented virtual-time accumulator for one benchmark run.
+/// A segmented virtual-time accumulator for one benchmark run — a typed
+/// view over a [`MetricSet`].
 ///
 /// Both of the paper's breakdowns plus message counters are tracked so a
 /// single run can be rendered as Fig. 8-style (application) or Fig. 12/13
-/// style (driver) output.
+/// style (driver) output. Every charge lands in the underlying metric set
+/// under the segment's [`AppSegment::metric_name`] (and friends), so a
+/// timeline can be published into a [`MetricsRegistry`] wholesale with
+/// [`Timeline::flush_into`] and queried back by name.
 ///
 /// # Example
 ///
@@ -177,17 +188,17 @@ impl fmt::Display for WriteStep {
 /// tl.count_message();
 /// assert_eq!(tl.app(AppSegment::Dpu).as_millis(), 2);
 /// assert_eq!(tl.messages(), 1);
+/// assert_eq!(tl.metrics().get_time("app.dpu").as_millis(), 2);
 /// ```
 #[derive(Debug, Default, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Timeline {
-    app: [VirtualNanos; 4],
-    driver: [VirtualNanos; 3],
-    write_steps: [VirtualNanos; 5],
-    /// Guest↔VMM message exchanges (the paper's key overhead driver).
-    messages: u64,
-    /// Rank operations issued to the hardware.
-    rank_ops: u64,
+    metrics: MetricSet,
 }
+
+/// Metric name of the guest↔VMM message exchange count.
+pub const METRIC_MESSAGES: &str = "messages";
+/// Metric name of the hardware rank-operation count.
+pub const METRIC_RANK_OPS: &str = "rank_ops";
 
 impl Timeline {
     /// Creates an empty timeline.
@@ -198,101 +209,115 @@ impl Timeline {
 
     /// Adds `d` to an application-centric segment.
     pub fn charge_app(&mut self, seg: AppSegment, d: VirtualNanos) {
-        self.app[seg.index()] += d;
+        self.metrics.charge(seg.metric_name(), d);
     }
 
     /// Adds `d` to a driver-centric segment.
     pub fn charge_driver(&mut self, seg: DriverSegment, d: VirtualNanos) {
-        self.driver[seg.index()] += d;
+        self.metrics.charge(seg.metric_name(), d);
     }
 
     /// Adds `d` to a `write-to-rank` step.
     pub fn charge_write_step(&mut self, step: WriteStep, d: VirtualNanos) {
-        self.write_steps[step.index()] += d;
+        self.metrics.charge(step.metric_name(), d);
     }
 
     /// Records one guest↔VMM message exchange.
     pub fn count_message(&mut self) {
-        self.messages += 1;
+        self.metrics.count(METRIC_MESSAGES, 1);
     }
 
     /// Records `n` guest↔VMM message exchanges.
     pub fn add_messages(&mut self, n: u64) {
-        self.messages += n;
+        self.metrics.count(METRIC_MESSAGES, n);
     }
 
     /// Records one rank operation issued to the hardware.
     pub fn count_rank_op(&mut self) {
-        self.rank_ops += 1;
+        self.metrics.count(METRIC_RANK_OPS, 1);
     }
 
     /// Records `n` rank operations.
     pub fn add_rank_ops(&mut self, n: u64) {
-        self.rank_ops += n;
+        self.metrics.count(METRIC_RANK_OPS, n);
     }
 
     /// Accumulated time in one application-centric segment.
     #[must_use]
     pub fn app(&self, seg: AppSegment) -> VirtualNanos {
-        self.app[seg.index()]
+        self.metrics.get_time(seg.metric_name())
     }
 
     /// Accumulated time in one driver-centric segment.
     #[must_use]
     pub fn driver(&self, seg: DriverSegment) -> VirtualNanos {
-        self.driver[seg.index()]
+        self.metrics.get_time(seg.metric_name())
     }
 
     /// Accumulated time in one `write-to-rank` step.
     #[must_use]
     pub fn write_step(&self, step: WriteStep) -> VirtualNanos {
-        self.write_steps[step.index()]
+        self.metrics.get_time(step.metric_name())
     }
 
     /// Total over the application-centric segments — the paper's headline
     /// "execution time".
     #[must_use]
     pub fn app_total(&self) -> VirtualNanos {
-        self.app.iter().copied().sum()
+        self.metrics.time_under("app")
     }
 
     /// Total over the driver-centric segments.
     #[must_use]
     pub fn driver_total(&self) -> VirtualNanos {
-        self.driver.iter().copied().sum()
+        self.metrics.time_under("driver")
     }
 
     /// Total over the `write-to-rank` steps.
     #[must_use]
     pub fn write_total(&self) -> VirtualNanos {
-        self.write_steps.iter().copied().sum()
+        self.metrics.time_under("write")
     }
 
     /// Number of guest↔VMM message exchanges recorded.
     #[must_use]
     pub fn messages(&self) -> u64 {
-        self.messages
+        self.metrics.get_count(METRIC_MESSAGES)
     }
 
     /// Number of rank operations recorded.
     #[must_use]
     pub fn rank_ops(&self) -> u64 {
-        self.rank_ops
+        self.metrics.get_count(METRIC_RANK_OPS)
     }
 
     /// Merges another timeline into this one (summing every bucket).
     pub fn merge(&mut self, other: &Timeline) {
-        for (a, b) in self.app.iter_mut().zip(other.app) {
-            *a += b;
-        }
-        for (a, b) in self.driver.iter_mut().zip(other.driver) {
-            *a += b;
-        }
-        for (a, b) in self.write_steps.iter_mut().zip(other.write_steps) {
-            *a += b;
-        }
-        self.messages += other.messages;
-        self.rank_ops += other.rank_ops;
+        self.metrics.merge(&other.metrics);
+    }
+
+    /// The underlying metric set.
+    #[must_use]
+    pub fn metrics(&self) -> &MetricSet {
+        &self.metrics
+    }
+
+    /// Consumes the timeline, returning its metric set.
+    #[must_use]
+    pub fn into_metrics(self) -> MetricSet {
+        self.metrics
+    }
+
+    /// Publishes every segment and counter into `registry` under `prefix`
+    /// (pass `""` for none).
+    pub fn flush_into(&self, registry: &MetricsRegistry, prefix: &str) {
+        self.metrics.flush_into(registry, prefix);
+    }
+}
+
+impl From<Timeline> for MetricSet {
+    fn from(tl: Timeline) -> MetricSet {
+        tl.into_metrics()
     }
 }
 

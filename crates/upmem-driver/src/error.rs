@@ -2,6 +2,7 @@
 
 use core::fmt;
 
+use simkit::{ErrorKind, HasErrorKind};
 use upmem_sim::SimError;
 
 /// Errors surfaced by the (simulated) kernel driver.
@@ -45,6 +46,15 @@ impl From<SimError> for DriverError {
     }
 }
 
+impl HasErrorKind for DriverError {
+    fn kind(&self) -> ErrorKind {
+        match self {
+            DriverError::RankInUse { .. } => ErrorKind::Busy,
+            DriverError::Sim(e) => e.kind(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -57,5 +67,15 @@ mod tests {
         assert!(e.source().is_none());
         let s: DriverError = SimError::InvalidRank(9).into();
         assert!(s.source().is_some());
+    }
+
+    #[test]
+    fn kind_delegates_through_wrapper() {
+        let e = DriverError::RankInUse { rank: 0, owner: "vm".into() };
+        assert_eq!(e.kind(), ErrorKind::Busy);
+        let s: DriverError = SimError::RankBusy.into();
+        assert_eq!(s.kind(), ErrorKind::Busy);
+        let s: DriverError = SimError::InvalidRank(9).into();
+        assert_eq!(s.kind(), ErrorKind::InvalidInput);
     }
 }

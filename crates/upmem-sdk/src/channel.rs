@@ -30,6 +30,41 @@ impl std::fmt::Debug for RankChannel {
     }
 }
 
+/// One write-side transfer through a [`RankChannel`], in all the shapes
+/// the UPMEM SDK surface produces. [`RankChannel::transfer`] is the single
+/// entry point; the named methods (`write_matrix`, `write_serial`,
+/// `write_symbol`, `scatter_symbol`) are thin wrappers over it.
+#[derive(Debug, Clone, Copy)]
+pub enum Transfer<'a> {
+    /// Parallel `write-to-rank` of per-DPU buffers: `(dpu, offset, data)`.
+    Matrix(&'a [(u32, u64, &'a [u8])]),
+    /// Serial single-DPU write (`dpu_copy_to`).
+    Serial {
+        /// Target DPU index within the rank.
+        dpu: u32,
+        /// MRAM byte offset.
+        offset: u64,
+        /// Bytes to write.
+        data: &'a [u8],
+    },
+    /// Host-symbol write on one DPU.
+    Symbol {
+        /// Target DPU index within the rank.
+        dpu: u32,
+        /// Symbol name in the loaded program.
+        name: &'a str,
+        /// Raw little-endian value bytes.
+        bytes: &'a [u8],
+    },
+    /// A `u32` symbol scattered over many DPUs: `(dpu, value)` pairs.
+    Scatter {
+        /// Symbol name in the loaded program.
+        name: &'a str,
+        /// Per-DPU values.
+        entries: &'a [(u32, u32)],
+    },
+}
+
 impl RankChannel {
     /// Functional DPUs behind this channel.
     #[must_use]
@@ -65,6 +100,57 @@ impl RankChannel {
         }
     }
 
+    /// The single write-side entry point: performs any [`Transfer`] shape
+    /// on this channel and returns its cost report.
+    ///
+    /// # Errors
+    ///
+    /// Hardware bounds errors, unknown symbols, or transport failures.
+    pub fn transfer(&self, t: Transfer<'_>, cm: &CostModel) -> Result<OpReport, SdkError> {
+        match (self, t) {
+            (RankChannel::Native(p), Transfer::Matrix(entries)) => {
+                let native: Vec<(usize, u64, &[u8])> =
+                    entries.iter().map(|(d, o, b)| (*d as usize, *o, *b)).collect();
+                let cost = p.write_matrix(&native)?;
+                let ddr = cost.duration(cm);
+                let mut r =
+                    OpReport::of(cm.interleave(cost.bytes, DataPath::Vectorized) + ddr);
+                r.set_ddr(ddr);
+                r.add_rank_ops(1);
+                Ok(r)
+            }
+            (RankChannel::Virt(f), Transfer::Matrix(entries)) => Ok(f.write_rank(entries)?),
+            (RankChannel::Native(p), Transfer::Serial { dpu, offset, data }) => {
+                let cost = p.write_dpu(dpu as usize, offset, data)?;
+                let ddr = cost.duration(cm);
+                let mut r =
+                    OpReport::of(cm.interleave(cost.bytes, DataPath::Vectorized) + ddr);
+                r.set_ddr(ddr);
+                r.add_rank_ops(1);
+                Ok(r)
+            }
+            (RankChannel::Virt(f), Transfer::Serial { dpu, offset, data }) => {
+                Ok(f.write_rank(&[(dpu, offset, data)])?)
+            }
+            (RankChannel::Native(p), Transfer::Symbol { dpu, name, bytes }) => {
+                p.write_symbol(dpu as usize, name, bytes)?;
+                Ok(OpReport::of(cm.ci_op()))
+            }
+            (RankChannel::Virt(f), Transfer::Symbol { dpu, name, bytes }) => {
+                Ok(f.write_symbol(dpu, name, bytes)?)
+            }
+            (RankChannel::Native(p), Transfer::Scatter { name, entries }) => {
+                for (dpu, v) in entries {
+                    p.write_symbol(*dpu as usize, name, &v.to_le_bytes())?;
+                }
+                Ok(OpReport::of(cm.ci_op().saturating_mul(entries.len() as u64)))
+            }
+            (RankChannel::Virt(f), Transfer::Scatter { name, entries }) => {
+                Ok(f.scatter_symbol(name, entries)?)
+            }
+        }
+    }
+
     /// Parallel `write-to-rank` of per-DPU buffers.
     ///
     /// # Errors
@@ -75,20 +161,7 @@ impl RankChannel {
         entries: &[(u32, u64, &[u8])],
         cm: &CostModel,
     ) -> Result<OpReport, SdkError> {
-        match self {
-            RankChannel::Native(p) => {
-                let native: Vec<(usize, u64, &[u8])> =
-                    entries.iter().map(|(d, o, b)| (*d as usize, *o, *b)).collect();
-                let cost = p.write_matrix(&native)?;
-                let ddr = cost.duration(cm);
-                let mut r =
-                    OpReport::of(cm.interleave(cost.bytes, DataPath::Vectorized) + ddr);
-                r.ddr = ddr;
-                r.rank_ops = 1;
-                Ok(r)
-            }
-            RankChannel::Virt(f) => Ok(f.write_rank(entries)?),
-        }
+        self.transfer(Transfer::Matrix(entries), cm)
     }
 
     /// Parallel `read-from-rank` of per-DPU ranges.
@@ -117,8 +190,8 @@ impl RankChannel {
                 }
                 let ddr = cm.rank_transfer_parallel(total);
                 let mut r = OpReport::of(cm.interleave(total, DataPath::Vectorized) + ddr);
-                r.ddr = ddr;
-                r.rank_ops = 1;
+                r.set_ddr(ddr);
+                r.add_rank_ops(1);
                 Ok((outs, r))
             }
             RankChannel::Virt(f) => Ok(f.read_rank(reqs)?),
@@ -137,18 +210,7 @@ impl RankChannel {
         data: &[u8],
         cm: &CostModel,
     ) -> Result<OpReport, SdkError> {
-        match self {
-            RankChannel::Native(p) => {
-                let cost = p.write_dpu(dpu as usize, offset, data)?;
-                let ddr = cost.duration(cm);
-                let mut r =
-                    OpReport::of(cm.interleave(cost.bytes, DataPath::Vectorized) + ddr);
-                r.ddr = ddr;
-                r.rank_ops = 1;
-                Ok(r)
-            }
-            RankChannel::Virt(f) => Ok(f.write_rank(&[(dpu, offset, data)])?),
-        }
+        self.transfer(Transfer::Serial { dpu, offset, data }, cm)
     }
 
     /// Serial single-DPU read (`dpu_copy_from`).
@@ -170,8 +232,8 @@ impl RankChannel {
                 let ddr = cost.duration(cm);
                 let mut r =
                     OpReport::of(cm.interleave(cost.bytes, DataPath::Vectorized) + ddr);
-                r.ddr = ddr;
-                r.rank_ops = 1;
+                r.set_ddr(ddr);
+                r.add_rank_ops(1);
                 Ok((buf, r))
             }
             RankChannel::Virt(f) => {
@@ -193,13 +255,7 @@ impl RankChannel {
         bytes: &[u8],
         cm: &CostModel,
     ) -> Result<OpReport, SdkError> {
-        match self {
-            RankChannel::Native(p) => {
-                p.write_symbol(dpu as usize, name, bytes)?;
-                Ok(OpReport::of(cm.ci_op()))
-            }
-            RankChannel::Virt(f) => Ok(f.write_symbol(dpu, name, bytes)?),
-        }
+        self.transfer(Transfer::Symbol { dpu, name, bytes }, cm)
     }
 
     /// Writes a `u32` symbol on many DPUs (one request in virtualized
@@ -214,15 +270,7 @@ impl RankChannel {
         entries: &[(u32, u32)],
         cm: &CostModel,
     ) -> Result<OpReport, SdkError> {
-        match self {
-            RankChannel::Native(p) => {
-                for (dpu, v) in entries {
-                    p.write_symbol(*dpu as usize, name, &v.to_le_bytes())?;
-                }
-                Ok(OpReport::of(cm.ci_op().saturating_mul(entries.len() as u64)))
-            }
-            RankChannel::Virt(f) => Ok(f.scatter_symbol(name, entries)?),
-        }
+        self.transfer(Transfer::Scatter { name, entries }, cm)
     }
 
     /// Reads a host symbol from one DPU.
@@ -271,7 +319,7 @@ impl RankChannel {
             }
             RankChannel::Virt(f) => {
                 let report = f.launch(dpus, nr_tasklets)?;
-                Ok((report.launch_cycles, report))
+                Ok((report.launch_cycles(), report))
             }
         }
     }
@@ -307,5 +355,43 @@ impl RankChannel {
             }
             RankChannel::Virt(f) => f.sync_poll_cost(exec_time),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use upmem_driver::UpmemDriver;
+    use upmem_sim::{PimConfig, PimMachine};
+
+    fn native_channel() -> RankChannel {
+        let driver = UpmemDriver::new(PimMachine::new(PimConfig::small()));
+        RankChannel::Native(driver.open_perf(0, "chan-test").unwrap())
+    }
+
+    #[test]
+    fn transfer_serial_roundtrips_through_mram() {
+        let ch = native_channel();
+        let cm = CostModel::default();
+        let data = [7u8; 64];
+        let r = ch
+            .transfer(Transfer::Serial { dpu: 0, offset: 4096, data: &data }, &cm)
+            .unwrap();
+        assert!(r.duration() > VirtualNanos::ZERO);
+        let (back, _) = ch.read_serial(0, 4096, 64, &cm).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn wrappers_match_transfer_costs() {
+        let ch = native_channel();
+        let cm = CostModel::default();
+        let bufs = [5u8; 128];
+        let entries: Vec<(u32, u64, &[u8])> =
+            (0..4u32).map(|d| (d, 0u64, &bufs[..])).collect();
+        let via_enum = ch.transfer(Transfer::Matrix(&entries), &cm).unwrap();
+        let via_wrapper = ch.write_matrix(&entries, &cm).unwrap();
+        assert_eq!(via_enum.duration(), via_wrapper.duration());
+        assert_eq!(via_enum.rank_ops(), via_wrapper.rank_ops());
     }
 }

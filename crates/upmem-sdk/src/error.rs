@@ -2,6 +2,7 @@
 
 use core::fmt;
 
+use simkit::{ErrorKind, HasErrorKind};
 use upmem_driver::DriverError;
 use upmem_sim::SimError;
 use vpim::VpimError;
@@ -80,6 +81,20 @@ impl From<VpimError> for SdkError {
     }
 }
 
+impl HasErrorKind for SdkError {
+    fn kind(&self) -> ErrorKind {
+        match self {
+            SdkError::NotEnoughDpus { .. } => ErrorKind::ResourceExhausted,
+            SdkError::BufferCountMismatch { .. } | SdkError::BadDpuIndex(_) => {
+                ErrorKind::InvalidInput
+            }
+            SdkError::Driver(e) => e.kind(),
+            SdkError::Sim(e) => e.kind(),
+            SdkError::Vpim(e) => e.kind(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -92,6 +107,18 @@ mod tests {
         assert!(matches!(e, SdkError::Sim(_)));
         let e: SdkError = VpimError::NoRankAvailable.into();
         assert!(matches!(e, SdkError::Vpim(_)));
+    }
+
+    #[test]
+    fn kind_survives_nested_conversions() {
+        let e: SdkError = SimError::MramOutOfBounds { offset: 8, len: 8, capacity: 4 }.into();
+        assert_eq!(e.kind(), ErrorKind::OutOfBounds);
+        let e: SdkError = VpimError::NoRankAvailable.into();
+        assert_eq!(e.kind(), ErrorKind::ResourceExhausted);
+        let e = SdkError::NotEnoughDpus { requested: 100, available: 8 };
+        assert_eq!(e.kind(), ErrorKind::ResourceExhausted);
+        let e = SdkError::BadDpuIndex(7);
+        assert_eq!(e.kind(), ErrorKind::InvalidInput);
     }
 
     #[test]

@@ -195,35 +195,37 @@ impl DpuSet {
         let mut max = VirtualNanos::ZERO;
         let mut ddr_acc = VirtualNanos::ZERO;
         for (i, r) in reports.iter().enumerate() {
-            acc += r.duration;
-            max = max.max(r.duration);
-            ddr_acc += r.ddr;
+            acc += r.duration();
+            max = max.max(r.duration());
+            ddr_acc += r.ddr();
             // Parallel: rank i completes once its own work is done and the
             // bus has served every transfer queued so far.
-            let offset = if self.parallel_ranks { r.duration.max(ddr_acc) } else { acc };
+            let offset = if self.parallel_ranks { r.duration().max(ddr_acc) } else { acc };
             offsets.push((i, offset));
-            merged.messages += r.messages;
-            merged.rank_ops += r.rank_ops;
-            merged.steps.extend(r.steps.iter().cloned());
-            merged.launch_cycles = merged.launch_cycles.max(r.launch_cycles);
+            merged.add_messages(r.messages());
+            merged.add_rank_ops(r.rank_ops());
+            for (step, d) in r.steps() {
+                merged.step_only(step, d);
+            }
+            merged.set_launch_cycles(merged.launch_cycles().max(r.launch_cycles()));
         }
-        merged.ddr = ddr_acc;
-        merged.duration = if self.parallel_ranks { max.max(ddr_acc) } else { acc };
+        merged.set_ddr(ddr_acc);
+        merged.set_duration(if self.parallel_ranks { max.max(ddr_acc) } else { acc });
         if reports.len() > 1 {
             self.last_per_rank = offsets.clone();
         }
-        merged.per_rank = offsets;
+        merged.set_per_rank(offsets);
         merged
     }
 
     fn charge(&mut self, seg: DriverSegment, report: &OpReport) {
-        self.timeline.charge_app(self.segment, report.duration);
-        self.timeline.charge_driver(seg, report.duration);
-        for (step, d) in &report.steps {
-            self.timeline.charge_write_step(*step, *d);
+        self.timeline.charge_app(self.segment, report.duration());
+        self.timeline.charge_driver(seg, report.duration());
+        for (step, d) in report.steps() {
+            self.timeline.charge_write_step(step, d);
         }
-        self.timeline.add_messages(report.messages);
-        self.timeline.add_rank_ops(report.rank_ops);
+        self.timeline.add_messages(report.messages());
+        self.timeline.add_rank_ops(report.rank_ops());
     }
 
     fn member(&self, dpu: usize) -> Result<(usize, u32), SdkError> {
@@ -463,18 +465,18 @@ impl DpuSet {
         merged.absorb(&poll_r);
         // …the rest of the polling loop is charged analytically.
         let (extra_polls, poll_cost) = self.channels[poll_ci].sync_poll_cost(exec, &self.cm);
-        merged.messages += extra_polls;
-        merged.duration += poll_cost;
+        merged.add_messages(extra_polls);
+        merged.add_duration(poll_cost);
 
         // Driver-centric: only the CI traffic counts (Fig. 12 excludes SDK
         // wait time); application-centric: the whole synchronous launch.
-        self.timeline.charge_driver(DriverSegment::Ci, merged.duration);
-        self.timeline.charge_app(self.segment, merged.duration + exec);
-        for (step, d) in &merged.steps {
-            self.timeline.charge_write_step(*step, *d);
+        self.timeline.charge_driver(DriverSegment::Ci, merged.duration());
+        self.timeline.charge_app(self.segment, merged.duration() + exec);
+        for (step, d) in merged.steps() {
+            self.timeline.charge_write_step(step, d);
         }
-        self.timeline.add_messages(merged.messages);
-        self.timeline.add_rank_ops(merged.rank_ops);
+        self.timeline.add_messages(merged.messages());
+        self.timeline.add_rank_ops(merged.rank_ops());
         Ok(())
     }
 }

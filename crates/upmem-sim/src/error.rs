@@ -2,6 +2,8 @@
 
 use core::fmt;
 
+use simkit::{ErrorKind, HasErrorKind};
+
 /// An error raised by the simulated hardware or by invalid host requests.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
@@ -95,6 +97,25 @@ impl fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
+impl HasErrorKind for SimError {
+    fn kind(&self) -> ErrorKind {
+        match self {
+            SimError::MramOutOfBounds { .. } => ErrorKind::OutOfBounds,
+            SimError::WramOverflow { .. }
+            | SimError::IramOverflow { .. }
+            | SimError::XferTooLarge(_) => ErrorKind::ResourceExhausted,
+            SimError::InvalidRank(_)
+            | SimError::InvalidDpu(_)
+            | SimError::InvalidTasklets(_)
+            | SimError::SymbolSizeMismatch { .. } => ErrorKind::InvalidInput,
+            SimError::UnknownKernel(_) | SimError::UnknownSymbol(_) => ErrorKind::NotFound,
+            SimError::NoProgramLoaded => ErrorKind::Unavailable,
+            SimError::Fault(_) => ErrorKind::Fault,
+            SimError::RankBusy => ErrorKind::Busy,
+        }
+    }
+}
+
 impl From<DpuFault> for SimError {
     fn from(fault: DpuFault) -> Self {
         SimError::Fault(fault)
@@ -154,6 +175,21 @@ mod tests {
     fn fault_converts_to_sim_error() {
         let e: SimError = DpuFault::new("boom").into();
         assert!(matches!(e, SimError::Fault(_)));
+    }
+
+    #[test]
+    fn kinds_classify_variants() {
+        assert_eq!(
+            SimError::MramOutOfBounds { offset: 10, len: 20, capacity: 16 }.kind(),
+            ErrorKind::OutOfBounds
+        );
+        assert_eq!(
+            SimError::WramOverflow { requested: 9, available: 1 }.kind(),
+            ErrorKind::ResourceExhausted
+        );
+        assert_eq!(SimError::UnknownKernel("x".into()).kind(), ErrorKind::NotFound);
+        assert_eq!(SimError::Fault(DpuFault::new("boom")).kind(), ErrorKind::Fault);
+        assert_eq!(SimError::RankBusy.kind(), ErrorKind::Busy);
     }
 
     #[test]

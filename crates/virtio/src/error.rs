@@ -2,6 +2,8 @@
 
 use core::fmt;
 
+use simkit::{ErrorKind, HasErrorKind};
+
 use crate::memory::Gpa;
 
 /// Errors raised by guest memory or virtqueue handling.
@@ -57,6 +59,21 @@ impl fmt::Display for VirtioError {
 
 impl std::error::Error for VirtioError {}
 
+impl HasErrorKind for VirtioError {
+    fn kind(&self) -> ErrorKind {
+        match self {
+            VirtioError::OutOfBounds { .. } => ErrorKind::OutOfBounds,
+            VirtioError::OutOfPages { .. } | VirtioError::QueueFull => {
+                ErrorKind::ResourceExhausted
+            }
+            VirtioError::BadFree(_) | VirtioError::BadQueueSize(_) => ErrorKind::InvalidInput,
+            VirtioError::BadDescriptor(_)
+            | VirtioError::ChainTooLong
+            | VirtioError::BadRegister(_) => ErrorKind::Protocol,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -65,6 +82,16 @@ mod tests {
     fn display_is_informative() {
         let e = VirtioError::OutOfPages { requested: 4, free: 1 };
         assert!(e.to_string().contains("requested 4"));
+    }
+
+    #[test]
+    fn kinds_classify_variants() {
+        assert_eq!(
+            VirtioError::OutOfBounds { gpa: Gpa(0), len: 8 }.kind(),
+            ErrorKind::OutOfBounds
+        );
+        assert_eq!(VirtioError::QueueFull.kind(), ErrorKind::ResourceExhausted);
+        assert_eq!(VirtioError::ChainTooLong.kind(), ErrorKind::Protocol);
     }
 
     #[test]

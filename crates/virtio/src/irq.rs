@@ -6,11 +6,11 @@
 //! blocking waiters; the *cost* of an injection is charged by the caller
 //! via [`simkit::CostModel::irq_inject_ns`].
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
+use simkit::Counter;
 
 /// A level of pending interrupts plus waiters.
 #[derive(Debug, Default)]
@@ -35,17 +35,25 @@ struct Line {
 pub struct IrqLine {
     line: Arc<Line>,
     number: u32,
-    injections: Arc<AtomicU64>,
+    injections: Counter,
 }
 
 impl IrqLine {
     /// Creates line `number` (the GSI advertised on the kernel cmdline).
     #[must_use]
     pub fn new(number: u32) -> Self {
+        Self::with_counter(number, Counter::new())
+    }
+
+    /// Creates line `number` recording injections into an existing cell —
+    /// pass a registry-owned counter (e.g. `virtio.irq.injections`) so
+    /// several lines aggregate into one metric.
+    #[must_use]
+    pub fn with_counter(number: u32, injections: Counter) -> Self {
         IrqLine {
             line: Arc::new(Line::default()),
             number,
-            injections: Arc::new(AtomicU64::new(0)),
+            injections,
         }
     }
 
@@ -58,12 +66,20 @@ impl IrqLine {
     /// Total injections so far (telemetry for the figure harness).
     #[must_use]
     pub fn injections(&self) -> u64 {
-        self.injections.load(Ordering::Relaxed)
+        self.injections.get()
+    }
+
+    /// The counter cell behind [`injections`](Self::injections); clones of
+    /// this line share it, so it can be bound into a `MetricsRegistry`
+    /// (e.g. as `virtio.irq.injections`).
+    #[must_use]
+    pub fn injection_counter(&self) -> &Counter {
+        &self.injections
     }
 
     /// Device side: assert the line (one completion).
     pub fn assert_irq(&self) {
-        self.injections.fetch_add(1, Ordering::Relaxed);
+        self.injections.inc();
         let mut p = self.line.pending.lock();
         *p += 1;
         drop(p);

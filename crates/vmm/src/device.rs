@@ -4,6 +4,7 @@ use core::fmt;
 
 use pim_virtio::mmio::MmioBlock;
 use pim_virtio::{GuestMemory, IrqLine, VirtioError};
+use simkit::{ErrorKind, HasErrorKind};
 
 /// Errors surfaced by device models or the VMM.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -39,6 +40,16 @@ impl std::error::Error for VmmError {
 impl From<VirtioError> for VmmError {
     fn from(e: VirtioError) -> Self {
         VmmError::Virtio(e)
+    }
+}
+
+impl HasErrorKind for VmmError {
+    fn kind(&self) -> ErrorKind {
+        match self {
+            VmmError::Virtio(e) => e.kind(),
+            VmmError::Device(_) => ErrorKind::Internal,
+            VmmError::BadState(_) => ErrorKind::Unavailable,
+        }
     }
 }
 

@@ -14,10 +14,9 @@
 //!   in sequential mode, individual durations in parallel mode. These are
 //!   exactly the two curves of Fig. 16.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use simkit::VirtualNanos;
+use simkit::{Counter, VirtualNanos};
 
 use crate::device::{VirtioDevice, VmmError};
 
@@ -36,7 +35,7 @@ pub enum DispatchMode {
 pub struct EventManager {
     devices: Vec<Arc<dyn VirtioDevice>>,
     mode: DispatchMode,
-    kicks: Arc<AtomicU64>,
+    kicks: Counter,
 }
 
 impl std::fmt::Debug for EventManager {
@@ -44,7 +43,7 @@ impl std::fmt::Debug for EventManager {
         f.debug_struct("EventManager")
             .field("devices", &self.devices.len())
             .field("mode", &self.mode)
-            .field("kicks", &self.kicks.load(Ordering::Relaxed))
+            .field("kicks", &self.kicks.get())
             .finish()
     }
 }
@@ -56,7 +55,7 @@ impl EventManager {
         EventManager {
             devices: Vec::new(),
             mode,
-            kicks: Arc::new(AtomicU64::new(0)),
+            kicks: Counter::new(),
         }
     }
 
@@ -81,7 +80,21 @@ impl EventManager {
     /// Total guest kicks (vmexits) observed.
     #[must_use]
     pub fn kicks(&self) -> u64 {
-        self.kicks.load(Ordering::Relaxed)
+        self.kicks.get()
+    }
+
+    /// The counter cell behind [`kicks`](Self::kicks). Clones share the
+    /// cell, so it can be bound into a `MetricsRegistry`.
+    #[must_use]
+    pub fn kick_counter(&self) -> &Counter {
+        &self.kicks
+    }
+
+    /// Replaces the kick counter (used to install a registry-owned cell,
+    /// e.g. `vmm.vmexits`). Existing clones keep the old cell, so install
+    /// before handing the manager out.
+    pub fn set_kick_counter(&mut self, counter: Counter) {
+        self.kicks = counter;
     }
 
     /// Delivers a queue notification for device `idx`.
@@ -96,7 +109,7 @@ impl EventManager {
     ///
     /// Unknown device index or a device handler failure.
     pub fn kick(&self, idx: usize, queue: u32) -> Result<(), VmmError> {
-        self.kicks.fetch_add(1, Ordering::Relaxed);
+        self.kicks.inc();
         let device = self
             .devices
             .get(idx)
@@ -128,7 +141,7 @@ impl EventManager {
                 Ok(())
             }
             DispatchMode::Parallel => {
-                self.kicks.fetch_add(idxs.len() as u64, Ordering::Relaxed);
+                self.kicks.add(idxs.len() as u64);
                 let mut devices = Vec::with_capacity(idxs.len());
                 for &i in idxs {
                     devices.push(
@@ -192,7 +205,7 @@ mod tests {
     use super::*;
     use pim_virtio::mmio::MmioBlock;
     use pim_virtio::{GuestMemory, IrqLine};
-    use std::sync::atomic::AtomicU32;
+    use std::sync::atomic::{AtomicU32, Ordering};
 
     struct Probe {
         mmio: MmioBlock,

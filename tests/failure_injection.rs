@@ -4,7 +4,7 @@
 
 use std::sync::Arc;
 
-use simkit::CostModel;
+use simkit::{CostModel, ErrorKind, HasErrorKind};
 use upmem_driver::UpmemDriver;
 use upmem_sdk::{DpuSet, SdkError};
 use upmem_sim::error::DpuFault;
@@ -85,6 +85,7 @@ fn dpu_fault_crosses_the_virtio_boundary_with_its_message() {
         set.set_symbol_u32(d, "trigger", 1).unwrap();
     }
     let err = set.launch(8).unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::Fault);
     match err {
         SdkError::Vpim(vpim::VpimError::Sim(upmem_sim::SimError::Fault(f))) => {
             assert!(f.message.contains("injected fault"), "{f}");
@@ -107,9 +108,11 @@ fn out_of_bounds_kernel_faults_cleanly() {
     let (sys, vm) = vm_set(&driver);
     let mut set = DpuSet::alloc_vm(vm.frontends(), 4, CostModel::default()).unwrap();
     set.load("oob_kernel").unwrap();
+    let err = set.launch(2).unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::Fault);
     assert!(matches!(
-        set.launch(2),
-        Err(SdkError::Vpim(vpim::VpimError::Sim(upmem_sim::SimError::Fault(_))))
+        err,
+        SdkError::Vpim(vpim::VpimError::Sim(upmem_sim::SimError::Fault(_)))
     ));
     drop(set);
     drop(vm);
@@ -122,8 +125,9 @@ fn wram_exhaustion_faults_cleanly() {
     let (sys, vm) = vm_set(&driver);
     let mut set = DpuSet::alloc_vm(vm.frontends(), 4, CostModel::default()).unwrap();
     set.load("wram_hog").unwrap();
-    // 16 tasklets x 8 KiB > 64 KiB WRAM.
-    assert!(set.launch(16).is_err());
+    // 16 tasklets x 8 KiB > 64 KiB WRAM; the kernel surfaces the overflow
+    // as a DPU fault.
+    assert_eq!(set.launch(16).unwrap_err().kind(), ErrorKind::Fault);
     // 4 tasklets fit.
     set.launch(4).expect("within wram budget");
     drop(set);
@@ -136,16 +140,20 @@ fn unknown_kernel_name_is_a_typed_error_on_both_transports() {
     let driver = host();
     {
         let mut set = DpuSet::alloc_native(&driver, 4, CostModel::default()).unwrap();
+        let err = set.load("no_such_kernel").unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::NotFound);
         assert!(matches!(
-            set.load("no_such_kernel"),
-            Err(SdkError::Driver(upmem_driver::DriverError::Sim(
+            err,
+            SdkError::Driver(upmem_driver::DriverError::Sim(
                 upmem_sim::SimError::UnknownKernel(_)
-            )))
+            ))
         ));
     }
     let (sys, vm) = vm_set(&driver);
     let mut set = DpuSet::alloc_vm(vm.frontends(), 4, CostModel::default()).unwrap();
-    assert!(set.load("no_such_kernel").is_err());
+    // Over the virtio transport the structured cause is gone, but the kind
+    // crosses the ring in the status page.
+    assert_eq!(set.load("no_such_kernel").unwrap_err().kind(), ErrorKind::NotFound);
     drop(set);
     drop(vm);
     sys.shutdown();
@@ -167,7 +175,7 @@ fn mram_overflow_writes_are_rejected_not_truncated() {
             .copy_from_heap(0, 0, 4)
             .expect_err("flush must surface the out-of-bounds write"),
     };
-    assert!(err.to_string().contains("out of bounds"), "{err}");
+    assert_eq!(err.kind(), ErrorKind::OutOfBounds, "{err}");
     // Nothing landed at the tail.
     let tail = set.copy_from_heap(0, mram - 4, 4).unwrap();
     assert_eq!(tail, vec![0u8; 4]);
@@ -183,9 +191,12 @@ fn symbol_errors_cross_the_stack() {
     let mut set = DpuSet::alloc_vm(vm.frontends(), 2, CostModel::default()).unwrap();
     set.load("faulty_kernel").unwrap();
     // Unknown symbol.
-    assert!(set.set_symbol_u32(0, "missing", 1).is_err());
+    assert_eq!(set.set_symbol_u32(0, "missing", 1).unwrap_err().kind(), ErrorKind::NotFound);
     // Size mismatch (trigger is 4 bytes; write 8).
-    assert!(set.set_symbol_u64(0, "trigger", 1).is_err());
+    assert_eq!(
+        set.set_symbol_u64(0, "trigger", 1).unwrap_err().kind(),
+        ErrorKind::InvalidInput
+    );
     drop(set);
     drop(vm);
     sys.shutdown();
@@ -196,7 +207,7 @@ fn launch_without_load_is_rejected() {
     let driver = host();
     let (sys, vm) = vm_set(&driver);
     let mut set = DpuSet::alloc_vm(vm.frontends(), 2, CostModel::default()).unwrap();
-    assert!(set.launch(8).is_err());
+    assert_eq!(set.launch(8).unwrap_err().kind(), ErrorKind::Unavailable);
     drop(set);
     drop(vm);
     sys.shutdown();
@@ -215,7 +226,7 @@ fn guest_memory_exhaustion_is_an_error_not_a_hang() {
     let too_big = vec![0u8; 4 << 20];
     let bufs: Vec<Vec<u8>> = (0..8).map(|_| too_big.clone()).collect();
     let err = set.push_to_heap(0, &bufs).unwrap_err();
-    assert!(err.to_string().contains("exhausted"), "{err}");
+    assert_eq!(err.kind(), ErrorKind::ResourceExhausted, "{err}");
     // Small transfers still work afterwards (no leaked pages from the
     // failed attempt).
     for _ in 0..4 {

@@ -29,7 +29,7 @@ fn small_writes_are_absorbed_until_a_nonwrite_request() {
         .backend()
         .counters()
         .writes
-        .load(std::sync::atomic::Ordering::Relaxed);
+        .get();
 
     for i in 0..32u64 {
         set.copy_to_heap(0, i * 128, &[1u8; 128]).unwrap();
@@ -39,7 +39,7 @@ fn small_writes_are_absorbed_until_a_nonwrite_request() {
         .backend()
         .counters()
         .writes
-        .load(std::sync::atomic::Ordering::Relaxed);
+        .get();
     assert_eq!(writes_mid, writes_before, "small writes must be buffered");
 
     // A read flushes the batch (§4.1: flush on any non-write request).

@@ -1,0 +1,15 @@
+//! Offline shim for `serde`: the trait names this workspace derives.
+//!
+//! The workspace only ever derives `Serialize`/`Deserialize` as a forward-
+//! compatibility marker — nothing serializes through them yet (there is no
+//! `serde_json`/`bincode` in the tree). The derives expand to nothing, so
+//! the traits carry no methods.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
