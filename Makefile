@@ -3,9 +3,12 @@
 
 .PHONY: tier1 build test figures bench clean
 
-# The repo's tier-1 gate (ROADMAP.md): release build + full test suite.
+# The repo's tier-1 gate (ROADMAP.md): release build + full test suite,
+# then the concurrency stress/determinism suites under varied harness
+# parallelism.
 tier1:
 	sh ci/offline-gate.sh
+	sh ci/stress-gate.sh
 
 build:
 	cargo build --offline --workspace

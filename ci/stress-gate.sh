@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# Concurrency stress gate: runs the stress and determinism suites in
+# release mode, once with the test harness serialized and once with high
+# harness parallelism, so intra-test thread races and cross-test
+# interference both get a chance to surface.
+#
+# Usage: ci/stress-gate.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+for threads in 1 8; do
+    echo "== stress gate: RUST_TEST_THREADS=$threads =="
+    RUST_TEST_THREADS=$threads cargo test --release --offline -q \
+        --test concurrency_stress --test dispatch_determinism
+done
+
+echo "== stress gate: OK =="

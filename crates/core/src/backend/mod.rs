@@ -8,6 +8,7 @@
 //! found more threads bring no benefit).
 
 pub mod datapath;
+pub mod partition;
 
 use std::sync::Arc;
 
@@ -15,13 +16,15 @@ use parking_lot::{Mutex, MutexGuard};
 use pim_virtio::queue::DescChain;
 use pim_virtio::{Gpa, GuestMemory};
 use simkit::compose::pool_schedule;
-use simkit::{CostModel, Counter, HasErrorKind, MetricsRegistry, VirtualNanos};
+use simkit::cost::DataPath;
+use simkit::{CostModel, Counter, HasErrorKind, MetricsRegistry, VirtualNanos, WorkerPool};
 use upmem_driver::{PerfMapping, UpmemDriver};
+use upmem_sim::Rank;
 
 use crate::config::VpimConfig;
 use crate::error::VpimError;
 use crate::manager::ManagerClient;
-use crate::matrix::TransferMatrix;
+use crate::matrix::{DpuXfer, TransferMatrix};
 use crate::spec::{PimDeviceConfig, Request, Response};
 
 /// Response status: success.
@@ -69,6 +72,7 @@ pub struct Backend {
     owner: String,
     perf: Mutex<Option<PerfMapping>>,
     counters: BackendCounters,
+    pool: Arc<WorkerPool>,
 }
 
 impl Backend {
@@ -98,6 +102,24 @@ impl Backend {
         owner: String,
         registry: &MetricsRegistry,
     ) -> Self {
+        let pool = Arc::new(WorkerPool::new(cm.backend_threads));
+        Self::with_pool(driver, manager, vcfg, cm, owner, registry, pool)
+    }
+
+    /// [`with_registry`](Self::with_registry), sharing an existing worker
+    /// pool instead of spawning a private one — the system wiring hands
+    /// every backend of a VM the same pool, mirroring the paper's single
+    /// 8-thread pool for all DPU operations (§4.2).
+    #[must_use]
+    pub fn with_pool(
+        driver: Arc<UpmemDriver>,
+        manager: ManagerClient,
+        vcfg: VpimConfig,
+        cm: CostModel,
+        owner: String,
+        registry: &MetricsRegistry,
+        pool: Arc<WorkerPool>,
+    ) -> Self {
         Backend {
             driver,
             manager,
@@ -106,7 +128,14 @@ impl Backend {
             owner,
             perf: Mutex::new(None),
             counters: BackendCounters::from_registry(registry),
+            pool,
         }
+    }
+
+    /// The worker pool executing this backend's data path.
+    #[must_use]
+    pub fn pool(&self) -> &Arc<WorkerPool> {
+        &self.pool
     }
 
     /// Request counters.
@@ -229,6 +258,117 @@ impl Backend {
         (deser, translate)
     }
 
+    /// Virtual-time report for a rank data op, derived from the matrix
+    /// alone (in entry order) so the numbers are bit-identical no matter
+    /// how execution interleaves on the worker pool.
+    fn data_op_response(&self, matrix: &TransferMatrix, ndesc: u64) -> Response {
+        let mut per_entry = Vec::with_capacity(matrix.entries.len());
+        let mut total_bytes = 0u64;
+        let mut per_dpu_bytes = std::collections::HashMap::new();
+        for entry in &matrix.entries {
+            per_entry.push(self.cm.memcpy(entry.len));
+            total_bytes += entry.len;
+            *per_dpu_bytes.entry(entry.dpu).or_insert(0u64) += entry.len;
+        }
+        let (deser, translate) = self.matrix_costs(ndesc, matrix);
+        // Per-DPU copies spread over the 8-thread pool; the byte
+        // (de)interleaving runs on the handler's data path (the function
+        // the paper rewrote in C), serially. The DDR time is bounded both
+        // by the shared bus (parallel bandwidth over all bytes) and by the
+        // slowest single DPU's stream (serial bandwidth) — so a one-DPU
+        // matrix behaves like native serial mode, and batching merges
+        // messages without reducing total data-writing time (§4.1).
+        let prep = pool_schedule(per_entry, self.cm.backend_threads);
+        let ddr = self.rank_ddr_time(total_bytes, &per_dpu_bytes, matrix.entries.len() as u64);
+        let transfer =
+            prep + datapath::interleave_cost(&self.cm, total_bytes, self.vcfg.data_path) + ddr;
+        Response {
+            deser_ns: deser.as_nanos(),
+            translate_ns: translate.as_nanos(),
+            transfer_ns: transfer.as_nanos(),
+            ddr_ns: ddr.as_nanos(),
+            ..Response::default()
+        }
+    }
+
+    fn write_entry(
+        mem: &GuestMemory,
+        rank: &Rank,
+        entry: &DpuXfer,
+        verify: bool,
+        path: DataPath,
+    ) -> Result<(), VpimError> {
+        let mut data = TransferMatrix::gather(mem, entry)?;
+        if verify {
+            datapath::transform_roundtrip(&mut data, path);
+        }
+        rank.write_dpu(entry.dpu as usize, entry.mram_offset, &data)?;
+        Ok(())
+    }
+
+    fn read_entry(
+        mem: &GuestMemory,
+        rank: &Rank,
+        entry: &DpuXfer,
+        verify: bool,
+        path: DataPath,
+    ) -> Result<(), VpimError> {
+        let mut data = vec![0u8; entry.len as usize];
+        rank.read_dpu(entry.dpu as usize, entry.mram_offset, &mut data)?;
+        if verify {
+            datapath::transform_roundtrip(&mut data, path);
+        }
+        TransferMatrix::scatter(mem, entry, &data)?;
+        Ok(())
+    }
+
+    /// Executes a data op's per-entry work on the worker pool, chunked
+    /// along DPU boundaries so no two workers touch the same MRAM bank.
+    /// On failure the error of the **lowest entry index** is returned —
+    /// the same error a sequential in-order walk would report — so error
+    /// responses are deterministic too. As on real hardware, other
+    /// entries' transfers may already have landed.
+    fn run_entries(
+        &self,
+        mem: &GuestMemory,
+        rank: &Arc<Rank>,
+        matrix: &TransferMatrix,
+        verify: bool,
+        op: fn(&GuestMemory, &Rank, &DpuXfer, bool, DataPath) -> Result<(), VpimError>,
+    ) -> Result<(), VpimError> {
+        let path = self.vcfg.data_path;
+        let chunks = partition::partition_by_dpu(&matrix.entries, self.pool.workers());
+        if chunks.len() <= 1 {
+            for entry in &matrix.entries {
+                op(mem, rank, entry, verify, path)?;
+            }
+            return Ok(());
+        }
+        let jobs: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                let mem = mem.clone();
+                let rank = Arc::clone(rank);
+                let entries: Vec<(usize, DpuXfer)> = chunk
+                    .entry_indices
+                    .iter()
+                    .map(|&i| (i, matrix.entries[i].clone()))
+                    .collect();
+                move || -> Result<(), (usize, VpimError)> {
+                    for (i, entry) in &entries {
+                        op(&mem, &rank, entry, verify, path).map_err(|e| (*i, e))?;
+                    }
+                    Ok(())
+                }
+            })
+            .collect();
+        let failures = self.pool.run_all(jobs);
+        match failures.into_iter().filter_map(Result::err).min_by_key(|(i, _)| *i) {
+            Some((_, e)) => Err(e),
+            None => Ok(()),
+        }
+    }
+
     fn handle_write(
         &self,
         mem: &GuestMemory,
@@ -247,39 +387,8 @@ impl Backend {
         let guard = self.ensure_linked()?;
         let perf = guard.as_ref().expect("linked above");
         let verify = perf.rank().verify_interleave();
-
-        let mut per_entry = Vec::with_capacity(matrix.entries.len());
-        let mut total_bytes = 0u64;
-        let mut per_dpu_bytes = std::collections::HashMap::new();
-        for entry in &matrix.entries {
-            let mut data = TransferMatrix::gather(mem, entry)?;
-            if verify {
-                datapath::transform_roundtrip(&mut data, self.vcfg.data_path);
-            }
-            perf.write_dpu(entry.dpu as usize, entry.mram_offset, &data)?;
-            per_entry.push(self.cm.memcpy(entry.len));
-            total_bytes += entry.len;
-            *per_dpu_bytes.entry(entry.dpu).or_insert(0u64) += entry.len;
-        }
-        let (deser, translate) = self.matrix_costs(chain.descriptors.len() as u64, &matrix);
-        // Per-DPU copies spread over the 8-thread pool; the byte
-        // (de)interleaving runs on the handler's data path (the function
-        // the paper rewrote in C), serially. The DDR time is bounded both
-        // by the shared bus (parallel bandwidth over all bytes) and by the
-        // slowest single DPU's stream (serial bandwidth) — so a one-DPU
-        // matrix behaves like native serial mode, and batching merges
-        // messages without reducing total data-writing time (§4.1).
-        let prep = pool_schedule(per_entry, self.cm.backend_threads);
-        let ddr = self.rank_ddr_time(total_bytes, &per_dpu_bytes, matrix.entries.len() as u64);
-        let transfer =
-            prep + datapath::interleave_cost(&self.cm, total_bytes, self.vcfg.data_path) + ddr;
-        Ok(Response {
-            deser_ns: deser.as_nanos(),
-            translate_ns: translate.as_nanos(),
-            transfer_ns: transfer.as_nanos(),
-            ddr_ns: ddr.as_nanos(),
-            ..Response::default()
-        })
+        self.run_entries(mem, perf.rank(), &matrix, verify, Self::write_entry)?;
+        Ok(self.data_op_response(&matrix, chain.descriptors.len() as u64))
     }
 
     fn handle_read(
@@ -300,33 +409,8 @@ impl Backend {
         let guard = self.ensure_linked()?;
         let perf = guard.as_ref().expect("linked above");
         let verify = perf.rank().verify_interleave();
-
-        let mut per_entry = Vec::with_capacity(matrix.entries.len());
-        let mut total_bytes = 0u64;
-        let mut per_dpu_bytes = std::collections::HashMap::new();
-        for entry in &matrix.entries {
-            let mut data = vec![0u8; entry.len as usize];
-            perf.read_dpu(entry.dpu as usize, entry.mram_offset, &mut data)?;
-            if verify {
-                datapath::transform_roundtrip(&mut data, self.vcfg.data_path);
-            }
-            TransferMatrix::scatter(mem, entry, &data)?;
-            per_entry.push(self.cm.memcpy(entry.len));
-            total_bytes += entry.len;
-            *per_dpu_bytes.entry(entry.dpu).or_insert(0u64) += entry.len;
-        }
-        let (deser, translate) = self.matrix_costs(chain.descriptors.len() as u64, &matrix);
-        let prep = pool_schedule(per_entry, self.cm.backend_threads);
-        let ddr = self.rank_ddr_time(total_bytes, &per_dpu_bytes, matrix.entries.len() as u64);
-        let transfer =
-            prep + datapath::interleave_cost(&self.cm, total_bytes, self.vcfg.data_path) + ddr;
-        Ok(Response {
-            deser_ns: deser.as_nanos(),
-            translate_ns: translate.as_nanos(),
-            transfer_ns: transfer.as_nanos(),
-            ddr_ns: ddr.as_nanos(),
-            ..Response::default()
-        })
+        self.run_entries(mem, perf.rank(), &matrix, verify, Self::read_entry)?;
+        Ok(self.data_op_response(&matrix, chain.descriptors.len() as u64))
     }
 
     fn dpu_list(dpus: &[u32]) -> Option<Vec<usize>> {

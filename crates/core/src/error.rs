@@ -43,6 +43,20 @@ pub enum VpimError {
     },
 }
 
+impl VpimError {
+    /// True when the failure is transport backpressure: a bounded resource
+    /// (guest bounce pages, virtqueue slots) is exhausted by in-flight
+    /// operations. Completing one of them and retrying is the correct
+    /// response; any other error is a hard failure.
+    #[must_use]
+    pub fn is_backpressure(&self) -> bool {
+        matches!(
+            self,
+            VpimError::Virtio(VirtioError::OutOfPages { .. } | VirtioError::QueueFull)
+        )
+    }
+}
+
 impl fmt::Display for VpimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -14,6 +14,7 @@ mod prefetch;
 pub use batch::{BatchBuffer, PendingWrite};
 pub use prefetch::PrefetchCache;
 
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -21,14 +22,14 @@ use parking_lot::Mutex;
 use pim_virtio::mmio::{reg, status as mmio_status};
 use pim_virtio::queue::{DriverQueue, QueueLayout};
 use pim_virtio::{Gpa, GuestMemory};
-use pim_vmm::{EventManager, VirtioDevice};
+use pim_vmm::{EventManager, KickHandle, VirtioDevice};
 use simkit::{CostModel, Counter, Gauge, MetricsRegistry, VirtualNanos, WriteStep};
 use upmem_sim::ci::CiStatus;
 
 use crate::config::VpimConfig;
 use crate::device::VupmemDevice;
 use crate::error::VpimError;
-use crate::matrix::{TransferMatrix, MAX_DPUS};
+use crate::matrix::{PageLease, TransferMatrix, MAX_DPUS};
 use crate::report::OpReport;
 use crate::spec::{self, PimDeviceConfig, Request, Response};
 
@@ -84,6 +85,80 @@ impl FrontMetrics {
     }
 }
 
+/// One submitted `transferq` chain whose completion has not been
+/// collected yet.
+#[derive(Debug)]
+struct PendingOp {
+    pages: Vec<Gpa>,
+    status_page: Gpa,
+    head: u16,
+    /// 0-based count of prior submissions that used this head. The used
+    /// ring only reports heads, and a head is recycled as soon as its
+    /// chain drains, so concurrent waiters need `(head, gen)` to know
+    /// *which* completion is theirs (see [`Frontend::wait_used`]).
+    gen: u64,
+    kick: KickHandle,
+}
+
+/// Per-descriptor-head monotonic clocks pairing submissions with used-ring
+/// drains. Ops on one head are strictly serialized (a head is only handed
+/// out again after `poll_used` recycles the previous chain), so the op
+/// submitted as generation `g` of head `h` is complete exactly when
+/// `drained[h] > g`. Cumulative counters make the check race-free: a later
+/// op can never mistake an earlier op's completion for its own, and
+/// nothing is removed so no entry can be overwritten or lost.
+#[derive(Debug, Default)]
+struct HeadClocks {
+    /// Ops submitted per head so far (a submit takes the current value as
+    /// its 0-based generation).
+    submitted: HashMap<u16, u64>,
+    /// Used-ring entries drained per head so far.
+    drained: HashMap<u16, u64>,
+}
+
+/// An in-flight `write-to-rank` started with
+/// [`Frontend::begin_write_rank`]; finish it with
+/// [`Frontend::finish_write_rank`]. Dropping it abandons the completion
+/// (guest pages are still reclaimed by their leases).
+#[derive(Debug)]
+pub struct InFlightWrite {
+    report: OpReport,
+    /// Oldest chunk at the front: backpressure during begin completes
+    /// chunks in submission order, keeping report composition identical to
+    /// the serial path.
+    chunks: VecDeque<WriteChunk>,
+}
+
+#[derive(Debug)]
+struct WriteChunk {
+    op: PendingOp,
+    partial: OpReport,
+    _data_lease: PageLease,
+    _meta_lease: PageLease,
+}
+
+/// An in-flight `read-from-rank` started with
+/// [`Frontend::begin_read_rank`]; finish it with
+/// [`Frontend::finish_read_rank`].
+#[derive(Debug)]
+pub struct InFlightRead {
+    report: OpReport,
+    /// Outputs gathered so far, in request order: the prefetch-cache path
+    /// fills this entirely during begin, and backpressure may force early
+    /// completion of older chunks during begin as well.
+    outputs: Vec<Vec<u8>>,
+    chunks: VecDeque<ReadChunk>,
+}
+
+#[derive(Debug)]
+struct ReadChunk {
+    op: PendingOp,
+    matrix: TransferMatrix,
+    partial: OpReport,
+    _lease: PageLease,
+    _meta_lease: PageLease,
+}
+
 /// The guest-side driver for one vUPMEM device.
 #[derive(Debug)]
 pub struct Frontend {
@@ -96,6 +171,11 @@ pub struct Frontend {
     vcfg: VpimConfig,
     metrics: FrontMetrics,
     state: Mutex<FrontState>,
+    /// Submission/drain clocks letting several threads share one frontend:
+    /// whoever consumes the interrupt drains the whole used ring and
+    /// advances the drain clocks; every waiter then checks its own
+    /// `(head, gen)` against them (see [`Frontend::wait_used`]).
+    clocks: Mutex<HeadClocks>,
 }
 
 impl Frontend {
@@ -179,6 +259,7 @@ impl Frontend {
                 batch: metrics.batch_buffer(0, 0),
             }),
             metrics,
+            clocks: Mutex::new(HeadClocks::default()),
         })
     }
 
@@ -270,12 +351,11 @@ impl Frontend {
         }
     }
 
-    /// One full request/response exchange over `transferq`.
-    fn roundtrip(
-        &self,
-        req: &Request,
-        extra: &[(Gpa, u32, bool)],
-    ) -> Result<(Response, OpReport), VpimError> {
+    /// Submits one request chain and kicks the device, without waiting for
+    /// completion. In sequential dispatch the handler runs inline during
+    /// the kick; in parallel dispatch it runs on the VMM's worker pool and
+    /// the returned op is genuinely in flight.
+    fn submit(&self, req: &Request, extra: &[(Gpa, u32, bool)]) -> Result<PendingOp, VpimError> {
         let pages = self.mem.alloc_pages(2)?;
         let (req_page, status_page) = (pages[0], pages[1]);
         let enc = req.encode();
@@ -285,29 +365,87 @@ impl Frontend {
         bufs.push((req_page, enc.len() as u32, false));
         bufs.extend_from_slice(extra);
         bufs.push((status_page, 4096, true));
-        self.queue.lock().add_chain(&bufs)?;
+        let head = match self.queue.lock().add_chain(&bufs) {
+            Ok(h) => h,
+            Err(e) => {
+                // Give the pages back so a backpressure retry starts clean.
+                self.mem.free_pages_back(&pages)?;
+                return Err(e.into());
+            }
+        };
+        // Safe outside the queue lock: this head cannot be handed to
+        // another submitter until our chain drains, and its previous
+        // user's drain was clocked before `add_chain` could recycle it.
+        let gen = {
+            let mut clk = self.clocks.lock();
+            let c = clk.submitted.entry(head).or_insert(0);
+            let g = *c;
+            *c += 1;
+            g
+        };
         self.metrics.queue_depth.add(1);
 
         // The guest kick: an MMIO write that traps to the VMM.
         self.device.mmio().write(reg::QUEUE_NOTIFY, spec::TRANSFERQ)?;
-        self.em.kick(self.device_idx, spec::TRANSFERQ).map_err(VpimError::from)?;
+        let kick = self
+            .em
+            .kick_async(self.device_idx, spec::TRANSFERQ)
+            .map_err(VpimError::from)?;
+        Ok(PendingOp { pages, status_page, head, gen, kick })
+    }
 
-        // Completion IRQ (already pending: the event manager processed the
-        // request synchronously on this call path).
-        if !self.device.irq().wait(Duration::from_secs(30)) {
-            return Err(VpimError::Vmm("timeout waiting for completion irq".to_string()));
+    /// Blocks until generation `gen` of chain `head` has appeared in the
+    /// used ring. Several threads may wait on the same frontend
+    /// concurrently: whichever waiter consumes the interrupt drains the
+    /// whole ring, advances the drain clocks, and nudges the line so the
+    /// drained entries' owners re-check — one IRQ count can complete
+    /// several waiters, so a waiter must never treat "no interrupt" as "no
+    /// progress" (its entry may have been drained on its behalf while it
+    /// slept). The short wait slice bounds the window of a nudge racing
+    /// past a waiter that has checked the clocks but not yet blocked.
+    fn wait_used(&self, head: u16, gen: u64) -> Result<(), VpimError> {
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        loop {
+            let drained =
+                self.clocks.lock().drained.get(&head).copied().unwrap_or(0);
+            if drained > gen {
+                self.metrics.queue_depth.sub(1);
+                return Ok(());
+            }
+            if !self.device.irq().wait(Duration::from_millis(50)) {
+                if std::time::Instant::now() >= deadline {
+                    return Err(VpimError::Vmm(
+                        "timeout waiting for completion irq".to_string(),
+                    ));
+                }
+                continue;
+            }
+            self.device.mmio().write(reg::INTERRUPT_ACK, 1)?;
+            let mut q = self.queue.lock();
+            let mut found = Vec::new();
+            while let Some((h, len)) = q.poll_used()? {
+                found.push((h, len));
+            }
+            drop(q);
+            if !found.is_empty() {
+                let mut clk = self.clocks.lock();
+                for (h, _len) in found {
+                    *clk.drained.entry(h).or_insert(0) += 1;
+                }
+                drop(clk);
+                self.device.irq().nudge();
+            }
         }
-        self.device.mmio().write(reg::INTERRUPT_ACK, 1)?;
-        let (_head, _len) = self
-            .queue
-            .lock()
-            .poll_used()?
-            .ok_or_else(|| VpimError::Vmm("irq without used entry".to_string()))?;
-        self.metrics.queue_depth.sub(1);
+    }
 
-        let raw = self.mem.with_slice(status_page, 4096, <[u8]>::to_vec)?;
+    /// Waits for a submitted op, decodes its response, and frees its pages.
+    fn complete(&self, op: PendingOp) -> Result<(Response, OpReport), VpimError> {
+        op.kick.wait().map_err(VpimError::from)?;
+        self.wait_used(op.head, op.gen)?;
+
+        let raw = self.mem.with_slice(op.status_page, 4096, <[u8]>::to_vec)?;
         let resp = Response::decode(&raw)?;
-        self.mem.free_pages_back(&pages)?;
+        self.mem.free_pages_back(&op.pages)?;
 
         let mut report = OpReport::default();
         report.add_messages(1);
@@ -317,6 +455,16 @@ impl Frontend {
         } else {
             Err(Self::response_error(&resp))
         }
+    }
+
+    /// One full request/response exchange over `transferq`.
+    fn roundtrip(
+        &self,
+        req: &Request,
+        extra: &[(Gpa, u32, bool)],
+    ) -> Result<(Response, OpReport), VpimError> {
+        let op = self.submit(req, extra)?;
+        self.complete(op)
     }
 
     // ------------------------------------------------------------ rank ops
@@ -515,6 +663,264 @@ impl Frontend {
             report.absorb(&r);
         }
         Ok((outputs, report))
+    }
+
+    // ------------------------------------------- split-phase rank ops
+
+    fn submit_write_chunk(&self, chunk: &[(u32, u64, &[u8])]) -> Result<WriteChunk, VpimError> {
+        let (matrix, data_lease) = TransferMatrix::from_user_buffers(&self.mem, chunk)?;
+        let pages = matrix.total_pages();
+        let mut partial = OpReport::default();
+        partial.step(WriteStep::PageMgmt, self.cm.page_mgmt(pages));
+        let (bufs, meta_lease) = matrix.serialize(&self.mem)?;
+        partial.step(WriteStep::Serialize, self.cm.serialize_matrix(pages));
+        let op = self.submit(&Request::WriteRank { nr_dpus: chunk.len() as u32 }, &bufs)?;
+        Ok(WriteChunk { op, partial, _data_lease: data_lease, _meta_lease: meta_lease })
+    }
+
+    fn submit_read_chunk(&self, chunk: &[(u32, u64, u64)]) -> Result<ReadChunk, VpimError> {
+        let (matrix, lease) = TransferMatrix::alloc_read_buffers(&self.mem, chunk)?;
+        let pages = matrix.total_pages();
+        let mut partial = OpReport::default();
+        partial.step(WriteStep::PageMgmt, self.cm.page_mgmt(pages));
+        let (bufs, meta_lease) = matrix.serialize(&self.mem)?;
+        partial.step(WriteStep::Serialize, self.cm.serialize_matrix(pages));
+        let op = self.submit(&Request::ReadRank { nr_dpus: chunk.len() as u32 }, &bufs)?;
+        Ok(ReadChunk { op, matrix, partial, _lease: lease, _meta_lease: meta_lease })
+    }
+
+    /// Completes one write chunk and folds its cost into `report`. The
+    /// virtual-time values come from the response (matrix-derived), so the
+    /// result is the same whether this runs during begin (backpressure) or
+    /// during finish.
+    fn absorb_write_chunk(&self, c: WriteChunk, report: &mut OpReport) -> Result<(), VpimError> {
+        let (resp, rt) = self.complete(c.op)?;
+        let mut partial = c.partial;
+        partial.absorb(&rt);
+        partial.step(
+            WriteStep::Deserialize,
+            VirtualNanos::from_nanos(resp.deser_ns + resp.translate_ns),
+        );
+        partial.step(WriteStep::TransferData, VirtualNanos::from_nanos(resp.transfer_ns));
+        partial.add_ddr(VirtualNanos::from_nanos(resp.ddr_ns));
+        partial.add_rank_ops(1);
+        report.absorb(&partial);
+        // Page leases drop here: only after the device is done with the
+        // chunk's guest pages.
+        Ok(())
+    }
+
+    /// Completes one read chunk, appending its per-entry outputs and
+    /// folding its cost into `report`.
+    fn absorb_read_chunk(
+        &self,
+        c: ReadChunk,
+        outputs: &mut Vec<Vec<u8>>,
+        report: &mut OpReport,
+    ) -> Result<(), VpimError> {
+        let (resp, rt) = self.complete(c.op)?;
+        let mut partial = c.partial;
+        partial.absorb(&rt);
+        partial.step(
+            WriteStep::Deserialize,
+            VirtualNanos::from_nanos(resp.deser_ns + resp.translate_ns),
+        );
+        partial.step(WriteStep::TransferData, VirtualNanos::from_nanos(resp.transfer_ns));
+        partial.add_ddr(VirtualNanos::from_nanos(resp.ddr_ns));
+        partial.add_rank_ops(1);
+        for entry in &c.matrix.entries {
+            let data = TransferMatrix::gather(&self.mem, entry)?;
+            partial.add_duration(self.cm.memcpy(entry.len));
+            outputs.push(data);
+        }
+        report.absorb(&partial);
+        Ok(())
+    }
+
+    /// Completes abandoned chunks on an error path so queue slots, gauges
+    /// and guest pages are reclaimed; results are discarded.
+    fn drain_write_chunks(&self, chunks: VecDeque<WriteChunk>) {
+        for c in chunks {
+            let _ = self.complete(c.op);
+        }
+    }
+
+    fn drain_read_chunks(&self, chunks: VecDeque<ReadChunk>) {
+        for c in chunks {
+            let _ = self.complete(c.op);
+        }
+    }
+
+    /// Builds, serializes and submits a `write-to-rank` without waiting for
+    /// the device. Use with [`finish_write_rank`](Self::finish_write_rank)
+    /// to overlap transfers across several ranks: begin on every channel
+    /// first, then finish them all. Small batched writes are absorbed
+    /// inline exactly as [`write_rank`](Self::write_rank) would, returning
+    /// an already-finished op; in `DispatchMode::Sequential` the device
+    /// handler runs inline during begin, so begin+finish is byte- and
+    /// report-identical to `write_rank`.
+    ///
+    /// Bounce pages and virtqueue slots are bounded: when submitting a
+    /// chunk hits that limit, the oldest in-flight chunk is completed (its
+    /// report composes in submission order either way) and the chunk is
+    /// retried, so a transfer larger than guest memory degrades to partial
+    /// overlap instead of failing.
+    ///
+    /// # Errors
+    ///
+    /// Transport or hardware failures.
+    pub fn begin_write_rank(
+        &self,
+        entries: &[(u32, u64, &[u8])],
+    ) -> Result<InFlightWrite, VpimError> {
+        if self.vcfg.request_batching
+            && entries.iter().all(|(_, _, d)| d.len() as u64 <= SMALL_WRITE_MAX)
+        {
+            let report = self.write_rank(entries)?;
+            return Ok(InFlightWrite { report, chunks: VecDeque::new() });
+        }
+        let mut report = OpReport::default();
+        if self.vcfg.request_batching {
+            report.absorb(&self.flush_batch()?);
+        }
+        self.state.lock().prefetch.invalidate();
+        let mut chunks: VecDeque<WriteChunk> = VecDeque::new();
+        for chunk in entries.chunks(MAX_DPUS) {
+            loop {
+                match self.submit_write_chunk(chunk) {
+                    Ok(wc) => {
+                        chunks.push_back(wc);
+                        break;
+                    }
+                    Err(e) if e.is_backpressure() && !chunks.is_empty() => {
+                        let oldest = chunks.pop_front().expect("chunks is non-empty");
+                        if let Err(err) = self.absorb_write_chunk(oldest, &mut report) {
+                            self.drain_write_chunks(chunks);
+                            return Err(err);
+                        }
+                    }
+                    Err(e) => {
+                        self.drain_write_chunks(chunks);
+                        return Err(e);
+                    }
+                }
+            }
+        }
+        Ok(InFlightWrite { report, chunks })
+    }
+
+    /// Collects an in-flight write started by
+    /// [`begin_write_rank`](Self::begin_write_rank). Every submitted chunk
+    /// is completed even after a failure (so queue-depth accounting and
+    /// guest pages are reclaimed); the first error in submission order is
+    /// returned.
+    ///
+    /// # Errors
+    ///
+    /// Transport or hardware failures.
+    pub fn finish_write_rank(&self, inflight: InFlightWrite) -> Result<OpReport, VpimError> {
+        let InFlightWrite { mut report, chunks } = inflight;
+        let mut first_err: Option<VpimError> = None;
+        for c in chunks {
+            if first_err.is_some() {
+                let _ = self.complete(c.op);
+                continue;
+            }
+            if let Err(e) = self.absorb_write_chunk(c, &mut report) {
+                first_err = Some(e);
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(report),
+        }
+    }
+
+    /// Submits a `read-from-rank` without waiting for the device; pair with
+    /// [`finish_read_rank`](Self::finish_read_rank). A single cacheable
+    /// request is served through the prefetch cache inline (identical to
+    /// [`read_rank`](Self::read_rank)) and returns an already-finished op.
+    /// Backpressure is handled as in
+    /// [`begin_write_rank`](Self::begin_write_rank): the oldest in-flight
+    /// chunk is completed early (its outputs keep request order) and the
+    /// submission retried.
+    ///
+    /// # Errors
+    ///
+    /// Transport or hardware failures.
+    pub fn begin_read_rank(
+        &self,
+        reqs: &[(u32, u64, u64)],
+    ) -> Result<InFlightRead, VpimError> {
+        let cacheable = {
+            let st = self.state.lock();
+            self.vcfg.prefetch_cache
+                && reqs.len() == 1
+                && reqs.iter().all(|(_, _, len)| st.prefetch.cacheable(*len))
+        };
+        if cacheable {
+            let (out, report) = self.read_rank(reqs)?;
+            return Ok(InFlightRead { report, outputs: out, chunks: VecDeque::new() });
+        }
+        let mut report = OpReport::default();
+        if self.vcfg.request_batching {
+            report.absorb(&self.flush_batch()?);
+        }
+        let mut outputs = Vec::new();
+        let mut chunks: VecDeque<ReadChunk> = VecDeque::new();
+        for chunk in reqs.chunks(MAX_DPUS) {
+            loop {
+                match self.submit_read_chunk(chunk) {
+                    Ok(rc) => {
+                        chunks.push_back(rc);
+                        break;
+                    }
+                    Err(e) if e.is_backpressure() && !chunks.is_empty() => {
+                        let oldest = chunks.pop_front().expect("chunks is non-empty");
+                        if let Err(err) =
+                            self.absorb_read_chunk(oldest, &mut outputs, &mut report)
+                        {
+                            self.drain_read_chunks(chunks);
+                            return Err(err);
+                        }
+                    }
+                    Err(e) => {
+                        self.drain_read_chunks(chunks);
+                        return Err(e);
+                    }
+                }
+            }
+        }
+        Ok(InFlightRead { report, outputs, chunks })
+    }
+
+    /// Collects an in-flight read started by
+    /// [`begin_read_rank`](Self::begin_read_rank), gathering one output
+    /// buffer per original request. Every submitted chunk is completed even
+    /// after a failure; the first error in submission order is returned.
+    ///
+    /// # Errors
+    ///
+    /// Transport or hardware failures.
+    pub fn finish_read_rank(
+        &self,
+        inflight: InFlightRead,
+    ) -> Result<(Vec<Vec<u8>>, OpReport), VpimError> {
+        let InFlightRead { mut report, mut outputs, chunks } = inflight;
+        let mut first_err: Option<VpimError> = None;
+        for c in chunks {
+            if first_err.is_some() {
+                let _ = self.complete(c.op);
+                continue;
+            }
+            if let Err(e) = self.absorb_read_chunk(c, &mut outputs, &mut report) {
+                first_err = Some(e);
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok((outputs, report)),
+        }
     }
 
     // ------------------------------------------------------------- CI ops

@@ -477,5 +477,47 @@ mod tests {
             ml.release();
             dl.release();
         }
+
+        /// Read-direction matrices over arbitrary page-aligned layouts:
+        /// scatter into freshly allocated buffers, then serialize,
+        /// deserialize and gather — data and structure survive bit-exactly.
+        #[test]
+        fn scatter_gather_roundtrip_on_page_aligned_layouts(
+            layout in proptest::collection::vec(
+                (0u32..64, 0u64..16, 1u64..20_000),
+                1..8,
+            )
+        ) {
+            let mem = GuestMemory::new(32 << 20);
+            // Page-aligned MRAM offsets, arbitrary (dpu, len) combinations.
+            let reqs: Vec<(u32, u64, u64)> = layout
+                .iter()
+                .map(|(dpu, page, len)| (*dpu, page * PAGE_SIZE, *len))
+                .collect();
+            let (matrix, lease) = TransferMatrix::alloc_read_buffers(&mem, &reqs).unwrap();
+            prop_assert_eq!(matrix.entries.len(), reqs.len());
+
+            let datas: Vec<Vec<u8>> = matrix
+                .entries
+                .iter()
+                .enumerate()
+                .map(|(i, e)| {
+                    (0..e.len).map(|k| ((k * 11 + i as u64 * 17) % 256) as u8).collect()
+                })
+                .collect();
+            for (entry, data) in matrix.entries.iter().zip(&datas) {
+                TransferMatrix::scatter(&mem, entry, data).unwrap();
+            }
+
+            let (sbufs, ml) = matrix.serialize(&mem).unwrap();
+            let flat: Vec<(Gpa, u32)> = sbufs.iter().map(|(g, l, _)| (*g, *l)).collect();
+            let back = TransferMatrix::deserialize(&mem, &flat).unwrap();
+            prop_assert_eq!(&back, &matrix);
+            for (entry, want) in back.entries.iter().zip(&datas) {
+                prop_assert_eq!(&TransferMatrix::gather(&mem, entry).unwrap(), want);
+            }
+            ml.release();
+            lease.release();
+        }
     }
 }

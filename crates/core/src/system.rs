@@ -4,7 +4,7 @@
 use std::sync::Arc;
 
 use pim_vmm::{BootReport, DispatchMode, Vm, VmConfig};
-use simkit::{CostModel, MetricsRegistry};
+use simkit::{CostModel, MetricsRegistry, WorkerPool};
 use upmem_driver::UpmemDriver;
 
 use crate::backend::Backend;
@@ -24,6 +24,10 @@ pub struct VpimSystem {
     vcfg: VpimConfig,
     cm: CostModel,
     registry: MetricsRegistry,
+    /// The host's DPU-operation thread pool (§4.2's 8 threads), shared by
+    /// every backend on this host so the worker count reflects the machine,
+    /// not the number of attached devices.
+    data_pool: Arc<WorkerPool>,
 }
 
 impl VpimSystem {
@@ -43,7 +47,8 @@ impl VpimSystem {
     ) -> Self {
         let registry = MetricsRegistry::new();
         let manager = Manager::start_with_registry(driver.clone(), cm.clone(), mcfg, &registry);
-        VpimSystem { driver, manager: Some(manager), vcfg, cm, registry }
+        let data_pool = Arc::new(WorkerPool::new(cm.backend_threads));
+        VpimSystem { driver, manager: Some(manager), vcfg, cm, registry, data_pool }
     }
 
     /// The host driver.
@@ -125,13 +130,14 @@ impl VpimSystem {
         let manager = self.manager();
         let mut devices = Vec::with_capacity(n_devices);
         for i in 0..n_devices {
-            let backend = Backend::with_registry(
+            let backend = Backend::with_pool(
                 self.driver.clone(),
                 manager.client(),
                 self.vcfg,
                 self.cm.clone(),
                 format!("{tag}/vupmem{i}"),
                 &self.registry,
+                self.data_pool.clone(),
             );
             let device = Arc::new(VupmemDevice::with_registry(
                 format!("{tag}/vupmem{i}"),

@@ -38,6 +38,7 @@
 pub mod compose;
 pub mod cost;
 pub mod error;
+pub mod executor;
 pub mod rng;
 pub mod stats;
 pub mod telemetry;
@@ -47,6 +48,7 @@ pub mod timeline;
 pub use compose::{parallel, pool, sequential};
 pub use cost::CostModel;
 pub use error::{ErrorKind, HasErrorKind};
+pub use executor::{JobHandle, WorkerPool};
 pub use rng::SimRng;
 pub use telemetry::{
     Counter, Gauge, Instrument, MetricSet, MetricValue, MetricsRegistry, MetricsSnapshot, Span,

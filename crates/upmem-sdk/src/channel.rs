@@ -6,7 +6,7 @@ use simkit::{CostModel, VirtualNanos};
 use upmem_driver::PerfMapping;
 use simkit::cost::DataPath;
 use upmem_sim::ci::CiStatus;
-use vpim::frontend::Frontend;
+use vpim::frontend::{Frontend, InFlightRead, InFlightWrite};
 use vpim::OpReport;
 
 use crate::error::SdkError;
@@ -63,6 +63,27 @@ pub enum Transfer<'a> {
         /// Per-DPU values.
         entries: &'a [(u32, u32)],
     },
+}
+
+/// A matrix write started with [`RankChannel::begin_write_matrix`].
+/// Native channels complete synchronously (the mmap'ed copy happens during
+/// begin); virtualized channels are genuinely in flight, so beginning the
+/// next rank's write before finishing this one overlaps the two transfers.
+#[derive(Debug)]
+pub enum PendingMatrixWrite {
+    /// Already complete; carries the final report.
+    Done(OpReport),
+    /// Awaiting a vUPMEM device completion.
+    Virt(InFlightWrite),
+}
+
+/// A matrix read started with [`RankChannel::begin_read_matrix`].
+#[derive(Debug)]
+pub enum PendingMatrixRead {
+    /// Already complete; carries the outputs and the final report.
+    Done(Vec<Vec<u8>>, OpReport),
+    /// Awaiting a vUPMEM device completion.
+    Virt(InFlightRead),
 }
 
 impl RankChannel {
@@ -195,6 +216,91 @@ impl RankChannel {
                 Ok((outs, r))
             }
             RankChannel::Virt(f) => Ok(f.read_rank(reqs)?),
+        }
+    }
+
+    /// Starts a parallel `write-to-rank` without waiting for completion.
+    /// Begin the write on every channel of a multi-rank set first, then
+    /// [`finish_write_matrix`](Self::finish_write_matrix) each one: under
+    /// parallel dispatch the per-rank transfers overlap in wall-clock time,
+    /// while every virtual-time figure matches the serial
+    /// [`write_matrix`](Self::write_matrix) path exactly.
+    ///
+    /// # Errors
+    ///
+    /// Hardware bounds errors or transport failures.
+    pub fn begin_write_matrix(
+        &self,
+        entries: &[(u32, u64, &[u8])],
+        cm: &CostModel,
+    ) -> Result<PendingMatrixWrite, SdkError> {
+        match self {
+            RankChannel::Native(_) => {
+                Ok(PendingMatrixWrite::Done(self.write_matrix(entries, cm)?))
+            }
+            RankChannel::Virt(f) => Ok(PendingMatrixWrite::Virt(f.begin_write_rank(entries)?)),
+        }
+    }
+
+    /// Completes a write started by
+    /// [`begin_write_matrix`](Self::begin_write_matrix) on this channel.
+    ///
+    /// # Errors
+    ///
+    /// Hardware bounds errors or transport failures.
+    pub fn finish_write_matrix(
+        &self,
+        pending: PendingMatrixWrite,
+    ) -> Result<OpReport, SdkError> {
+        match pending {
+            PendingMatrixWrite::Done(report) => Ok(report),
+            PendingMatrixWrite::Virt(inflight) => match self {
+                RankChannel::Virt(f) => Ok(f.finish_write_rank(inflight)?),
+                RankChannel::Native(_) => {
+                    unreachable!("pending write finished on a different channel")
+                }
+            },
+        }
+    }
+
+    /// Starts a parallel `read-from-rank` without waiting for completion;
+    /// pair with [`finish_read_matrix`](Self::finish_read_matrix).
+    ///
+    /// # Errors
+    ///
+    /// Hardware bounds errors or transport failures.
+    pub fn begin_read_matrix(
+        &self,
+        reqs: &[(u32, u64, u64)],
+        cm: &CostModel,
+    ) -> Result<PendingMatrixRead, SdkError> {
+        match self {
+            RankChannel::Native(_) => {
+                let (outs, report) = self.read_matrix(reqs, cm)?;
+                Ok(PendingMatrixRead::Done(outs, report))
+            }
+            RankChannel::Virt(f) => Ok(PendingMatrixRead::Virt(f.begin_read_rank(reqs)?)),
+        }
+    }
+
+    /// Completes a read started by
+    /// [`begin_read_matrix`](Self::begin_read_matrix) on this channel.
+    ///
+    /// # Errors
+    ///
+    /// Hardware bounds errors or transport failures.
+    pub fn finish_read_matrix(
+        &self,
+        pending: PendingMatrixRead,
+    ) -> Result<(Vec<Vec<u8>>, OpReport), SdkError> {
+        match pending {
+            PendingMatrixRead::Done(outs, report) => Ok((outs, report)),
+            PendingMatrixRead::Virt(inflight) => match self {
+                RankChannel::Virt(f) => Ok(f.finish_read_rank(inflight)?),
+                RankChannel::Native(_) => {
+                    unreachable!("pending read finished on a different channel")
+                }
+            },
         }
     }
 

@@ -10,8 +10,17 @@ use upmem_sim::ci::CiStatus;
 use vpim::frontend::Frontend;
 use vpim::OpReport;
 
-use crate::channel::RankChannel;
+use crate::channel::{PendingMatrixRead, PendingMatrixWrite, RankChannel};
 use crate::error::SdkError;
+
+/// True when a channel error means "the VM's bounded transport resources
+/// (bounce pages, virtqueue slots) are exhausted by in-flight operations
+/// on *other* channels" — finishing those and retrying is the correct
+/// response. Intra-channel pressure is already handled inside the
+/// frontend's begin path.
+fn is_backpressure(e: &SdkError) -> bool {
+    matches!(e, SdkError::Vpim(v) if v.is_backpressure())
+}
 
 /// A set of allocated DPUs spanning one or more ranks.
 ///
@@ -261,7 +270,16 @@ impl DpuSet {
                 got: bufs.len(),
             });
         }
+        // Begin the write on every rank before finishing any: under
+        // parallel dispatch the per-rank transfers genuinely overlap in
+        // wall-clock time (§4.2's overlapped multi-rank dpu_push_xfer);
+        // under sequential dispatch begin runs the handler inline, so the
+        // two modes produce identical reports.
+        let mut pendings: Vec<(usize, PendingMatrixWrite)> =
+            Vec::with_capacity(self.channels.len());
         let mut reports = Vec::with_capacity(self.channels.len());
+        let mut begin_err: Option<SdkError> = None;
+        let mut finish_err: Option<SdkError> = None;
         let mut cursor = 0usize;
         for (ci, dpus) in self.per_channel.iter().enumerate() {
             let entries: Vec<(u32, u64, &[u8])> = dpus
@@ -270,7 +288,42 @@ impl DpuSet {
                 .map(|(k, d)| (*d, offset, bufs[cursor + k].as_slice()))
                 .collect();
             cursor += dpus.len();
-            reports.push(self.channels[ci].write_matrix(&entries, &self.cm)?);
+            let mut attempt = self.channels[ci].begin_write_matrix(&entries, &self.cm);
+            if matches!(&attempt, Err(e) if is_backpressure(e)) && !pendings.is_empty() {
+                // Earlier ranks' in-flight transfers hold the VM-wide
+                // bounce pool: reclaim by finishing them (reports stay in
+                // channel order), then retry this rank once.
+                for (pci, p) in pendings.drain(..) {
+                    match self.channels[pci].finish_write_matrix(p) {
+                        Ok(r) => reports.push(r),
+                        Err(e) => {
+                            finish_err.get_or_insert(e);
+                        }
+                    }
+                }
+                attempt = self.channels[ci].begin_write_matrix(&entries, &self.cm);
+            }
+            match attempt {
+                Ok(p) => pendings.push((ci, p)),
+                Err(e) => {
+                    begin_err = Some(e);
+                    break;
+                }
+            }
+        }
+        // Always finish what was begun (reclaims guest pages and queue
+        // slots); report the first error in channel order, as the serial
+        // loop would.
+        for (ci, p) in pendings {
+            match self.channels[ci].finish_write_matrix(p) {
+                Ok(r) => reports.push(r),
+                Err(e) => {
+                    finish_err.get_or_insert(e);
+                }
+            }
+        }
+        if let Some(e) = finish_err.or(begin_err) {
+            return Err(e);
         }
         let merged = self.compose(reports);
         self.charge(DriverSegment::WriteRank, &merged);
@@ -284,14 +337,54 @@ impl DpuSet {
     ///
     /// Hardware/transport failures.
     pub fn push_from_heap(&mut self, offset: u64, len: usize) -> Result<Vec<Vec<u8>>, SdkError> {
+        // Same begin-all / finish-all split as `push_to_heap`: overlapped
+        // retrieval across ranks, identical reports in either mode, and the
+        // same finish-and-retry response to bounce-pool exhaustion.
+        let mut pendings: Vec<(usize, PendingMatrixRead)> =
+            Vec::with_capacity(self.channels.len());
         let mut reports = Vec::with_capacity(self.channels.len());
         let mut outputs = Vec::with_capacity(self.nr_dpus());
+        let mut begin_err: Option<SdkError> = None;
+        let mut finish_err: Option<SdkError> = None;
         for (ci, dpus) in self.per_channel.iter().enumerate() {
             let reqs: Vec<(u32, u64, u64)> =
                 dpus.iter().map(|d| (*d, offset, len as u64)).collect();
-            let (mut outs, r) = self.channels[ci].read_matrix(&reqs, &self.cm)?;
-            outputs.append(&mut outs);
-            reports.push(r);
+            let mut attempt = self.channels[ci].begin_read_matrix(&reqs, &self.cm);
+            if matches!(&attempt, Err(e) if is_backpressure(e)) && !pendings.is_empty() {
+                for (pci, p) in pendings.drain(..) {
+                    match self.channels[pci].finish_read_matrix(p) {
+                        Ok((mut outs, r)) => {
+                            outputs.append(&mut outs);
+                            reports.push(r);
+                        }
+                        Err(e) => {
+                            finish_err.get_or_insert(e);
+                        }
+                    }
+                }
+                attempt = self.channels[ci].begin_read_matrix(&reqs, &self.cm);
+            }
+            match attempt {
+                Ok(p) => pendings.push((ci, p)),
+                Err(e) => {
+                    begin_err = Some(e);
+                    break;
+                }
+            }
+        }
+        for (ci, p) in pendings {
+            match self.channels[ci].finish_read_matrix(p) {
+                Ok((mut outs, r)) => {
+                    outputs.append(&mut outs);
+                    reports.push(r);
+                }
+                Err(e) => {
+                    finish_err.get_or_insert(e);
+                }
+            }
+        }
+        if let Some(e) = finish_err.or(begin_err) {
+            return Err(e);
         }
         let merged = self.compose(reports);
         self.charge(DriverSegment::ReadRank, &merged);

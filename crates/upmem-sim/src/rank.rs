@@ -10,7 +10,7 @@ use parking_lot::Mutex;
 use crate::ci::{CiCommand, CiCounters, CiStatus};
 use crate::dpu::{Dpu, DpuState, LaunchReport};
 use crate::error::SimError;
-use crate::geometry::{PimConfig, MAX_RANK_XFER};
+use crate::geometry::{PimConfig, DPUS_PER_CHIP, MAX_RANK_XFER};
 use crate::interleave;
 use crate::kernel::{KernelImage, KernelRegistry};
 
@@ -30,9 +30,16 @@ impl RankSnapshot {
 
 /// One UPMEM rank.
 ///
+/// # Lock sharding
+///
 /// DPUs are individually locked so backend worker threads can operate on
 /// different DPUs of the same rank concurrently (vPIM's 8-thread DPU
-/// operation pool, §4.2).
+/// operation pool, §4.2). There is deliberately **no rank-wide lock**: the
+/// interleave transform and DDR-occupancy emulation run *outside* the DPU
+/// mutex, so a DPU's critical section is only the MRAM memcpy itself.
+/// Concurrent operations on the *same* DPU serialize on its mutex;
+/// operations on distinct DPUs — even in the same chip — proceed in
+/// parallel. CI counters are atomics and need no lock.
 #[derive(Debug)]
 pub struct Rank {
     id: usize,
@@ -107,6 +114,29 @@ impl Rank {
         }
     }
 
+    /// The PIM chip holding `dpu` (DPUs are numbered chip-major: DPU `d`
+    /// lives on chip `d / 8`). Useful to callers partitioning work so that
+    /// no two workers contend on one chip's DPUs.
+    #[must_use]
+    pub fn chip_of(dpu: usize) -> usize {
+        dpu / DPUS_PER_CHIP
+    }
+
+    /// Blocks the calling thread for the emulated DDR-bus occupancy of a
+    /// `len`-byte transfer (no-op when `ddr_busy_ns_per_kb` is 0). Runs
+    /// outside any DPU lock: it models the *host thread* being busy on the
+    /// bus, not the MRAM bank being held.
+    fn emulate_ddr_busy(&self, len: usize) {
+        let per_kb = self.config.ddr_busy_ns_per_kb;
+        if per_kb == 0 || len == 0 {
+            return;
+        }
+        let ns = (len as u64).saturating_mul(per_kb) / 1024;
+        if ns > 0 {
+            std::thread::sleep(std::time::Duration::from_nanos(ns));
+        }
+    }
+
     /// Writes host bytes into one DPU's MRAM at `offset` — the data half of
     /// a `write-to-rank`. When the config enables interleave verification
     /// the buffer really goes through the interleave/deinterleave pair the
@@ -119,7 +149,10 @@ impl Rank {
     pub fn write_dpu(&self, dpu: usize, offset: u64, data: &[u8]) -> Result<(), SimError> {
         self.check_dpu(dpu)?;
         Self::check_len(data.len() as u64)?;
+        self.emulate_ddr_busy(data.len());
         if self.config.verify_interleave {
+            // Transform outside the DPU lock: the critical section is only
+            // the MRAM write itself.
             let mut wire = vec![0u8; data.len()];
             interleave::interleave_fast(data, &mut wire);
             let mut logical = vec![0u8; data.len()];
@@ -140,9 +173,11 @@ impl Rank {
     pub fn read_dpu(&self, dpu: usize, offset: u64, dst: &mut [u8]) -> Result<(), SimError> {
         self.check_dpu(dpu)?;
         Self::check_len(dst.len() as u64)?;
+        self.emulate_ddr_busy(dst.len());
         if self.config.verify_interleave {
             let mut logical = vec![0u8; dst.len()];
             self.dpus[dpu].lock().mram().read(offset, &mut logical)?;
+            // Transform outside the DPU lock (see write_dpu).
             let mut wire = vec![0u8; dst.len()];
             interleave::interleave_fast(&logical, &mut wire);
             interleave::deinterleave_fast(&wire, dst);
@@ -430,6 +465,89 @@ mod tests {
         let mut buf = [1u8; 64];
         r.read_dpu(0, 0, &mut buf).unwrap();
         assert_eq!(buf, [0u8; 64]);
+    }
+
+    #[test]
+    fn chip_numbering_is_chip_major() {
+        assert_eq!(Rank::chip_of(0), 0);
+        assert_eq!(Rank::chip_of(7), 0);
+        assert_eq!(Rank::chip_of(8), 1);
+        assert_eq!(Rank::chip_of(63), 7);
+    }
+
+    #[test]
+    fn distinct_dpus_accept_concurrent_operations() {
+        // Two threads each hold one DPU's lock and rendezvous on a barrier
+        // while holding it — this deadlocks unless locking is per-DPU.
+        use std::sync::Barrier;
+        let r = Arc::new(rank());
+        let barrier = Arc::new(Barrier::new(2));
+        let threads: Vec<_> = (0..2usize)
+            .map(|d| {
+                let r = Arc::clone(&r);
+                let b = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    r.with_dpu(d, |dpu| {
+                        b.wait();
+                        dpu.mram_mut().write(0, &[d as u8; 32]).unwrap();
+                    })
+                    .unwrap();
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        for d in 0..2usize {
+            let mut buf = [0u8; 32];
+            r.read_dpu(d, 0, &mut buf).unwrap();
+            assert_eq!(buf, [d as u8; 32]);
+        }
+    }
+
+    #[test]
+    fn concurrent_writers_to_distinct_dpus_keep_data_intact() {
+        let r = Arc::new(rank());
+        let threads: Vec<_> = (0..r.dpu_count())
+            .map(|d| {
+                let r = Arc::clone(&r);
+                std::thread::spawn(move || {
+                    for round in 0..16u8 {
+                        let data = vec![d as u8 ^ round; 512];
+                        r.write_dpu(d, u64::from(round) * 512, &data).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        for d in 0..r.dpu_count() {
+            for round in 0..16u8 {
+                let mut back = vec![0u8; 512];
+                r.read_dpu(d, u64::from(round) * 512, &mut back).unwrap();
+                assert_eq!(back, vec![d as u8 ^ round; 512], "dpu {d} round {round}");
+            }
+        }
+    }
+
+    #[test]
+    fn ddr_busy_emulation_blocks_proportionally_and_defaults_off() {
+        use std::time::Instant;
+        let cfg = PimConfig::small();
+        assert_eq!(cfg.ddr_busy_ns_per_kb, 0);
+        let slow = Rank::new(
+            0,
+            &PimConfig { ddr_busy_ns_per_kb: 2_000_000, ..PimConfig::small() },
+        );
+        let start = Instant::now();
+        slow.write_dpu(0, 0, &[7u8; 4096]).unwrap(); // 4 KiB → 8 ms
+        assert!(start.elapsed() >= std::time::Duration::from_millis(8));
+        let mut back = [0u8; 4096];
+        let start = Instant::now();
+        slow.read_dpu(0, 0, &mut back).unwrap();
+        assert!(start.elapsed() >= std::time::Duration::from_millis(8));
+        assert_eq!(back, [7u8; 4096]);
     }
 
     #[test]

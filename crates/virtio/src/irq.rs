@@ -86,6 +86,16 @@ impl IrqLine {
         self.line.cv.notify_all();
     }
 
+    /// Wakes every blocked waiter without asserting (or counting) an
+    /// interrupt. Used by drivers that multiplex one line across several
+    /// waiting threads: whoever consumes the interrupt and drains the used
+    /// ring nudges the line so the *owners* of the drained completions
+    /// re-check their state instead of sleeping on a count that was
+    /// consumed on their behalf.
+    pub fn nudge(&self) {
+        self.line.cv.notify_all();
+    }
+
     /// Driver side: consume one pending interrupt if any.
     #[must_use]
     pub fn try_take(&self) -> bool {

@@ -27,5 +27,5 @@ pub mod vm;
 
 pub use config::{VmConfig, VupmemConfig};
 pub use device::{VirtioDevice, VmmError};
-pub use event::{DispatchMode, EventManager};
+pub use event::{DispatchMode, EventManager, KickHandle};
 pub use vm::{BootReport, Vm};

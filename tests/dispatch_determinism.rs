@@ -1,0 +1,158 @@
+//! Two-clock determinism: real OS-thread parallelism must never leak into
+//! virtual time. The same multi-rank workload run under
+//! `DispatchMode::Sequential` and `DispatchMode::Parallel` produces
+//! bit-identical payloads and per-request virtual-time reports, and a
+//! parallel run repeated is bit-identical to itself (no wall-clock
+//! interleaving feeds back into the figures).
+
+use std::sync::Arc;
+
+use microbench::checksum::{self, Checksum};
+use simkit::CostModel;
+use upmem_driver::UpmemDriver;
+use upmem_sdk::DpuSet;
+use upmem_sim::{PimConfig, PimMachine};
+use vpim::{OpReport, VpimConfig, VpimSystem};
+
+const RANKS: usize = 4;
+const DPUS_PER_RANK: usize = 8;
+const BYTES_PER_DPU: usize = 12_000;
+
+fn host() -> Arc<UpmemDriver> {
+    let machine = PimMachine::new(PimConfig {
+        ranks: RANKS,
+        functional_dpus: vec![DPUS_PER_RANK; RANKS],
+        mram_size: 1 << 20,
+        ..PimConfig::small()
+    });
+    Checksum::register(&machine);
+    Arc::new(UpmemDriver::new(machine))
+}
+
+fn config(parallel: bool) -> VpimConfig {
+    VpimConfig::builder().batching(false).prefetch(false).parallel(parallel).build()
+}
+
+/// Per-DPU payload: deterministic, unique per (rank, dpu).
+fn payload(rank: usize, dpu: u32) -> Vec<u8> {
+    let seed = (rank * 97 + dpu as usize * 13 + 5) as u32;
+    (0..BYTES_PER_DPU)
+        .map(|i| (seed.wrapping_mul(48271).wrapping_add(i as u32) >> 7) as u8)
+        .collect()
+}
+
+/// One multi-rank workload directly against the frontends: write a matrix
+/// to every rank, read it back. Returns every per-request report and every
+/// payload read back.
+fn run_rank_ops(parallel: bool) -> (Vec<OpReport>, Vec<Vec<Vec<u8>>>) {
+    let sys = VpimSystem::start(host(), config(parallel));
+    let vm = sys.launch_vm("det", RANKS).unwrap();
+    let mut reports = Vec::new();
+    let mut outputs = Vec::new();
+    for (r, fe) in vm.frontends().iter().enumerate() {
+        let datas: Vec<Vec<u8>> =
+            (0..DPUS_PER_RANK as u32).map(|d| payload(r, d)).collect();
+        let entries: Vec<(u32, u64, &[u8])> = datas
+            .iter()
+            .enumerate()
+            .map(|(d, data)| (d as u32, 4096, data.as_slice()))
+            .collect();
+        reports.push(fe.write_rank(&entries).unwrap());
+        let reqs: Vec<(u32, u64, u64)> = (0..DPUS_PER_RANK as u32)
+            .map(|d| (d, 4096, BYTES_PER_DPU as u64))
+            .collect();
+        let (outs, r) = fe.read_rank(&reqs).unwrap();
+        reports.push(r);
+        outputs.push(outs);
+    }
+    drop(vm);
+    sys.shutdown();
+    (reports, outputs)
+}
+
+#[test]
+fn per_request_reports_and_payloads_identical_across_dispatch_modes() {
+    let (seq_reports, seq_out) = run_rank_ops(false);
+    let (par_reports, par_out) = run_rank_ops(true);
+    // Payloads bit-identical.
+    assert_eq!(seq_out, par_out);
+    // Every virtual-time field of every request: duration, DDR share,
+    // message count, rank ops, and the full Fig. 13 step breakdown.
+    assert_eq!(seq_reports.len(), par_reports.len());
+    for (i, (s, p)) in seq_reports.iter().zip(&par_reports).enumerate() {
+        assert_eq!(s, p, "request {i}: dispatch mode leaked into virtual time");
+    }
+    // And the data read back is what was written.
+    for (r, outs) in seq_out.iter().enumerate() {
+        for (d, out) in outs.iter().enumerate() {
+            assert_eq!(out, &payload(r, d as u32), "rank {r} dpu {d}");
+        }
+    }
+}
+
+/// The full checksum application over every rank through the SDK; returns
+/// figure-relevant numbers: verification result, checksum value, app/driver
+/// timeline, and the Fig. 16 per-rank completion offsets.
+fn run_checksum(parallel: bool) -> (bool, u32, simkit::Timeline, Vec<(usize, u64)>) {
+    let sys = VpimSystem::start(host(), config(parallel));
+    let vm = sys.launch_vm("det", RANKS).unwrap();
+    let mut set =
+        DpuSet::alloc_vm(vm.frontends(), RANKS * DPUS_PER_RANK, CostModel::default())
+            .unwrap();
+    let run = Checksum::run(&mut set, 16_384, 7).unwrap();
+    let per_rank: Vec<(usize, u64)> =
+        set.last_per_rank().iter().map(|(i, d)| (*i, d.as_nanos())).collect();
+    let timeline = set.take_timeline();
+    drop(set);
+    drop(vm);
+    sys.shutdown();
+    (run.verified, run.value, timeline, per_rank)
+}
+
+#[test]
+fn parallel_runs_are_bit_identical_across_repeats() {
+    let a = run_checksum(true);
+    let b = run_checksum(true);
+    assert!(a.0, "checksum must verify");
+    assert_eq!(a.1, b.1, "checksum value");
+    assert_eq!(a.2, b.2, "timeline must not depend on thread interleaving");
+    assert_eq!(a.3, b.3, "per-rank completion offsets (Fig. 16)");
+}
+
+#[test]
+fn sequential_runs_are_bit_identical_across_repeats() {
+    let a = run_checksum(false);
+    let b = run_checksum(false);
+    assert!(a.0, "checksum must verify");
+    assert_eq!(a.1, b.1);
+    assert_eq!(a.2, b.2);
+    assert_eq!(a.3, b.3);
+}
+
+#[test]
+fn modes_agree_on_everything_but_the_overlap_model() {
+    // Results and counters match across modes; only the composed duration
+    // model differs (sequential back-to-back vs parallel max/DDR-bound —
+    // Fig. 15/16), and it differs deterministically.
+    let seq = run_checksum(false);
+    let par = run_checksum(true);
+    assert_eq!(seq.1, par.1, "checksum value is mode-independent");
+    assert_eq!(
+        seq.2.messages(),
+        par.2.messages(),
+        "guest<->VMM message count is mode-independent"
+    );
+    assert_eq!(seq.2.rank_ops(), par.2.rank_ops());
+    assert_eq!(seq.3.len(), par.3.len(), "same number of per-rank series");
+    // Sequential completion offsets accumulate, so the last rank finishes
+    // no earlier than under the overlapped parallel model.
+    let last_seq = seq.3.last().unwrap().1;
+    let last_par = par.3.last().unwrap().1;
+    assert!(last_seq >= last_par, "seq {last_seq} vs par {last_par}");
+}
+
+#[test]
+fn data_offset_matches_checksum_kernel_layout() {
+    // Guard the constant used above: the kernel reads from DATA_OFFSET.
+    assert_eq!(checksum::DATA_OFFSET, 4096);
+}
