@@ -4,11 +4,12 @@
 .PHONY: tier1 build test figures bench clean
 
 # The repo's tier-1 gate (ROADMAP.md): release build + full test suite,
-# then the concurrency stress/determinism suites under varied harness
-# parallelism.
+# then the concurrency stress/determinism and scheduler oversubscription
+# suites under varied harness parallelism.
 tier1:
 	sh ci/offline-gate.sh
 	sh ci/stress-gate.sh
+	sh ci/sched-gate.sh
 
 build:
 	cargo build --offline --workspace

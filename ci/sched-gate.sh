@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# Scheduler gate: runs the oversubscription stress suite and the sched
+# property suite in release mode, once with the test harness serialized
+# and once with high harness parallelism. The load-bearing assertion is
+# bit-identity: 8 VMs time-shared over 4 ranks must read back exactly the
+# bytes a dedicated 8-rank run produces, under constant checkpoint /
+# restore churn, in both dispatch modes.
+#
+# Usage: ci/sched-gate.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+for threads in 1 8; do
+    echo "== sched gate: RUST_TEST_THREADS=$threads =="
+    RUST_TEST_THREADS=$threads cargo test --release --offline -q \
+        --test oversubscription --test sched_properties
+done
+
+echo "== sched gate: OK =="

@@ -25,6 +25,7 @@ use crate::config::VpimConfig;
 use crate::error::VpimError;
 use crate::manager::ManagerClient;
 use crate::matrix::{DpuXfer, TransferMatrix};
+use crate::sched::{RankSlot, Scheduler};
 use crate::spec::{PimDeviceConfig, Request, Response};
 
 /// Response status: success.
@@ -66,11 +67,13 @@ impl BackendCounters {
 #[derive(Debug)]
 pub struct Backend {
     driver: Arc<UpmemDriver>,
-    manager: ManagerClient,
+    sched: Scheduler,
     vcfg: VpimConfig,
     cm: CostModel,
     owner: String,
-    perf: Mutex<Option<PerfMapping>>,
+    /// The scheduler's preemption unit: holding this lock is holding the
+    /// safe-point token (see [`crate::sched`]).
+    perf: RankSlot,
     counters: BackendCounters,
     pool: Arc<WorkerPool>,
 }
@@ -120,13 +123,32 @@ impl Backend {
         registry: &MetricsRegistry,
         pool: Arc<WorkerPool>,
     ) -> Self {
+        let sched = Scheduler::new(driver.clone(), manager, vcfg.sched, cm.clone(), registry);
+        Self::with_scheduler(driver, sched, vcfg, cm, owner, registry, pool)
+    }
+
+    /// [`with_pool`](Self::with_pool), sharing an existing [`Scheduler`]
+    /// instead of wrapping the manager client in a private one. The system
+    /// wiring hands every backend on a host the same scheduler — required
+    /// for correctness under oversubscription (admission and preemption
+    /// decisions must see all tenants).
+    #[must_use]
+    pub fn with_scheduler(
+        driver: Arc<UpmemDriver>,
+        sched: Scheduler,
+        vcfg: VpimConfig,
+        cm: CostModel,
+        owner: String,
+        registry: &MetricsRegistry,
+        pool: Arc<WorkerPool>,
+    ) -> Self {
         Backend {
             driver,
-            manager,
+            sched,
             vcfg,
             cm,
             owner,
-            perf: Mutex::new(None),
+            perf: Arc::new(Mutex::new(None)),
             counters: BackendCounters::from_registry(registry),
             pool,
         }
@@ -150,27 +172,38 @@ impl Backend {
         self.perf.lock().as_ref().map(PerfMapping::rank_id)
     }
 
-    /// Links a physical rank through the manager if not already linked
+    /// The scheduler this backend acquires ranks through.
+    #[must_use]
+    pub fn scheduler(&self) -> &Scheduler {
+        &self.sched
+    }
+
+    /// Links a physical rank through the scheduler if not already linked
     /// (§3.3: allocation happens at device instantiation or first DPU
-    /// allocation).
+    /// allocation). Under oversubscription a preempted backend relinks
+    /// transparently here: its parked checkpoint is restored before the
+    /// guard is returned, so the operation that triggered the relink sees
+    /// the rank exactly as the preemption left it.
     ///
     /// # Errors
     ///
-    /// Manager exhaustion or a driver claim conflict.
+    /// Manager exhaustion (dedicated mode), admission timeout
+    /// (oversubscribed mode) or a driver claim conflict.
     pub fn ensure_linked(&self) -> Result<MutexGuard<'_, Option<PerfMapping>>, VpimError> {
         let mut guard = self.perf.lock();
         if guard.is_none() {
-            let outcome = self.manager.alloc(&self.owner)?;
-            let mapping = self.driver.open_perf(outcome.rank, &self.owner)?;
-            *guard = Some(mapping);
+            let grant = self.sched.acquire(&self.owner, &self.perf)?;
+            *guard = Some(grant.mapping);
         }
         Ok(guard)
     }
 
     /// Unlinks the physical rank (drops the perf mapping; sysfs flips and
-    /// the manager's observer takes over).
+    /// the manager's observer takes over) and tells the scheduler the
+    /// lease ended voluntarily.
     pub fn unlink(&self) {
         *self.perf.lock() = None;
+        self.sched.notify_release(&self.owner);
     }
 
     /// Processes one popped `transferq` chain and returns the response to
@@ -178,10 +211,22 @@ impl Backend {
     /// failure becomes an error response.
     #[must_use]
     pub fn process(&self, mem: &GuestMemory, chain: &DescChain) -> Response {
-        match self.try_process(mem, chain) {
+        let resp = match self.try_process(mem, chain) {
             Ok(resp) => resp,
             Err(e) => Response::err(classify(&e), e.kind(), e.to_string()),
+        };
+        if self.vcfg.sched.oversubscription && resp.status == STATUS_OK {
+            // Charge the operation's modeled duration against this
+            // tenant's lease. Virtual-time-derived, so Sequential and
+            // Parallel dispatch grow the accounts identically.
+            let vt = VirtualNanos::from_nanos(
+                resp.deser_ns
+                    .saturating_add(resp.translate_ns)
+                    .saturating_add(resp.transfer_ns),
+            ) + self.cm.dpu_cycles(resp.launch_cycles);
+            self.sched.charge(&self.owner, vt);
         }
+        resp
     }
 
     fn try_process(&self, mem: &GuestMemory, chain: &DescChain) -> Result<Response, VpimError> {

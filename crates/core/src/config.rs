@@ -3,6 +3,48 @@
 use serde::{Deserialize, Serialize};
 use simkit::cost::DataPath;
 
+use crate::sched::SchedPolicy;
+
+/// The rank scheduler's knobs (the `sched` section of [`VpimConfig`]).
+///
+/// With `oversubscription` off (the default) the scheduler is a thin
+/// pass-through over the manager: exhaustion fails fast with
+/// [`NoRankAvailable`](crate::VpimError::NoRankAvailable), exactly the
+/// paper's §3.5 behaviour. Switching it on turns exhaustion into
+/// **block-or-queue**: requests park in an admission queue and are served
+/// by time-sharing ranks through checkpoint → reset → lend → restore
+/// cycles (§7's consolidation future work).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SchedSection {
+    /// Allow more tenant VMs than physical ranks (time-sharing).
+    pub oversubscription: bool,
+    /// Admission-queue ordering policy.
+    pub policy: SchedPolicy,
+    /// Protection quantum in **virtual** milliseconds: a lease that has
+    /// consumed less rank time than this is only preempted when no expired
+    /// lease exists.
+    pub quantum_ms: u64,
+    /// [`SnapshotStore`](crate::sched::SnapshotStore) budget in MiB
+    /// (0 = unlimited). Preemptions that would overflow the budget are
+    /// refused rather than dropping a tenant's parked state.
+    pub park_budget_mib: u64,
+    /// Wall-clock milliseconds a queued request waits before giving up
+    /// with [`AdmissionTimeout`](crate::VpimError::AdmissionTimeout).
+    pub admission_timeout_ms: u64,
+}
+
+impl Default for SchedSection {
+    fn default() -> Self {
+        SchedSection {
+            oversubscription: false,
+            policy: SchedPolicy::Fifo,
+            quantum_ms: 50,
+            park_budget_mib: 256,
+            admission_timeout_ms: 30_000,
+        }
+    }
+}
+
 /// The named configurations evaluated in §5.4 (Table 2 of the paper).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Variant {
@@ -90,6 +132,8 @@ pub struct VpimConfig {
     pub prefetch_pages_per_dpu: usize,
     /// Batch buffer capacity in pages per DPU (paper: 64).
     pub batch_pages_per_dpu: usize,
+    /// Rank scheduling and oversubscription knobs.
+    pub sched: SchedSection,
 }
 
 /// Fluent constructor for [`VpimConfig`], starting from the fully
@@ -168,6 +212,49 @@ impl VpimConfigBuilder {
         self
     }
 
+    /// Enables or disables rank oversubscription (block-or-queue admission
+    /// plus checkpoint/restore time-sharing when tenants outnumber ranks).
+    #[must_use]
+    pub fn oversubscription(mut self, on: bool) -> Self {
+        self.cfg.sched.oversubscription = on;
+        self
+    }
+
+    /// Selects the admission-queue policy.
+    #[must_use]
+    pub fn sched_policy(mut self, policy: SchedPolicy) -> Self {
+        self.cfg.sched.policy = policy;
+        self
+    }
+
+    /// Sets the virtual-time protection quantum in milliseconds.
+    #[must_use]
+    pub fn sched_quantum_ms(mut self, ms: u64) -> Self {
+        self.cfg.sched.quantum_ms = ms;
+        self
+    }
+
+    /// Sets the snapshot-store budget in MiB (0 = unlimited).
+    #[must_use]
+    pub fn park_budget_mib(mut self, mib: u64) -> Self {
+        self.cfg.sched.park_budget_mib = mib;
+        self
+    }
+
+    /// Sets the wall-clock admission timeout in milliseconds.
+    #[must_use]
+    pub fn admission_timeout_ms(mut self, ms: u64) -> Self {
+        self.cfg.sched.admission_timeout_ms = ms;
+        self
+    }
+
+    /// Replaces the whole `sched` section.
+    #[must_use]
+    pub fn sched(mut self, sched: SchedSection) -> Self {
+        self.cfg.sched = sched;
+        self
+    }
+
     /// Finishes the configuration.
     #[must_use]
     pub fn build(self) -> VpimConfig {
@@ -195,6 +282,7 @@ impl VpimConfig {
             parallel_handling: true,
             prefetch_pages_per_dpu: 16,
             batch_pages_per_dpu: 64,
+            sched: SchedSection::default(),
         }
     }
 
@@ -351,5 +439,36 @@ mod tests {
     fn labels_match_paper() {
         assert_eq!(Variant::VpimRust.label(), "vPIM-rust");
         assert_eq!(Variant::Vpim.to_string(), "vPIM");
+    }
+
+    #[test]
+    fn sched_defaults_keep_dedicated_semantics() {
+        // Oversubscription is opt-in: the default config must behave
+        // exactly like the pre-scheduler system (exhaustion errors).
+        let cfg = VpimConfig::builder().build();
+        assert!(!cfg.sched.oversubscription);
+        assert_eq!(cfg.sched.policy, crate::sched::SchedPolicy::Fifo);
+        assert_eq!(cfg.sched.quantum_ms, 50);
+        assert_eq!(cfg.sched.park_budget_mib, 256);
+        assert_eq!(cfg.sched.admission_timeout_ms, 30_000);
+    }
+
+    #[test]
+    fn sched_builder_methods_cover_every_knob() {
+        let cfg = VpimConfig::builder()
+            .oversubscription(true)
+            .sched_policy(crate::sched::SchedPolicy::WeightedFair)
+            .sched_quantum_ms(7)
+            .park_budget_mib(32)
+            .admission_timeout_ms(1_500)
+            .build();
+        assert!(cfg.sched.oversubscription);
+        assert_eq!(cfg.sched.policy, crate::sched::SchedPolicy::WeightedFair);
+        assert_eq!(cfg.sched.quantum_ms, 7);
+        assert_eq!(cfg.sched.park_budget_mib, 32);
+        assert_eq!(cfg.sched.admission_timeout_ms, 1_500);
+        // Whole-section replacement wins over the defaults too.
+        let section = SchedSection { oversubscription: true, ..SchedSection::default() };
+        assert_eq!(VpimConfig::builder().sched(section).build().sched, section);
     }
 }

@@ -25,6 +25,9 @@ pub enum VpimError {
     NoRankAvailable,
     /// The manager has shut down.
     ManagerDown,
+    /// A queued rank request waited out the scheduler's admission timeout
+    /// without a grant (oversubscribed hosts only; carries the tenant).
+    AdmissionTimeout(String),
     /// The vUPMEM device is not linked to a physical rank (Appendix A.1:
     /// requests must not be sent while unlinked).
     NotLinked,
@@ -66,6 +69,9 @@ impl fmt::Display for VpimError {
             VpimError::Sim(e) => write!(f, "hardware: {e}"),
             VpimError::NoRankAvailable => write!(f, "no rank available after all retries"),
             VpimError::ManagerDown => write!(f, "the vpim manager has shut down"),
+            VpimError::AdmissionTimeout(tenant) => {
+                write!(f, "admission queue timed out before `{tenant}` was granted a rank")
+            }
             VpimError::NotLinked => write!(f, "vupmem device is not linked to a physical rank"),
             VpimError::BadRequest(msg) => write!(f, "malformed request: {msg}"),
             VpimError::ProtocolViolation(msg) => write!(f, "protocol violation: {msg}"),
@@ -118,7 +124,9 @@ impl HasErrorKind for VpimError {
             // The VMM arm carries only a rendered message (transport replies
             // cross the virtio ring as strings), so classify conservatively.
             VpimError::Vmm(_) => ErrorKind::Protocol,
-            VpimError::NoRankAvailable => ErrorKind::ResourceExhausted,
+            VpimError::NoRankAvailable | VpimError::AdmissionTimeout(_) => {
+                ErrorKind::ResourceExhausted
+            }
             VpimError::ManagerDown | VpimError::NotLinked => ErrorKind::Unavailable,
             VpimError::BadRequest(_) => ErrorKind::InvalidInput,
             VpimError::ProtocolViolation(_) => ErrorKind::Protocol,

@@ -24,6 +24,12 @@
 //!   allocation, FIFO queuing, an observer thread over sysfs, and content
 //!   reset on release (§3.5, Fig. 5).
 //!
+//! On top of these, the **[`sched`]** module adds an admission-controlled
+//! rank scheduler for *oversubscribed* hosts: more tenant VMs than
+//! physical ranks, time-shared through safe-point checkpoint / restore
+//! preemption with virtual-time accounting (off by default; see
+//! [`VpimConfigBuilder::oversubscription`]).
+//!
 //! The seven configurations evaluated in §5.4 (Table 2) are expressed as
 //! [`VpimConfig`] variants: `vPIM-rust`, `vPIM-C`, `vPIM+P`, `vPIM+B`,
 //! `vPIM+PB`, `vPIM-Seq` and full `vPIM`.
@@ -58,10 +64,12 @@ pub mod frontend;
 pub mod manager;
 pub mod matrix;
 pub mod report;
+pub mod sched;
 pub mod spec;
 pub mod system;
 
-pub use config::{Variant, VpimConfig, VpimConfigBuilder};
+pub use config::{SchedSection, Variant, VpimConfig, VpimConfigBuilder};
 pub use error::VpimError;
 pub use report::OpReport;
+pub use sched::{SchedPolicy, SchedStats, Scheduler, SnapshotStore};
 pub use system::{VpimSystem, VpimVm};

@@ -58,6 +58,11 @@ impl Default for ManagerConfig {
 
 enum Msg {
     Alloc { owner: String, reply: Sender<Result<AllocOutcome, VpimError>> },
+    /// One synchronous observe-and-reset sweep (scheduler: expedite rank
+    /// recycling after a preemption instead of waiting for the observer).
+    Sync { reply: Sender<()> },
+    /// Flip an `ALLO` rank to `CKPT` (scheduler checkpointed its owner).
+    MarkCkpt { rank: usize, reply: Sender<bool> },
     Stop,
 }
 
@@ -81,6 +86,30 @@ impl ManagerClient {
             .send(Msg::Alloc { owner: owner.to_string(), reply: reply_tx })
             .map_err(|_| VpimError::ManagerDown)?;
         reply_rx.recv().map_err(|_| VpimError::ManagerDown)?
+    }
+
+    /// Runs one synchronous observe-and-reset sweep in the manager and
+    /// waits for it: released ranks become `NANA`, then reset to `NAAV`,
+    /// before this returns. A no-op result if the manager stopped.
+    pub fn sync(&self) {
+        let (reply_tx, reply_rx) = unbounded();
+        if self.tx.send(Msg::Sync { reply: reply_tx }).is_ok() {
+            let _ = reply_rx.recv();
+        }
+    }
+
+    /// Marks `rank` as checkpointed (`ALLO → CKPT`); returns whether the
+    /// transition happened.
+    ///
+    /// # Errors
+    ///
+    /// [`VpimError::ManagerDown`] if the manager stopped.
+    pub fn mark_ckpt(&self, rank: usize) -> Result<bool, VpimError> {
+        let (reply_tx, reply_rx) = unbounded();
+        self.tx
+            .send(Msg::MarkCkpt { rank, reply: reply_tx })
+            .map_err(|_| VpimError::ManagerDown)?;
+        reply_rx.recv().map_err(|_| VpimError::ManagerDown)
     }
 }
 
@@ -140,6 +169,13 @@ impl Manager {
                     Ok(Msg::Alloc { owner, reply }) => {
                         let result = state.alloc(&owner, cfg.retry_timeout, cfg.max_attempts);
                         let _ = reply.send(result);
+                    }
+                    Ok(Msg::Sync { reply }) => {
+                        state.sync_now();
+                        let _ = reply.send(());
+                    }
+                    Ok(Msg::MarkCkpt { rank, reply }) => {
+                        let _ = reply.send(state.mark_ckpt(rank));
                     }
                     Ok(Msg::Stop) | Err(_) => break,
                 }
@@ -230,10 +266,15 @@ impl Manager {
     /// Synchronizes the table with sysfs immediately (test hook; the
     /// observer thread does this continuously).
     pub fn sync_now(&self) {
-        let snapshot = self.state.driver().sysfs().snapshot_with_claims();
-        for rank in self.state.sync_with_sysfs(&snapshot) {
-            self.state.reset_rank(rank);
-        }
+        self.state.sync_now();
+    }
+
+    /// Blocks until `rank` reaches `want` (up to `timeout`); returns
+    /// whether it did. Condvar-backed: every table transition wakes the
+    /// waiter, so this replaces sleep-poll loops in tests and tooling.
+    #[must_use]
+    pub fn wait_for_state(&self, rank: usize, want: RankState, timeout: Duration) -> bool {
+        self.state.wait_for_state(rank, want, timeout)
     }
 }
 

@@ -18,6 +18,11 @@ pub enum RankState {
     Naav,
     /// Allocated (to a VM's backend or a native host application).
     Allo,
+    /// Allocated, checkpoint in flight: the scheduler snapshotted the
+    /// owner's rank at a safe point and is about to drop the claim. The
+    /// release that follows recycles the rank for the next tenant
+    /// (CKPT → NANA → reset → NAAV).
+    Ckpt,
     /// Not allocated, not available: released, awaiting content reset.
     Nana,
 }
@@ -51,6 +56,7 @@ pub struct ManagerStats {
 enum State {
     Naav,
     Allo { owner: String },
+    Ckpt { owner: String },
     Nana,
 }
 
@@ -132,10 +138,6 @@ impl TableState {
         self.transitions.get()
     }
 
-    pub(crate) fn driver(&self) -> &Arc<UpmemDriver> {
-        &self.driver
-    }
-
     pub(crate) fn set_reset_sender(&self, tx: Sender<usize>) {
         *self.reset_tx.lock() = Some(tx);
     }
@@ -172,6 +174,8 @@ impl TableState {
                 self.transitions.inc(); // NANA -> ALLO
                 self.stats.allocations.fetch_add(1, Ordering::Relaxed);
                 self.stats.reuses.fetch_add(1, Ordering::Relaxed);
+                drop(t);
+                self.changed.notify_all();
                 return Ok(AllocOutcome { rank: i, reused: true });
             }
             // 2. A NAAV rank by round-robin.
@@ -185,6 +189,8 @@ impl TableState {
                     t.entries[i].last_owner = Some(owner.to_string());
                     self.transitions.inc(); // NAAV -> ALLO
                     self.stats.allocations.fetch_add(1, Ordering::Relaxed);
+                    drop(t);
+                    self.changed.notify_all();
                     return Ok(AllocOutcome { rank: i, reused: false });
                 }
             }
@@ -201,6 +207,7 @@ impl TableState {
     /// reset.
     pub(crate) fn sync_with_sysfs(&self, snapshot: &[(RankStatus, u64)]) -> Vec<usize> {
         let mut to_reset = Vec::new();
+        let mut changed_any = false;
         let mut t = self.table.lock();
         for (i, (status, claims)) in snapshot.iter().enumerate() {
             let Some(e) = t.entries.get_mut(i) else { continue };
@@ -214,20 +221,76 @@ impl TableState {
                     e.last_owner = Some(owner.clone());
                     e.claims_at_alloc = claims.saturating_sub(1);
                     self.transitions.inc(); // NAAV -> ALLO (external claim)
+                    changed_any = true;
                 }
-                (RankStatus::Free, State::Allo { .. }) if *claims > e.claims_at_alloc => {
+                (RankStatus::Free, State::Allo { .. } | State::Ckpt { .. })
+                    if *claims > e.claims_at_alloc =>
+                {
                     e.state = State::Nana;
-                    self.transitions.inc(); // ALLO -> NANA (release observed)
+                    self.transitions.inc(); // ALLO/CKPT -> NANA (release observed)
                     to_reset.push(i);
+                    changed_any = true;
                 }
                 _ => {}
             }
         }
         drop(t);
-        if !to_reset.is_empty() {
+        if changed_any {
             self.changed.notify_all();
         }
         to_reset
+    }
+
+    /// Flips an `ALLO` rank to `CKPT` (the scheduler checkpointed its
+    /// owner at a safe point and will drop the claim next); returns
+    /// whether the transition happened.
+    pub(crate) fn mark_ckpt(&self, rank: usize) -> bool {
+        let mut t = self.table.lock();
+        let Some(e) = t.entries.get_mut(rank) else { return false };
+        let State::Allo { owner } = &e.state else { return false };
+        e.state = State::Ckpt { owner: owner.clone() };
+        self.transitions.inc(); // ALLO -> CKPT (preemption)
+        drop(t);
+        self.changed.notify_all();
+        true
+    }
+
+    /// One synchronous observe-and-reset sweep: reconcile the table with
+    /// sysfs and reset every just-released rank inline. The observer and
+    /// reset threads do this continuously; the scheduler calls it to
+    /// expedite recycling after a preemption instead of waiting out the
+    /// observer's 50 ms poll.
+    pub(crate) fn sync_now(&self) {
+        let snapshot = self.driver.sysfs().snapshot_with_claims();
+        for rank in self.sync_with_sysfs(&snapshot) {
+            self.reset_rank(rank);
+        }
+    }
+
+    /// Blocks until `rank` is in state `want` (or already is), up to
+    /// `timeout`; returns whether the state was reached. Replaces
+    /// sleep-poll loops: every table transition notifies the condvar.
+    pub(crate) fn wait_for_state(&self, rank: usize, want: RankState, timeout: Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut t = self.table.lock();
+        loop {
+            let current = t.entries.get(rank).map(|e| match e.state {
+                State::Naav => RankState::Naav,
+                State::Allo { .. } => RankState::Allo,
+                State::Ckpt { .. } => RankState::Ckpt,
+                State::Nana => RankState::Nana,
+            });
+            match current {
+                Some(s) if s == want => return true,
+                None => return false,
+                _ => {}
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let _ = self.changed.wait_for(&mut t, deadline - now);
+        }
     }
 
     /// Erases a NANA rank's content and promotes it to NAAV (the reset
@@ -286,6 +349,7 @@ impl TableState {
             .map(|e| match e.state {
                 State::Naav => RankState::Naav,
                 State::Allo { .. } => RankState::Allo,
+                State::Ckpt { .. } => RankState::Ckpt,
                 State::Nana => RankState::Nana,
             })
             .collect()

@@ -1,0 +1,739 @@
+//! Rank scheduling and consolidation: time-sharing physical ranks among
+//! more tenant VMs than the machine has ranks.
+//!
+//! The manager (§3.5) is an allocator — when every rank is `ALLO` it can
+//! only retry and abandon. This module adds the missing policy layer on
+//! top of it. A [`Scheduler`] sits between every backend's `ensure_linked`
+//! and [`ManagerClient::alloc`]:
+//!
+//! * **Dedicated mode** (`sched.oversubscription = false`, the default):
+//!   [`Scheduler::acquire`] is a thin pass-through to the manager, so the
+//!   exhaustion semantics of the paper are unchanged — the Nth+1 tenant's
+//!   request is abandoned with [`VpimError::NoRankAvailable`].
+//! * **Oversubscribed mode**: acquire enqueues the tenant in an
+//!   [`AdmissionQueue`] (FIFO or weighted-fair) and blocks. The queue head
+//!   probes the manager; when the machine is exhausted it *preempts* a
+//!   running tenant: wait for the victim's **safe point** (its per-device
+//!   rank slot unlocked, i.e. no in-flight operation, and every DPU idle),
+//!   checkpoint the rank with [`Rank::snapshot_quiescent`], park the
+//!   checkpoint in a budgeted [`SnapshotStore`], flip the rank's table
+//!   entry to `CKPT` and drop the victim's claim so the manager's observer
+//!   recycles the rank (reset → `NAAV`). When a preempted tenant is next
+//!   granted a rank, its parked checkpoint is restored bit-identically
+//!   before the grant returns.
+//!
+//! All accounting is in **virtual time** — the backend charges each
+//! completed operation's modeled duration via [`Scheduler::charge`], so a
+//! Sequential and a Parallel dispatch of the same workload observe
+//! identical vruntime growth and (policy inputs being equal) identical
+//! schedules, preserving the virtual-clock determinism rule.
+//!
+//! [`Rank::snapshot_quiescent`]: upmem_sim::Rank::snapshot_quiescent
+
+pub mod queue;
+pub mod store;
+
+pub use queue::{AdmissionQueue, SchedPolicy, Waiter};
+pub use store::{SnapshotStore, StoreError};
+
+use std::collections::HashMap;
+use std::sync::{Arc, Weak};
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+use simkit::{CostModel, Counter, Gauge, MetricsRegistry, VirtualNanos};
+use upmem_driver::{PerfMapping, UpmemDriver};
+
+use crate::config::SchedSection;
+use crate::error::VpimError;
+use crate::manager::ManagerClient;
+
+/// A backend's rank slot: the mutex-guarded perf mapping the scheduler
+/// time-shares. Holding the lock *is* holding the safe-point token — the
+/// scheduler only checkpoints a tenant whose slot it has locked, so an
+/// in-flight operation (which keeps the lock for its whole duration)
+/// can never be torn.
+pub type RankSlot = Arc<Mutex<Option<PerfMapping>>>;
+
+/// An empty [`RankSlot`] — for embedders (and tests) wiring a scheduler
+/// to raw slots without a full backend.
+#[must_use]
+pub fn empty_slot() -> RankSlot {
+    Arc::new(Mutex::new(None))
+}
+
+/// How often a blocked waiter re-examines the queue between notifications.
+const WAIT_TICK: Duration = Duration::from_millis(10);
+
+/// The outcome of a successful [`Scheduler::acquire`].
+#[derive(Debug)]
+pub struct RankGrant {
+    /// The granted physical rank.
+    pub rank: usize,
+    /// The manager handed back a `NANA` rank to its previous owner
+    /// without a reset.
+    pub reused: bool,
+    /// A parked checkpoint was restored onto the rank before the grant
+    /// returned (the tenant resumes exactly where preemption stopped it).
+    pub restored: bool,
+    /// Modeled wait cost of this grant in virtual time: the manager
+    /// round-trip, plus snapshot + reset time for every preemption this
+    /// waiter performed, plus restore time when `restored`.
+    pub wait_vt: VirtualNanos,
+    /// The claimed performance-mode mapping; the caller installs it into
+    /// its slot (which it must already hold locked).
+    pub mapping: PerfMapping,
+}
+
+/// Point-in-time scheduler statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SchedStats {
+    /// Rank grants handed out (dedicated and oversubscribed).
+    pub grants: u64,
+    /// Preemptions performed (checkpoint + rank recycle).
+    pub preemptions: u64,
+    /// Checkpoint restores performed on re-grant.
+    pub restores: u64,
+    /// Tenants currently waiting in the admission queue.
+    pub queued: usize,
+    /// Tenants currently holding a rank lease.
+    pub running: usize,
+    /// Bytes of checkpoints currently parked.
+    pub parked_bytes: u64,
+    /// Total virtual time charged across all tenants.
+    pub vclock_ns: u64,
+}
+
+#[derive(Debug)]
+struct Lease {
+    /// Weak so a dropped backend never pins a lease alive.
+    slot: Weak<Mutex<Option<PerfMapping>>>,
+    rank: usize,
+    /// Grant order; preemption targets the oldest un-expired lease.
+    grant_seq: u64,
+    /// Virtual nanoseconds charged against this lease.
+    used_vt: u64,
+    /// A preemption of this lease is in flight (victim is off-limits to
+    /// other preempters until it resolves).
+    preempting: bool,
+}
+
+#[derive(Debug)]
+struct Account {
+    weight: u64,
+    /// Weighted virtual runtime in nanoseconds (`Σ charged / weight`).
+    vruntime: u64,
+}
+
+impl Default for Account {
+    fn default() -> Self {
+        Account { weight: 1, vruntime: 0 }
+    }
+}
+
+#[derive(Debug)]
+struct SchedState {
+    queue: AdmissionQueue,
+    running: HashMap<String, Lease>,
+    accounts: HashMap<String, Account>,
+    next_ticket: u64,
+    grant_seq: u64,
+    /// Total charged virtual nanoseconds (the scheduler's virtual clock).
+    vclock: u64,
+}
+
+#[derive(Debug)]
+struct SchedMetrics {
+    grants: Counter,
+    preemptions: Counter,
+    restores: Counter,
+    queue_depth: Gauge,
+}
+
+impl SchedMetrics {
+    fn from_registry(registry: &MetricsRegistry) -> Self {
+        SchedMetrics {
+            grants: registry.counter("sched.grants"),
+            preemptions: registry.counter("sched.preemptions"),
+            restores: registry.counter("sched.restores"),
+            queue_depth: registry.gauge("sched.queue.depth"),
+        }
+    }
+}
+
+struct Inner {
+    driver: Arc<UpmemDriver>,
+    manager: ManagerClient,
+    cfg: SchedSection,
+    cm: CostModel,
+    state: Mutex<SchedState>,
+    changed: Condvar,
+    store: SnapshotStore,
+    metrics: SchedMetrics,
+    registry: MetricsRegistry,
+}
+
+/// The admission-controlled rank scheduler (one per [`VpimSystem`]).
+///
+/// Cloning shares the scheduler — every backend of every VM on a host
+/// must hold clones of the *same* scheduler, or double-grants become
+/// possible.
+///
+/// [`VpimSystem`]: crate::system::VpimSystem
+#[derive(Clone)]
+pub struct Scheduler {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for Scheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("oversubscription", &self.inner.cfg.oversubscription)
+            .field("policy", &self.inner.cfg.policy)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl Scheduler {
+    /// A scheduler driving `manager` under the policy in `cfg`, publishing
+    /// `sched.*` metrics into `registry`.
+    #[must_use]
+    pub fn new(
+        driver: Arc<UpmemDriver>,
+        manager: ManagerClient,
+        cfg: SchedSection,
+        cm: CostModel,
+        registry: &MetricsRegistry,
+    ) -> Self {
+        Scheduler {
+            inner: Arc::new(Inner {
+                driver,
+                manager,
+                cm,
+                state: Mutex::new(SchedState {
+                    queue: AdmissionQueue::new(cfg.policy),
+                    running: HashMap::new(),
+                    accounts: HashMap::new(),
+                    next_ticket: 0,
+                    grant_seq: 0,
+                    vclock: 0,
+                }),
+                changed: Condvar::new(),
+                store: SnapshotStore::new(cfg.park_budget_mib.saturating_mul(1 << 20)),
+                metrics: SchedMetrics::from_registry(registry),
+                registry: registry.clone(),
+                cfg,
+            }),
+        }
+    }
+
+    /// The scheduling configuration this scheduler runs under.
+    #[must_use]
+    pub fn config(&self) -> &SchedSection {
+        &self.inner.cfg
+    }
+
+    /// The checkpoint parking store.
+    #[must_use]
+    pub fn store(&self) -> &SnapshotStore {
+        &self.inner.store
+    }
+
+    /// Tenants currently waiting for a rank.
+    #[must_use]
+    pub fn queue_depth(&self) -> usize {
+        self.inner.state.lock().queue.len()
+    }
+
+    /// Point-in-time statistics.
+    #[must_use]
+    pub fn stats(&self) -> SchedStats {
+        let st = self.inner.state.lock();
+        SchedStats {
+            grants: self.inner.metrics.grants.get(),
+            preemptions: self.inner.metrics.preemptions.get(),
+            restores: self.inner.metrics.restores.get(),
+            queued: st.queue.len(),
+            running: st.running.len(),
+            parked_bytes: self.inner.store.used_bytes(),
+            vclock_ns: st.vclock,
+        }
+    }
+
+    /// Sets `tenant`'s weighted-fair share weight (clamped to ≥ 1; the
+    /// default is 1). Twice the weight means vruntime grows half as fast,
+    /// i.e. twice the rank time under contention.
+    pub fn set_weight(&self, tenant: &str, weight: u64) {
+        let mut st = self.inner.state.lock();
+        st.accounts.entry(tenant.to_string()).or_default().weight = weight.max(1);
+    }
+
+    /// Acquires a rank for `tenant`, whose (empty) slot the caller must
+    /// currently hold locked. The returned mapping must be installed into
+    /// that slot before the lock is released — the lock held across
+    /// acquire-and-install is what makes grant registration atomic with
+    /// respect to preempters.
+    ///
+    /// # Errors
+    ///
+    /// Dedicated mode propagates manager errors unchanged (notably
+    /// [`VpimError::NoRankAvailable`] on exhaustion). Oversubscribed mode
+    /// converts exhaustion into queueing and returns
+    /// [`VpimError::AdmissionTimeout`] only when `admission_timeout_ms`
+    /// elapses without a grant.
+    pub fn acquire(&self, tenant: &str, slot: &RankSlot) -> Result<RankGrant, VpimError> {
+        if self.inner.cfg.oversubscription {
+            self.acquire_oversubscribed(tenant, slot)
+        } else {
+            self.acquire_dedicated(tenant, slot)
+        }
+    }
+
+    fn acquire_dedicated(&self, tenant: &str, slot: &RankSlot) -> Result<RankGrant, VpimError> {
+        let inner = &*self.inner;
+        let outcome = inner.manager.alloc(tenant)?;
+        let mapping = inner.driver.open_perf(outcome.rank, tenant)?;
+        let wait_vt = inner.cm.manager_alloc();
+        self.register_grant(tenant, outcome.rank, slot);
+        inner.metrics.grants.inc();
+        inner.registry.histogram(&format!("sched.wait.{tenant}")).record(wait_vt);
+        Ok(RankGrant { rank: outcome.rank, reused: outcome.reused, restored: false, wait_vt, mapping })
+    }
+
+    fn acquire_oversubscribed(
+        &self,
+        tenant: &str,
+        slot: &RankSlot,
+    ) -> Result<RankGrant, VpimError> {
+        let inner = &*self.inner;
+        let deadline = Instant::now() + Duration::from_millis(inner.cfg.admission_timeout_ms);
+        let mut wait_vt = VirtualNanos::ZERO;
+        let ticket = {
+            let mut st = inner.state.lock();
+            let ticket = st.next_ticket;
+            st.next_ticket += 1;
+            let vruntime = st.accounts.entry(tenant.to_string()).or_default().vruntime;
+            st.queue.push(tenant, ticket, vruntime);
+            inner.metrics.queue_depth.set(st.queue.len() as i64);
+            ticket
+        };
+        inner.changed.notify_all();
+        loop {
+            // Only the policy's head probes the manager: at most one
+            // admission request occupies the manager pool at a time, and
+            // grants leave in policy order.
+            let is_head = {
+                let st = inner.state.lock();
+                st.queue.head().map(|w| w.ticket) == Some(ticket)
+            };
+            if is_head {
+                match inner.manager.alloc(tenant) {
+                    Ok(outcome) => {
+                        return self.finish_grant(tenant, ticket, &outcome, wait_vt, slot);
+                    }
+                    Err(VpimError::NoRankAvailable) => {
+                        match self.try_preempt(tenant, &mut wait_vt) {
+                            Ok(true) => continue, // a rank is being recycled; re-probe
+                            Ok(false) => {}       // nothing preemptable right now
+                            Err(e) => {
+                                self.dequeue(ticket);
+                                return Err(e);
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        self.dequeue(ticket);
+                        return Err(e);
+                    }
+                }
+            }
+            let mut st = inner.state.lock();
+            if Instant::now() >= deadline {
+                st.queue.remove(ticket);
+                inner.metrics.queue_depth.set(st.queue.len() as i64);
+                drop(st);
+                inner.changed.notify_all();
+                return Err(VpimError::AdmissionTimeout(tenant.to_string()));
+            }
+            let _ = inner.changed.wait_for(&mut st, WAIT_TICK);
+        }
+    }
+
+    fn finish_grant(
+        &self,
+        tenant: &str,
+        ticket: u64,
+        outcome: &crate::manager::AllocOutcome,
+        mut wait_vt: VirtualNanos,
+        slot: &RankSlot,
+    ) -> Result<RankGrant, VpimError> {
+        let inner = &*self.inner;
+        let mapping = match inner.driver.open_perf(outcome.rank, tenant) {
+            Ok(m) => m,
+            Err(e) => {
+                self.dequeue(ticket);
+                return Err(e.into());
+            }
+        };
+        wait_vt += inner.cm.manager_alloc();
+        let mut restored = false;
+        if let Some(snap) = inner.store.take(tenant) {
+            let bytes = snap.resident_bytes() as u64;
+            match mapping.rank().restore(&snap) {
+                Ok(()) => {
+                    restored = true;
+                    wait_vt += inner.cm.rank_restore(bytes);
+                }
+                Err(e) => {
+                    // The parked copy is the tenant's only state: put it
+                    // back (same-tenant park cannot exceed the budget) and
+                    // fail the grant rather than resume from a torn rank.
+                    let _ = inner.store.park(tenant, snap);
+                    self.dequeue(ticket);
+                    return Err(e.into());
+                }
+            }
+        }
+        {
+            let mut st = inner.state.lock();
+            st.queue.remove(ticket);
+            inner.metrics.queue_depth.set(st.queue.len() as i64);
+            let seq = st.grant_seq;
+            st.grant_seq += 1;
+            st.running.insert(
+                tenant.to_string(),
+                Lease {
+                    slot: Arc::downgrade(slot),
+                    rank: outcome.rank,
+                    grant_seq: seq,
+                    used_vt: 0,
+                    preempting: false,
+                },
+            );
+        }
+        inner.metrics.grants.inc();
+        if restored {
+            inner.metrics.restores.inc();
+        }
+        inner.registry.histogram(&format!("sched.wait.{tenant}")).record(wait_vt);
+        inner.changed.notify_all();
+        Ok(RankGrant { rank: outcome.rank, reused: outcome.reused, restored, wait_vt, mapping })
+    }
+
+    fn register_grant(&self, tenant: &str, rank: usize, slot: &RankSlot) {
+        let mut st = self.inner.state.lock();
+        let seq = st.grant_seq;
+        st.grant_seq += 1;
+        st.running.insert(
+            tenant.to_string(),
+            Lease {
+                slot: Arc::downgrade(slot),
+                rank,
+                grant_seq: seq,
+                used_vt: 0,
+                preempting: false,
+            },
+        );
+    }
+
+    fn dequeue(&self, ticket: u64) {
+        let inner = &*self.inner;
+        let mut st = inner.state.lock();
+        st.queue.remove(ticket);
+        inner.metrics.queue_depth.set(st.queue.len() as i64);
+        drop(st);
+        inner.changed.notify_all();
+    }
+
+    /// Picks a victim and checkpoints it. `Ok(true)` means a rank was (or
+    /// is being) freed and the caller should re-probe the manager;
+    /// `Ok(false)` means nothing was preemptable and the caller should
+    /// block until the next change.
+    ///
+    /// Victim order: leases that exhausted their quantum first, then the
+    /// oldest grant — so an idle long-holder is eventually preempted even
+    /// if it never spends its quantum, which is what makes the admission
+    /// queue deadlock-free.
+    fn try_preempt(&self, me: &str, wait_vt: &mut VirtualNanos) -> Result<bool, VpimError> {
+        let inner = &*self.inner;
+        let quantum_ns = inner.cfg.quantum_ms.saturating_mul(1_000_000);
+        let picked = {
+            let mut st = inner.state.lock();
+            let pick = st
+                .running
+                .iter()
+                .filter(|(t, l)| t.as_str() != me && !l.preempting)
+                .min_by_key(|(_, l)| (u64::from(l.used_vt < quantum_ns), l.grant_seq))
+                .map(|(t, _)| t.clone());
+            match pick {
+                Some(t) => {
+                    let lease = st.running.get_mut(&t).expect("picked from running");
+                    lease.preempting = true;
+                    Some((t, lease.slot.clone(), lease.rank))
+                }
+                None => None,
+            }
+        };
+        let Some((victim, weak_slot, rank)) = picked else {
+            return Ok(false);
+        };
+        let Some(slot) = weak_slot.upgrade() else {
+            // The victim's backend is gone; its claim dropped with it.
+            self.reap(&victim);
+            return Ok(true);
+        };
+        // Safe point: taking the slot lock waits out any in-flight
+        // operation (operations hold the lock for their full duration).
+        let mut guard = slot.lock();
+        let Some(mapping) = guard.as_ref() else {
+            // The victim released on its own while we were picking it.
+            drop(guard);
+            self.reap(&victim);
+            return Ok(true);
+        };
+        let snap = match mapping.rank().snapshot_quiescent() {
+            Ok(s) => s,
+            Err(_) => {
+                // DPUs still running — not a safe point; back off and let
+                // the victim finish.
+                drop(guard);
+                self.clear_preempting(&victim);
+                return Ok(false);
+            }
+        };
+        let bytes = snap.resident_bytes() as u64;
+        if inner.store.park(&victim, snap).is_err() {
+            // Park budget exhausted: refusing the preemption is the only
+            // safe move (parked state is the victim's sole copy).
+            drop(guard);
+            self.clear_preempting(&victim);
+            return Ok(false);
+        }
+        // ALLO → CKPT in the rank table, then drop the victim's claim so
+        // the observer sees the release and recycles the rank.
+        let _ = inner.manager.mark_ckpt(rank);
+        *guard = None;
+        drop(guard);
+        {
+            let mut st = inner.state.lock();
+            st.running.remove(&victim);
+        }
+        inner.metrics.preemptions.inc();
+        *wait_vt = *wait_vt
+            + inner.cm.rank_snapshot(bytes)
+            + inner.cm.rank_reset(inner.driver.machine().config().rank_mapped_bytes());
+        // Expedite observe + reset instead of waiting for the 50 ms
+        // observer sweep.
+        inner.manager.sync();
+        inner.changed.notify_all();
+        Ok(true)
+    }
+
+    fn reap(&self, tenant: &str) {
+        let inner = &*self.inner;
+        inner.state.lock().running.remove(tenant);
+        inner.manager.sync();
+        inner.changed.notify_all();
+    }
+
+    fn clear_preempting(&self, tenant: &str) {
+        let mut st = self.inner.state.lock();
+        if let Some(l) = st.running.get_mut(tenant) {
+            l.preempting = false;
+        }
+    }
+
+    /// Charges `vt` of virtual time against `tenant`'s lease and account.
+    /// The backend calls this once per successfully completed operation
+    /// with the operation's modeled duration, so scheduling accounts are
+    /// identical under Sequential and Parallel dispatch.
+    pub fn charge(&self, tenant: &str, vt: VirtualNanos) {
+        let inner = &*self.inner;
+        let ns = vt.as_nanos();
+        let mut st = inner.state.lock();
+        let acct = st.accounts.entry(tenant.to_string()).or_default();
+        acct.vruntime = acct.vruntime.saturating_add(ns / acct.weight.max(1));
+        if let Some(l) = st.running.get_mut(tenant) {
+            l.used_vt = l.used_vt.saturating_add(ns);
+        }
+        st.vclock = st.vclock.saturating_add(ns);
+        let notify = !st.queue.is_empty();
+        drop(st);
+        if notify {
+            inner.changed.notify_all();
+        }
+    }
+
+    /// Tells the scheduler `tenant` released its rank voluntarily (device
+    /// unlink / VM shutdown): the lease dies, any parked checkpoint is
+    /// discarded, and waiters are woken.
+    pub fn notify_release(&self, tenant: &str) {
+        let inner = &*self.inner;
+        inner.state.lock().running.remove(tenant);
+        inner.store.evict(tenant);
+        if inner.cfg.oversubscription {
+            // Expedite rank recycling for the waiters we are about to wake.
+            inner.manager.sync();
+        }
+        inner.changed.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manager::{Manager, ManagerConfig};
+    use upmem_sim::{PimConfig, PimMachine};
+
+    fn snappy() -> ManagerConfig {
+        ManagerConfig {
+            retry_timeout: Duration::from_millis(5),
+            max_attempts: 1,
+            ..ManagerConfig::default()
+        }
+    }
+
+    fn host(ranks: usize) -> (Arc<UpmemDriver>, Manager) {
+        let cfg = PimConfig {
+            ranks,
+            functional_dpus: vec![8; ranks],
+            mram_size: 1 << 20,
+            ..PimConfig::small()
+        };
+        let driver = Arc::new(UpmemDriver::new(PimMachine::new(cfg)));
+        let mgr = Manager::start(driver.clone(), CostModel::default(), snappy());
+        (driver, mgr)
+    }
+
+    fn sched(driver: &Arc<UpmemDriver>, mgr: &Manager, section: SchedSection) -> Scheduler {
+        Scheduler::new(
+            driver.clone(),
+            mgr.client(),
+            section,
+            CostModel::default(),
+            &MetricsRegistry::new(),
+        )
+    }
+
+    fn oversub() -> SchedSection {
+        SchedSection { oversubscription: true, quantum_ms: 0, ..SchedSection::default() }
+    }
+
+    #[test]
+    fn dedicated_mode_passes_exhaustion_through() {
+        let (driver, mgr) = host(1);
+        let s = sched(&driver, &mgr, SchedSection::default());
+        let slot_a: RankSlot = Arc::new(Mutex::new(None));
+        let slot_b: RankSlot = Arc::new(Mutex::new(None));
+        let grant = {
+            let mut g = slot_a.lock();
+            let grant = s.acquire("vm-a", &slot_a).unwrap();
+            *g = Some(grant.mapping);
+            grant.rank
+        };
+        assert_eq!(grant, 0);
+        let mut g = slot_b.lock();
+        assert!(matches!(s.acquire("vm-b", &slot_b), Err(VpimError::NoRankAvailable)));
+        drop(g.take());
+        mgr.shutdown();
+    }
+
+    #[test]
+    fn oversubscription_preempts_checkpoints_and_restores() {
+        let (driver, mgr) = host(1);
+        let s = sched(&driver, &mgr, oversub());
+        let slot_a: RankSlot = Arc::new(Mutex::new(None));
+        let slot_b: RankSlot = Arc::new(Mutex::new(None));
+        // vm-a takes the only rank and dirties it.
+        {
+            let mut g = slot_a.lock();
+            let grant = s.acquire("vm-a", &slot_a).unwrap();
+            grant.mapping.rank().write_dpu(0, 0, &[0xC4; 32]).unwrap();
+            *g = Some(grant.mapping);
+        }
+        // vm-b must preempt vm-a to get in.
+        {
+            let mut g = slot_b.lock();
+            let grant = s.acquire("vm-b", &slot_b).unwrap();
+            assert_eq!(grant.rank, 0);
+            assert!(!grant.restored);
+            // The rank was reset: vm-a's bytes must not leak to vm-b.
+            let mut buf = [1u8; 32];
+            grant.mapping.rank().read_dpu(0, 0, &mut buf).unwrap();
+            assert_eq!(buf, [0u8; 32]);
+            *g = Some(grant.mapping);
+        }
+        assert!(slot_a.lock().is_none(), "vm-a's slot was emptied by preemption");
+        assert!(s.store().contains("vm-a"));
+        // vm-a comes back: vm-b gets preempted, vm-a's checkpoint restores.
+        {
+            let mut g = slot_a.lock();
+            let grant = s.acquire("vm-a", &slot_a).unwrap();
+            assert!(grant.restored);
+            let mut buf = [0u8; 32];
+            grant.mapping.rank().read_dpu(0, 0, &mut buf).unwrap();
+            assert_eq!(buf, [0xC4; 32], "restore must be bit-identical");
+            *g = Some(grant.mapping);
+        }
+        let stats = s.stats();
+        assert!(stats.preemptions >= 2);
+        assert_eq!(stats.restores, 1);
+        assert_eq!(stats.grants, 3);
+        slot_a.lock().take();
+        s.notify_release("vm-a");
+        mgr.shutdown();
+    }
+
+    #[test]
+    fn admission_times_out_when_nothing_is_preemptable() {
+        let (driver, mgr) = host(1);
+        let s = sched(
+            &driver,
+            &mgr,
+            SchedSection { admission_timeout_ms: 50, ..oversub() },
+        );
+        let slot_a: RankSlot = Arc::new(Mutex::new(None));
+        {
+            let mut g = slot_a.lock();
+            let grant = s.acquire("vm-a", &slot_a).unwrap();
+            *g = Some(grant.mapping);
+        }
+        // Make vm-a unpreemptable (as if another preempter already owned
+        // it): vm-b can then neither allocate nor preempt, and must time
+        // out cleanly.
+        {
+            let mut st = s.inner.state.lock();
+            st.running.get_mut("vm-a").unwrap().preempting = true;
+        }
+        let slot_b: RankSlot = Arc::new(Mutex::new(None));
+        let _g = slot_b.lock();
+        assert!(matches!(
+            s.acquire("vm-b", &slot_b),
+            Err(VpimError::AdmissionTimeout(t)) if t == "vm-b"
+        ));
+        assert_eq!(s.queue_depth(), 0, "timed-out waiter left the queue");
+        mgr.shutdown();
+    }
+
+    #[test]
+    fn weighted_fair_serves_least_served_tenant_first() {
+        let (driver, mgr) = host(2);
+        let s = sched(
+            &driver,
+            &mgr,
+            SchedSection { policy: SchedPolicy::WeightedFair, ..oversub() },
+        );
+        s.charge("greedy", VirtualNanos::from_nanos(1_000_000));
+        // Both can be served immediately (2 ranks); the point is just that
+        // charge() feeds the vruntime the queue orders by.
+        let slot: RankSlot = Arc::new(Mutex::new(None));
+        {
+            let mut g = slot.lock();
+            let grant = s.acquire("greedy", &slot).unwrap();
+            *g = Some(grant.mapping);
+        }
+        assert!(s.inner.state.lock().accounts["greedy"].vruntime >= 1_000_000);
+        mgr.shutdown();
+    }
+}

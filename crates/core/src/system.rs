@@ -13,6 +13,7 @@ use crate::device::VupmemDevice;
 use crate::error::VpimError;
 use crate::frontend::Frontend;
 use crate::manager::{Manager, ManagerConfig};
+use crate::sched::Scheduler;
 
 /// A host running vPIM: the driver, the manager daemon, and the knobs every
 /// VM launched on this host inherits. All layers record into one
@@ -21,6 +22,9 @@ use crate::manager::{Manager, ManagerConfig};
 pub struct VpimSystem {
     driver: Arc<UpmemDriver>,
     manager: Option<Manager>,
+    /// The host-wide rank scheduler, shared by every backend of every VM
+    /// (admission and preemption decisions must see all tenants).
+    sched: Scheduler,
     vcfg: VpimConfig,
     cm: CostModel,
     registry: MetricsRegistry,
@@ -47,8 +51,15 @@ impl VpimSystem {
     ) -> Self {
         let registry = MetricsRegistry::new();
         let manager = Manager::start_with_registry(driver.clone(), cm.clone(), mcfg, &registry);
+        let sched = Scheduler::new(
+            driver.clone(),
+            manager.client(),
+            vcfg.sched,
+            cm.clone(),
+            &registry,
+        );
         let data_pool = Arc::new(WorkerPool::new(cm.backend_threads));
-        VpimSystem { driver, manager: Some(manager), vcfg, cm, registry, data_pool }
+        VpimSystem { driver, manager: Some(manager), sched, vcfg, cm, registry, data_pool }
     }
 
     /// The host driver.
@@ -66,6 +77,13 @@ impl VpimSystem {
     #[must_use]
     pub fn manager(&self) -> &Manager {
         self.manager.as_ref().expect("manager runs until shutdown")
+    }
+
+    /// The host-wide rank scheduler (admission queue, preemption engine,
+    /// checkpoint store).
+    #[must_use]
+    pub fn scheduler(&self) -> &Scheduler {
+        &self.sched
     }
 
     /// The optimization configuration VMs inherit.
@@ -127,12 +145,11 @@ impl VpimSystem {
         vm.event_manager_mut()
             .set_kick_counter(self.registry.counter("vmm.vmexits"));
 
-        let manager = self.manager();
         let mut devices = Vec::with_capacity(n_devices);
         for i in 0..n_devices {
-            let backend = Backend::with_pool(
+            let backend = Backend::with_scheduler(
                 self.driver.clone(),
-                manager.client(),
+                self.sched.clone(),
                 self.vcfg,
                 self.cm.clone(),
                 format!("{tag}/vupmem{i}"),

@@ -338,6 +338,20 @@ impl CostModel {
         xfer_ns(bytes, self.rank_reset_bw_mbps)
     }
 
+    /// Checkpointing `bytes` of resident rank state into host memory (the
+    /// copy-out half of a preemption; runs at host memcpy bandwidth).
+    #[must_use]
+    pub fn rank_snapshot(&self, bytes: u64) -> VirtualNanos {
+        self.memcpy(bytes)
+    }
+
+    /// Restoring `bytes` of parked rank state onto a freshly reset rank
+    /// (the copy-in half of a re-grant; runs at host memcpy bandwidth).
+    #[must_use]
+    pub fn rank_restore(&self, bytes: u64) -> VirtualNanos {
+        self.memcpy(bytes)
+    }
+
     /// Boot-time contribution of one vUPMEM device.
     #[must_use]
     pub fn vupmem_boot(&self) -> VirtualNanos {

@@ -92,6 +92,15 @@ impl DpuSet {
     /// Rank-overlap behaviour follows the vPIM configuration
     /// (`parallel_handling`).
     ///
+    /// On an oversubscribed host (`sched.oversubscription`) the physical
+    /// rank behind a device may be lent to another tenant between this
+    /// call and later operations. That is transparent here: each
+    /// operation relinks through the scheduler at its next safe point and
+    /// the rank's contents are restored bit-identically from the parked
+    /// checkpoint, so SDK code is written exactly as on a dedicated host —
+    /// operations may just block while the tenant waits in the admission
+    /// queue.
+    ///
     /// # Errors
     ///
     /// [`SdkError::NotEnoughDpus`] when the VM's devices cannot cover the

@@ -58,6 +58,12 @@ pub enum SimError {
     XferTooLarge(u64),
     /// Operation on a rank currently executing a program.
     RankBusy,
+    /// A quiescence-requiring operation (e.g. a safe-point snapshot) found
+    /// DPUs still executing.
+    NotQuiescent {
+        /// Number of DPUs observed in the Running state.
+        running: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -91,6 +97,9 @@ impl fmt::Display for SimError {
                 write!(f, "rank transfer of {bytes} bytes exceeds the 4 GB hardware limit")
             }
             SimError::RankBusy => write!(f, "rank is busy executing a program"),
+            SimError::NotQuiescent { running } => {
+                write!(f, "rank is not quiescent: {running} dpus still running")
+            }
         }
     }
 }
@@ -111,7 +120,7 @@ impl HasErrorKind for SimError {
             SimError::UnknownKernel(_) | SimError::UnknownSymbol(_) => ErrorKind::NotFound,
             SimError::NoProgramLoaded => ErrorKind::Unavailable,
             SimError::Fault(_) => ErrorKind::Fault,
-            SimError::RankBusy => ErrorKind::Busy,
+            SimError::RankBusy | SimError::NotQuiescent { .. } => ErrorKind::Busy,
         }
     }
 }

@@ -26,6 +26,12 @@ impl RankSnapshot {
     pub fn resident_bytes(&self) -> usize {
         self.dpus.iter().map(crate::dpu::DpuSnapshot::mram_bytes).sum()
     }
+
+    /// Number of per-DPU snapshots (a restore target must match).
+    #[must_use]
+    pub fn dpu_count(&self) -> usize {
+        self.dpus.len()
+    }
 }
 
 /// One UPMEM rank.
@@ -298,6 +304,33 @@ impl Rank {
         RankSnapshot {
             dpus: self.dpus.iter().map(|d| d.lock().snapshot()).collect(),
         }
+    }
+
+    /// Whether no DPU is currently executing a program. A rank is at a
+    /// **safe point** for checkpointing only when it is quiescent: a
+    /// Running DPU has live execution state (PC, tasklet contexts) that a
+    /// [`snapshot`](Self::snapshot) would not capture.
+    #[must_use]
+    pub fn is_quiescent(&self) -> bool {
+        self.dpus.iter().all(|d| !matches!(d.lock().state(), DpuState::Running))
+    }
+
+    /// [`snapshot`](Self::snapshot), refusing to capture a non-quiescent
+    /// rank — the safe-point hook used by checkpointing schedulers.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::NotQuiescent`] if any DPU is in the Running state.
+    pub fn snapshot_quiescent(&self) -> Result<RankSnapshot, SimError> {
+        let running = self
+            .dpus
+            .iter()
+            .filter(|d| matches!(d.lock().state(), DpuState::Running))
+            .count();
+        if running > 0 {
+            return Err(SimError::NotQuiescent { running });
+        }
+        Ok(self.snapshot())
     }
 
     /// Restores a rank snapshot taken on a rank of the same geometry.

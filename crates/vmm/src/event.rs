@@ -286,6 +286,27 @@ impl EventManager {
         self.pending.get(idx).map_or(true, |p| p.wait_zero(timeout))
     }
 
+    /// Blocks until *every* registered device has no in-flight
+    /// notifications (or `timeout` passes); returns whether the whole VM
+    /// went idle. The scheduler's safe-point definition requires no
+    /// in-flight transfer anywhere in a VM before its ranks are lent out,
+    /// so teardown and oversubscription tests drain with this instead of
+    /// polling each device.
+    #[must_use]
+    pub fn wait_idle_all(&self, timeout: Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        for idx in 0..self.pending.len() {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return self.pending[idx..].iter().all(|p| p.current() == 0);
+            }
+            if !self.wait_idle(idx, deadline - now) {
+                return false;
+            }
+        }
+        true
+    }
+
     /// Virtual-time completion offsets for a batch of requests with the
     /// given processing durations — Fig. 16's two curves.
     ///
@@ -475,6 +496,24 @@ mod tests {
         assert_eq!(mgr.pending(idx), 0);
         h.wait().unwrap();
         assert_eq!(slow.inner.notifies.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn wait_idle_all_drains_every_device() {
+        let mut mgr = EventManager::new(DispatchMode::Parallel);
+        let a = Arc::new(SlowProbe::new(Duration::from_millis(30)));
+        let b = Arc::new(SlowProbe::new(Duration::from_millis(30)));
+        let ia = mgr.register(a.clone());
+        let ib = mgr.register(b.clone());
+        let ha = mgr.kick_async(ia, 0).unwrap();
+        let hb = mgr.kick_async(ib, 0).unwrap();
+        assert!(mgr.wait_idle_all(Duration::from_secs(5)));
+        assert_eq!(mgr.pending(ia), 0);
+        assert_eq!(mgr.pending(ib), 0);
+        ha.wait().unwrap();
+        hb.wait().unwrap();
+        // An idle manager reports idle immediately.
+        assert!(mgr.wait_idle_all(Duration::from_millis(1)));
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! with native applications, and concurrent manager load.
 
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use simkit::CostModel;
 use upmem_driver::UpmemDriver;
@@ -22,11 +22,12 @@ fn host(ranks: usize) -> Arc<UpmemDriver> {
 }
 
 fn wait_for_naav(sys: &VpimSystem, rank: usize) {
-    let deadline = Instant::now() + Duration::from_secs(10);
-    while sys.manager().rank_states()[rank] != RankState::Naav {
-        assert!(Instant::now() < deadline, "rank {rank} never recycled");
-        std::thread::sleep(Duration::from_millis(10));
-    }
+    // Condvar-backed: wakes on the manager's state transition instead of
+    // sleep-polling the table.
+    assert!(
+        sys.manager().wait_for_state(rank, RankState::Naav, Duration::from_secs(10)),
+        "rank {rank} never recycled"
+    );
 }
 
 #[test]

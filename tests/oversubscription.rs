@@ -1,0 +1,235 @@
+//! Oversubscription end-to-end: more tenant VMs than physical ranks,
+//! time-shared by the `vpim::sched` scheduler through checkpoint/restore
+//! preemption.
+//!
+//! The load-bearing assertion is *bit-identity*: every tenant's final
+//! MRAM contents after an oversubscribed run (8 VMs on 4 ranks, constant
+//! preemption churn) must equal the same tenant's contents after a
+//! dedicated run (8 VMs on 8 ranks, scheduler in pass-through mode), in
+//! both Sequential and Parallel dispatch.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use simkit::CostModel;
+use upmem_driver::UpmemDriver;
+use upmem_sim::{PimConfig, PimMachine};
+use vpim::manager::ManagerConfig;
+use vpim::{VpimConfig, VpimSystem};
+
+const ROUNDS: usize = 4;
+const DPUS: [u32; 2] = [0, 3];
+const CHUNK: u64 = 2048;
+
+fn host(ranks: usize) -> Arc<UpmemDriver> {
+    let machine = PimMachine::new(PimConfig {
+        ranks,
+        functional_dpus: vec![8; ranks],
+        mram_size: 1 << 20,
+        ..PimConfig::small()
+    });
+    Arc::new(UpmemDriver::new(machine))
+}
+
+/// Snappy manager tuning: exhaustion probes fail in ~5 ms instead of the
+/// production 5 × 200 ms, so the admission loop reaches its preemption
+/// path quickly.
+fn snappy() -> ManagerConfig {
+    ManagerConfig {
+        retry_timeout: Duration::from_millis(5),
+        max_attempts: 1,
+        ..ManagerConfig::default()
+    }
+}
+
+/// The bytes tenant `vm` writes for `dpu` in `round` — unique per
+/// (tenant, dpu, round) so any cross-tenant leak or torn restore shows.
+fn pattern(vm: usize, dpu: u32, round: usize) -> Vec<u8> {
+    let seed = (vm * 97 + dpu as usize * 13 + round * 5) as u32;
+    (0..CHUNK as usize)
+        .map(|i| (seed.wrapping_mul(2654435761).wrapping_add(i as u32) >> 8) as u8)
+        .collect()
+}
+
+/// Runs `vms` single-device tenants over `ranks` ranks: each round every
+/// tenant appends a fresh chunk per DPU and re-reads *all* chunks it has
+/// written so far (so restored checkpoints are verified every round, not
+/// just at the end). Returns each tenant's final full read-back.
+fn run_tenants(vcfg: VpimConfig, ranks: usize, vms: usize) -> Vec<Vec<Vec<u8>>> {
+    let sys = VpimSystem::start_with(host(ranks), vcfg, CostModel::default(), snappy());
+    let tenants: Vec<_> = (0..vms)
+        .map(|v| sys.launch_vm(&format!("vm-{v}"), 1).unwrap())
+        .collect();
+    // Interleave rounds across tenants: with vms > ranks every operation
+    // of an unlinked tenant preempts someone else's rank.
+    for round in 0..ROUNDS {
+        for (v, vm) in tenants.iter().enumerate() {
+            let fe = vm.frontend(0);
+            let datas: Vec<Vec<u8>> = DPUS.iter().map(|&d| pattern(v, d, round)).collect();
+            let writes: Vec<(u32, u64, &[u8])> = DPUS
+                .iter()
+                .zip(&datas)
+                .map(|(&d, data)| (d, round as u64 * CHUNK, data.as_slice()))
+                .collect();
+            fe.write_rank(&writes).unwrap();
+            // Everything this tenant ever wrote must still be there,
+            // even though its rank was likely lent out in between.
+            let reads: Vec<(u32, u64, u64)> = DPUS
+                .iter()
+                .flat_map(|&d| (0..=round).map(move |r| (d, r as u64 * CHUNK, CHUNK)))
+                .collect();
+            let (outs, _) = fe.read_rank(&reads).unwrap();
+            for (k, &d) in DPUS.iter().enumerate() {
+                for r in 0..=round {
+                    assert_eq!(
+                        outs[k * (round + 1) + r],
+                        pattern(v, d, r),
+                        "vm-{v} dpu {d}: round-{r} chunk corrupted during round {round}"
+                    );
+                }
+            }
+        }
+    }
+    let finals = tenants
+        .iter()
+        .enumerate()
+        .map(|(_v, vm)| {
+            let fe = vm.frontend(0);
+            let reads: Vec<(u32, u64, u64)> =
+                DPUS.iter().map(|&d| (d, 0, ROUNDS as u64 * CHUNK)).collect();
+            let (outs, _) = fe.read_rank(&reads).unwrap();
+            outs
+        })
+        .collect();
+    let stats = sys.scheduler().stats();
+    if vms > ranks {
+        assert!(
+            stats.preemptions > 0,
+            "oversubscribed run must have preempted: {stats:?}"
+        );
+        assert!(
+            stats.restores > 0,
+            "preempted tenants must have been restored: {stats:?}"
+        );
+    } else {
+        assert_eq!(stats.preemptions, 0, "dedicated run must not preempt: {stats:?}");
+    }
+    assert_eq!(sys.scheduler().queue_depth(), 0, "no tenant left queued");
+    drop(tenants);
+    sys.shutdown();
+    finals
+}
+
+fn oversub_matches_dedicated(parallel: bool) {
+    let base = VpimConfig::builder().batching(false).prefetch(false).parallel(parallel);
+    let dedicated = run_tenants(base.clone().build(), 8, 8);
+    let oversub = run_tenants(
+        base.oversubscription(true).sched_quantum_ms(0).build(),
+        4,
+        8,
+    );
+    assert_eq!(
+        dedicated, oversub,
+        "per-tenant payloads must be bit-identical with and without rank time-sharing"
+    );
+}
+
+#[test]
+fn eight_vms_on_four_ranks_sequential_dispatch() {
+    oversub_matches_dedicated(false);
+}
+
+#[test]
+fn eight_vms_on_four_ranks_parallel_dispatch() {
+    oversub_matches_dedicated(true);
+}
+
+#[test]
+fn weighted_fair_oversubscription_completes() {
+    let vcfg = VpimConfig::builder()
+        .batching(false)
+        .prefetch(false)
+        .oversubscription(true)
+        .sched_policy(vpim::SchedPolicy::WeightedFair)
+        .sched_quantum_ms(0)
+        .build();
+    let finals = run_tenants(vcfg, 2, 4);
+    for (v, outs) in finals.iter().enumerate() {
+        for (k, &d) in DPUS.iter().enumerate() {
+            for r in 0..ROUNDS {
+                let lo = r * CHUNK as usize;
+                assert_eq!(
+                    &outs[k][lo..lo + CHUNK as usize],
+                    pattern(v, d, r).as_slice(),
+                    "vm-{v} dpu {d} round {r}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn scheduler_telemetry_is_published() {
+    let vcfg = VpimConfig::builder()
+        .batching(false)
+        .prefetch(false)
+        .oversubscription(true)
+        .sched_quantum_ms(0)
+        .build();
+    let sys = VpimSystem::start_with(host(1), vcfg, CostModel::default(), snappy());
+    let a = sys.launch_vm("vm-a", 1).unwrap();
+    let b = sys.launch_vm("vm-b", 1).unwrap();
+    // Bounce the rank between the tenants a few times.
+    for round in 0..3u8 {
+        a.frontend(0).write_rank(&[(0, 0, &[round; 64])]).unwrap();
+        b.frontend(0).write_rank(&[(0, 0, &[round ^ 0xFF; 64])]).unwrap();
+    }
+    let snap = sys.registry().snapshot();
+    assert!(snap.count("sched.grants") >= 2, "{snap:?}");
+    assert!(snap.count("sched.preemptions") >= 1, "{snap:?}");
+    assert!(snap.count("sched.restores") >= 1, "{snap:?}");
+    assert_eq!(snap.level("sched.queue.depth"), 0, "{snap:?}");
+    // Per-tenant wait-latency histograms exist and saw every grant.
+    let waits: u64 = ["vm-a/vupmem0", "vm-b/vupmem0"]
+        .iter()
+        .map(|t| match snap.get(&format!("sched.wait.{t}")) {
+            Some(simkit::MetricValue::Histogram { count, total, .. }) => {
+                assert!(*total > simkit::VirtualNanos::ZERO);
+                *count
+            }
+            other => panic!("missing wait histogram for {t}: {other:?}"),
+        })
+        .sum();
+    assert_eq!(waits, snap.count("sched.grants"), "every grant records a wait sample");
+    drop((a, b));
+    sys.shutdown();
+}
+
+#[test]
+fn voluntary_release_evicts_parked_checkpoint_and_unblocks_waiters() {
+    let vcfg = VpimConfig::builder()
+        .batching(false)
+        .prefetch(false)
+        .oversubscription(true)
+        .sched_quantum_ms(0)
+        .build();
+    let sys = VpimSystem::start_with(host(1), vcfg, CostModel::default(), snappy());
+    let a = sys.launch_vm("vm-a", 1).unwrap();
+    let b = sys.launch_vm("vm-b", 1).unwrap();
+    a.frontend(0).write_rank(&[(0, 0, &[0xAA; 128])]).unwrap();
+    // vm-b's write preempts vm-a: vm-a's state is parked.
+    b.frontend(0).write_rank(&[(0, 0, &[0xBB; 128])]).unwrap();
+    assert!(sys.scheduler().store().contains("vm-a/vupmem0"));
+    // vm-a shuts down without ever coming back: its checkpoint is dropped.
+    a.release_all().unwrap();
+    assert!(
+        !sys.scheduler().store().contains("vm-a/vupmem0"),
+        "release must evict the parked checkpoint"
+    );
+    assert_eq!(sys.scheduler().store().used_bytes(), 0);
+    // vm-b still works (and still owns the rank or can reacquire it).
+    let (outs, _) = b.frontend(0).read_rank(&[(0, 0, 128)]).unwrap();
+    assert_eq!(outs[0], vec![0xBB; 128]);
+    drop((a, b));
+    sys.shutdown();
+}
