@@ -5,11 +5,13 @@
 
 # The repo's tier-1 gate (ROADMAP.md): release build + full test suite,
 # then the concurrency stress/determinism and scheduler oversubscription
-# suites under varied harness parallelism.
+# suites under varied harness parallelism, and the zero-copy data-path
+# integrity/leak gate.
 tier1:
 	sh ci/offline-gate.sh
 	sh ci/stress-gate.sh
 	sh ci/sched-gate.sh
+	sh ci/perf-gate.sh
 
 build:
 	cargo build --offline --workspace

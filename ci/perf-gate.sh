@@ -1,0 +1,24 @@
+#!/usr/bin/env sh
+# Zero-copy data-path gate: proves the pooled transfer path in release
+# mode — payload integrity against the seed path's byte layout, PoolGuard
+# drop balance (no leaked scratch buffers), deterministic zero-copy byte
+# accounting, and an allocation-free steady state (pool hit rate >= 99%).
+# Also compile-checks the criterion benches so the `datapath_zero_copy`
+# comparison group (seed vs pooled, scalar vs vectorized) cannot rot.
+#
+# Usage: ci/perf-gate.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== perf gate: pooled data-path integrity + leak checks =="
+cargo test --release --offline -q --test datapath_pool
+
+echo "== perf gate: fused-interleave equivalence proptests =="
+cargo test --release --offline -q -p upmem-sim interleave
+cargo test --release --offline -q -p vpim datapath
+
+echo "== perf gate: bench harness compiles =="
+cargo bench --offline -p vpim-bench --no-run
+
+echo "== perf gate: OK =="

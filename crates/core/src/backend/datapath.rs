@@ -1,4 +1,5 @@
-//! The backend data path: byte interleaving in its two implementations.
+//! The backend data path: byte interleaving in its two implementations,
+//! plus the zero-copy per-entry transfer functions.
 //!
 //! §4.2 ("AVX512 and C enhancements in Firecracker"): the hot loop of rank
 //! transfers is the byte interleave/deinterleave needed by the DDR layout.
@@ -8,33 +9,49 @@
 //! [`DataPath::Vectorized`] (word-wise swizzle, the `vPIM-C` path); both
 //! are real implementations whose wall-clock gap is measured by criterion,
 //! and whose modeled gap comes from [`CostModel::interleave`].
+//!
+//! [`write_entry`] / [`read_entry`] are the per-DPU units the backend's
+//! worker pool executes. They form the zero-copy, zero-allocation data
+//! path: payload bytes flow guest RAM → pooled scratch (or borrowed view)
+//! → in-place interleave → MRAM and back without a single fresh heap
+//! allocation in steady state (see DESIGN.md, "Zero-copy data path").
 
+use pim_virtio::{GuestMemory, SegCache};
 use simkit::cost::DataPath;
-use simkit::{CostModel, VirtualNanos};
+use simkit::{BytePool, CostModel, VirtualNanos};
 use upmem_sim::interleave;
+use upmem_sim::Rank;
 
-/// Runs the interleave→deinterleave pair on `data` in place using the
-/// selected implementation. The result is the identity transform (what the
-/// host writes is what the DDR bus carries and what lands in MRAM), but the
-/// real loop executes, so the two paths differ in wall-clock cost exactly
-/// like the paper's Rust vs C implementations.
-pub fn transform_roundtrip(data: &mut [u8], path: DataPath) {
+use crate::error::VpimError;
+use crate::matrix::{DpuXfer, TransferMatrix};
+
+/// Runs the fused interleave→deinterleave pair on `data` **in place** using
+/// the selected implementation. The result is the identity transform (what
+/// the host writes is what the DDR bus carries and what lands in MRAM), but
+/// the real loops execute — two separate in-place passes, so the compiler
+/// cannot elide the identity — and the two paths differ in wall-clock cost
+/// exactly like the paper's Rust vs C implementations. Needs at most one
+/// 64-byte stack line of scratch, never a heap temporary.
+pub fn transform_fused(data: &mut [u8], path: DataPath) {
     if data.is_empty() {
         return;
     }
-    let mut wire = vec![0u8; data.len()];
     match path {
         DataPath::Scalar => {
-            interleave::interleave_scalar(data, &mut wire);
-            let mut back = vec![0u8; data.len()];
-            interleave::deinterleave_scalar(&wire, &mut back);
-            data.copy_from_slice(&back);
+            interleave::interleave_inplace_scalar(data);
+            interleave::deinterleave_inplace_scalar(data);
         }
         DataPath::Vectorized => {
-            interleave::interleave_fast(data, &mut wire);
-            interleave::deinterleave_fast(&wire, data);
+            interleave::interleave_inplace(data);
+            interleave::deinterleave_inplace(data);
         }
     }
+}
+
+/// Compatibility name for [`transform_fused`] (the pre-fusion API took the
+/// same arguments but staged through full-size heap temporaries).
+pub fn transform_roundtrip(data: &mut [u8], path: DataPath) {
+    transform_fused(data, path);
 }
 
 /// Modeled duration of interleaving `bytes` once on the given path.
@@ -43,9 +60,93 @@ pub fn interleave_cost(cm: &CostModel, bytes: u64, path: DataPath) -> VirtualNan
     cm.interleave(bytes, path)
 }
 
+/// Moves one matrix entry guest→MRAM (the per-DPU unit of
+/// `write-to-rank`), returning the bytes moved.
+///
+/// With interleave verification on, the payload is gathered into a pooled
+/// scratch buffer, swizzled in place, and handed to the rank's in-place
+/// writer — zero heap allocations once the pool is warm. With verification
+/// off, each guest page is a borrowed [`GuestMemory::with_slice`] view
+/// written straight into MRAM — no staging buffer at all. Either way the
+/// per-request [`SegCache`] elides repeated page bounds checks.
+///
+/// # Errors
+///
+/// Out-of-bounds guest access, invalid DPU, or MRAM range errors.
+pub fn write_entry(
+    mem: &GuestMemory,
+    rank: &Rank,
+    entry: &DpuXfer,
+    verify: bool,
+    path: DataPath,
+    pool: &BytePool,
+    cache: &mut SegCache,
+) -> Result<u64, VpimError> {
+    use pim_virtio::memory::PAGE_SIZE;
+    if !verify {
+        let dpu = entry.dpu as usize;
+        for (i, page) in entry.pages.iter().enumerate() {
+            let lo = i as u64 * PAGE_SIZE;
+            let hi = ((i as u64 + 1) * PAGE_SIZE).min(entry.len);
+            if lo >= hi {
+                break;
+            }
+            mem.with_slice_cached(cache, *page, hi - lo, |s| {
+                rank.write_dpu(dpu, entry.mram_offset + lo, s)
+            })??;
+        }
+        return Ok(entry.len);
+    }
+    let mut data = pool.take(entry.len as usize);
+    TransferMatrix::gather_into(mem, entry, &mut data, cache)?;
+    transform_fused(&mut data, path);
+    rank.write_dpu_inplace(entry.dpu as usize, entry.mram_offset, &mut data)?;
+    Ok(entry.len)
+}
+
+/// Moves one matrix entry MRAM→guest (the per-DPU unit of
+/// `read-from-rank`), returning the bytes moved. Mirror of
+/// [`write_entry`]: pooled scratch + in-place swizzle when verifying,
+/// borrowed mutable page views when not.
+///
+/// # Errors
+///
+/// Out-of-bounds guest access, invalid DPU, or MRAM range errors.
+pub fn read_entry(
+    mem: &GuestMemory,
+    rank: &Rank,
+    entry: &DpuXfer,
+    verify: bool,
+    path: DataPath,
+    pool: &BytePool,
+    cache: &mut SegCache,
+) -> Result<u64, VpimError> {
+    use pim_virtio::memory::PAGE_SIZE;
+    if !verify {
+        let dpu = entry.dpu as usize;
+        for (i, page) in entry.pages.iter().enumerate() {
+            let lo = i as u64 * PAGE_SIZE;
+            let hi = ((i as u64 + 1) * PAGE_SIZE).min(entry.len);
+            if lo >= hi {
+                break;
+            }
+            mem.with_slice_mut_cached(cache, *page, hi - lo, |s| {
+                rank.read_dpu(dpu, entry.mram_offset + lo, s)
+            })??;
+        }
+        return Ok(entry.len);
+    }
+    let mut data = pool.take(entry.len as usize);
+    rank.read_dpu(entry.dpu as usize, entry.mram_offset, &mut data)?;
+    transform_fused(&mut data, path);
+    TransferMatrix::scatter_from(mem, entry, &data, cache)?;
+    Ok(entry.len)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     #[test]
     fn both_paths_are_identity() {
@@ -60,8 +161,8 @@ mod tests {
     #[test]
     fn empty_buffer_is_fine() {
         let mut data: Vec<u8> = Vec::new();
-        transform_roundtrip(&mut data, DataPath::Scalar);
-        transform_roundtrip(&mut data, DataPath::Vectorized);
+        transform_fused(&mut data, DataPath::Scalar);
+        transform_fused(&mut data, DataPath::Vectorized);
     }
 
     #[test]
@@ -73,5 +174,25 @@ mod tests {
         // modeled gap is of that order (scalar several times slower).
         let ratio = scalar.ratio(vector);
         assert!(ratio > 3.0, "ratio {ratio}");
+    }
+
+    proptest! {
+        /// transform_fused ≡ interleave_scalar ∘ deinterleave_scalar for
+        /// arbitrary lengths, including non-multiple-of-64 tails. (Both
+        /// compose to the identity; the fused path must agree byte for
+        /// byte with the composed two-buffer reference.)
+        #[test]
+        fn fused_matches_composed_scalar_pair(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+            let mut composed = vec![0u8; data.len()];
+            interleave::interleave_scalar(&data, &mut composed);
+            let mut composed_out = vec![0u8; data.len()];
+            interleave::deinterleave_scalar(&composed, &mut composed_out);
+
+            for path in DataPath::ALL {
+                let mut fused = data.clone();
+                transform_fused(&mut fused, path);
+                prop_assert_eq!(&fused, &composed_out);
+            }
+        }
     }
 }

@@ -14,10 +14,10 @@ use std::sync::Arc;
 
 use parking_lot::{Mutex, MutexGuard};
 use pim_virtio::queue::DescChain;
-use pim_virtio::{Gpa, GuestMemory};
+use pim_virtio::{Gpa, GuestMemory, SegCache};
 use simkit::compose::pool_schedule;
 use simkit::cost::DataPath;
-use simkit::{CostModel, Counter, HasErrorKind, MetricsRegistry, VirtualNanos, WorkerPool};
+use simkit::{BytePool, CostModel, Counter, HasErrorKind, MetricsRegistry, VirtualNanos, WorkerPool};
 use upmem_driver::{PerfMapping, UpmemDriver};
 use upmem_sim::Rank;
 
@@ -27,6 +27,18 @@ use crate::manager::ManagerClient;
 use crate::matrix::{DpuXfer, TransferMatrix};
 use crate::sched::{RankSlot, Scheduler};
 use crate::spec::{PimDeviceConfig, Request, Response};
+
+/// The per-entry transfer unit [`run_entries`](Backend::run_entries)
+/// executes: [`datapath::write_entry`] or [`datapath::read_entry`].
+type EntryOp = fn(
+    &GuestMemory,
+    &Rank,
+    &DpuXfer,
+    bool,
+    DataPath,
+    &BytePool,
+    &mut SegCache,
+) -> Result<u64, VpimError>;
 
 /// Response status: success.
 pub const STATUS_OK: u32 = 0;
@@ -51,6 +63,10 @@ pub struct BackendCounters {
     pub reads: Counter,
     /// CI-class requests processed (load, launch, poll, symbols).
     pub ci: Counter,
+    /// Payload bytes moved through the zero-copy data path
+    /// (`datapath.bytes.zero_copy`): guest RAM → pooled scratch or borrowed
+    /// view → MRAM and back, with no fresh per-entry heap allocation.
+    pub zero_copy: Counter,
 }
 
 impl BackendCounters {
@@ -59,6 +75,7 @@ impl BackendCounters {
             writes: registry.counter("backend.writes"),
             reads: registry.counter("backend.reads"),
             ci: registry.counter("backend.ci"),
+            zero_copy: registry.counter("datapath.bytes.zero_copy"),
         }
     }
 }
@@ -76,6 +93,9 @@ pub struct Backend {
     perf: RankSlot,
     counters: BackendCounters,
     pool: Arc<WorkerPool>,
+    /// Scratch-buffer pool for the zero-copy data path (shared with the
+    /// frontend serializer in the system wiring).
+    scratch: BytePool,
 }
 
 impl Backend {
@@ -142,6 +162,27 @@ impl Backend {
         registry: &MetricsRegistry,
         pool: Arc<WorkerPool>,
     ) -> Self {
+        let scratch = BytePool::with_registry(registry, "datapath.pool");
+        Self::with_parts(driver, sched, vcfg, cm, owner, registry, pool, scratch)
+    }
+
+    /// [`with_scheduler`](Self::with_scheduler), sharing an existing
+    /// scratch-buffer [`BytePool`] instead of creating a private one. The
+    /// system wiring hands every backend and frontend of a system the same
+    /// pool, so a buffer released by the serializer is reusable by any
+    /// backend worker.
+    #[must_use]
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_parts(
+        driver: Arc<UpmemDriver>,
+        sched: Scheduler,
+        vcfg: VpimConfig,
+        cm: CostModel,
+        owner: String,
+        registry: &MetricsRegistry,
+        pool: Arc<WorkerPool>,
+        scratch: BytePool,
+    ) -> Self {
         Backend {
             driver,
             sched,
@@ -151,6 +192,7 @@ impl Backend {
             perf: Arc::new(Mutex::new(None)),
             counters: BackendCounters::from_registry(registry),
             pool,
+            scratch,
         }
     }
 
@@ -336,39 +378,11 @@ impl Backend {
         }
     }
 
-    fn write_entry(
-        mem: &GuestMemory,
-        rank: &Rank,
-        entry: &DpuXfer,
-        verify: bool,
-        path: DataPath,
-    ) -> Result<(), VpimError> {
-        let mut data = TransferMatrix::gather(mem, entry)?;
-        if verify {
-            datapath::transform_roundtrip(&mut data, path);
-        }
-        rank.write_dpu(entry.dpu as usize, entry.mram_offset, &data)?;
-        Ok(())
-    }
-
-    fn read_entry(
-        mem: &GuestMemory,
-        rank: &Rank,
-        entry: &DpuXfer,
-        verify: bool,
-        path: DataPath,
-    ) -> Result<(), VpimError> {
-        let mut data = vec![0u8; entry.len as usize];
-        rank.read_dpu(entry.dpu as usize, entry.mram_offset, &mut data)?;
-        if verify {
-            datapath::transform_roundtrip(&mut data, path);
-        }
-        TransferMatrix::scatter(mem, entry, &data)?;
-        Ok(())
-    }
-
     /// Executes a data op's per-entry work on the worker pool, chunked
     /// along DPU boundaries so no two workers touch the same MRAM bank.
+    /// Each worker draws scratch buffers from the shared [`BytePool`] and
+    /// elides bounds re-checks with a chunk-local [`SegCache`]. On full
+    /// success the bytes moved are published as `datapath.bytes.zero_copy`.
     /// On failure the error of the **lowest entry index** is returned —
     /// the same error a sequential in-order walk would report — so error
     /// responses are deterministic too. As on real hardware, other
@@ -379,14 +393,17 @@ impl Backend {
         rank: &Arc<Rank>,
         matrix: &TransferMatrix,
         verify: bool,
-        op: fn(&GuestMemory, &Rank, &DpuXfer, bool, DataPath) -> Result<(), VpimError>,
+        op: EntryOp,
     ) -> Result<(), VpimError> {
         let path = self.vcfg.data_path;
         let chunks = partition::partition_by_dpu(&matrix.entries, self.pool.workers());
         if chunks.len() <= 1 {
+            let mut cache = SegCache::new();
+            let mut moved = 0u64;
             for entry in &matrix.entries {
-                op(mem, rank, entry, verify, path)?;
+                moved += op(mem, rank, entry, verify, path, &self.scratch, &mut cache)?;
             }
+            self.counters.zero_copy.add(moved);
             return Ok(());
         }
         let jobs: Vec<_> = chunks
@@ -394,23 +411,44 @@ impl Backend {
             .map(|chunk| {
                 let mem = mem.clone();
                 let rank = Arc::clone(rank);
+                let scratch = self.scratch.clone();
                 let entries: Vec<(usize, DpuXfer)> = chunk
                     .entry_indices
                     .iter()
                     .map(|&i| (i, matrix.entries[i].clone()))
                     .collect();
-                move || -> Result<(), (usize, VpimError)> {
+                move || -> Result<u64, (usize, VpimError)> {
+                    let mut cache = SegCache::new();
+                    let mut moved = 0u64;
                     for (i, entry) in &entries {
-                        op(&mem, &rank, entry, verify, path).map_err(|e| (*i, e))?;
+                        moved += op(&mem, &rank, entry, verify, path, &scratch, &mut cache)
+                            .map_err(|e| (*i, e))?;
                     }
-                    Ok(())
+                    Ok(moved)
                 }
             })
             .collect();
-        let failures = self.pool.run_all(jobs);
-        match failures.into_iter().filter_map(Result::err).min_by_key(|(i, _)| *i) {
+        let outcomes = self.pool.run_all(jobs);
+        let mut moved = 0u64;
+        let mut first_failure: Option<(usize, VpimError)> = None;
+        for outcome in outcomes {
+            match outcome {
+                Ok(bytes) => moved += bytes,
+                Err((i, e)) => {
+                    if first_failure.as_ref().is_none_or(|(fi, _)| i < *fi) {
+                        first_failure = Some((i, e));
+                    }
+                }
+            }
+        }
+        match first_failure {
             Some((_, e)) => Err(e),
-            None => Ok(()),
+            None => {
+                // Published only on full success, so the total is the same
+                // deterministic quantity Sequential dispatch reports.
+                self.counters.zero_copy.add(moved);
+                Ok(())
+            }
         }
     }
 
@@ -432,7 +470,7 @@ impl Backend {
         let guard = self.ensure_linked()?;
         let perf = guard.as_ref().expect("linked above");
         let verify = perf.rank().verify_interleave();
-        self.run_entries(mem, perf.rank(), &matrix, verify, Self::write_entry)?;
+        self.run_entries(mem, perf.rank(), &matrix, verify, datapath::write_entry)?;
         Ok(self.data_op_response(&matrix, chain.descriptors.len() as u64))
     }
 
@@ -454,7 +492,7 @@ impl Backend {
         let guard = self.ensure_linked()?;
         let perf = guard.as_ref().expect("linked above");
         let verify = perf.rank().verify_interleave();
-        self.run_entries(mem, perf.rank(), &matrix, verify, Self::read_entry)?;
+        self.run_entries(mem, perf.rank(), &matrix, verify, datapath::read_entry)?;
         Ok(self.data_op_response(&matrix, chain.descriptors.len() as u64))
     }
 

@@ -23,7 +23,7 @@ use pim_virtio::mmio::{reg, status as mmio_status};
 use pim_virtio::queue::{DriverQueue, QueueLayout};
 use pim_virtio::{Gpa, GuestMemory};
 use pim_vmm::{EventManager, KickHandle, VirtioDevice};
-use simkit::{CostModel, Counter, Gauge, MetricsRegistry, VirtualNanos, WriteStep};
+use simkit::{BytePool, CostModel, Counter, Gauge, MetricsRegistry, VirtualNanos, WriteStep};
 use upmem_sim::ci::CiStatus;
 
 use crate::config::VpimConfig;
@@ -170,6 +170,9 @@ pub struct Frontend {
     cm: CostModel,
     vcfg: VpimConfig,
     metrics: FrontMetrics,
+    /// Scratch-buffer pool for matrix serialization (shared with the
+    /// backend data path in the system wiring).
+    scratch: BytePool,
     state: Mutex<FrontState>,
     /// Submission/drain clocks letting several threads share one frontend:
     /// whoever consumes the interrupt drains the whole used ring and
@@ -213,6 +216,28 @@ impl Frontend {
         cm: CostModel,
         vcfg: VpimConfig,
         registry: &MetricsRegistry,
+    ) -> Result<Frontend, VpimError> {
+        let scratch = BytePool::with_registry(registry, "datapath.pool");
+        Self::probe_with_pool(device, device_idx, em, mem, cm, vcfg, registry, scratch)
+    }
+
+    /// [`probe_with_registry`](Self::probe_with_registry), sharing an
+    /// existing serializer scratch [`BytePool`] instead of creating one —
+    /// the system wiring hands frontends and backends the same pool.
+    ///
+    /// # Errors
+    ///
+    /// Guest memory exhaustion or MMIO errors.
+    #[allow(clippy::too_many_arguments)]
+    pub fn probe_with_pool(
+        device: Arc<VupmemDevice>,
+        device_idx: usize,
+        em: EventManager,
+        mem: GuestMemory,
+        cm: CostModel,
+        vcfg: VpimConfig,
+        registry: &MetricsRegistry,
+        scratch: BytePool,
     ) -> Result<Frontend, VpimError> {
         let m = device.mmio();
         m.write(reg::STATUS, mmio_status::ACKNOWLEDGE)?;
@@ -259,6 +284,7 @@ impl Frontend {
                 batch: metrics.batch_buffer(0, 0),
             }),
             metrics,
+            scratch,
             clocks: Mutex::new(HeadClocks::default()),
         })
     }
@@ -545,7 +571,7 @@ impl Frontend {
             let pages = matrix.total_pages();
             let mut r = OpReport::default();
             r.step(WriteStep::PageMgmt, self.cm.page_mgmt(pages));
-            let (bufs, meta_lease) = matrix.serialize(&self.mem)?;
+            let (bufs, meta_lease) = matrix.serialize_pooled(&self.mem, &self.scratch)?;
             r.step(WriteStep::Serialize, self.cm.serialize_matrix(pages));
             let (resp, rt) =
                 self.roundtrip(&Request::WriteRank { nr_dpus: chunk.len() as u32 }, &bufs)?;
@@ -641,7 +667,7 @@ impl Frontend {
             let pages = matrix.total_pages();
             let mut r = OpReport::default();
             r.step(WriteStep::PageMgmt, self.cm.page_mgmt(pages));
-            let (bufs, meta_lease) = matrix.serialize(&self.mem)?;
+            let (bufs, meta_lease) = matrix.serialize_pooled(&self.mem, &self.scratch)?;
             r.step(WriteStep::Serialize, self.cm.serialize_matrix(pages));
             let (resp, rt) =
                 self.roundtrip(&Request::ReadRank { nr_dpus: chunk.len() as u32 }, &bufs)?;
@@ -672,7 +698,7 @@ impl Frontend {
         let pages = matrix.total_pages();
         let mut partial = OpReport::default();
         partial.step(WriteStep::PageMgmt, self.cm.page_mgmt(pages));
-        let (bufs, meta_lease) = matrix.serialize(&self.mem)?;
+        let (bufs, meta_lease) = matrix.serialize_pooled(&self.mem, &self.scratch)?;
         partial.step(WriteStep::Serialize, self.cm.serialize_matrix(pages));
         let op = self.submit(&Request::WriteRank { nr_dpus: chunk.len() as u32 }, &bufs)?;
         Ok(WriteChunk { op, partial, _data_lease: data_lease, _meta_lease: meta_lease })
@@ -683,7 +709,7 @@ impl Frontend {
         let pages = matrix.total_pages();
         let mut partial = OpReport::default();
         partial.step(WriteStep::PageMgmt, self.cm.page_mgmt(pages));
-        let (bufs, meta_lease) = matrix.serialize(&self.mem)?;
+        let (bufs, meta_lease) = matrix.serialize_pooled(&self.mem, &self.scratch)?;
         partial.step(WriteStep::Serialize, self.cm.serialize_matrix(pages));
         let op = self.submit(&Request::ReadRank { nr_dpus: chunk.len() as u32 }, &bufs)?;
         Ok(ReadChunk { op, matrix, partial, _lease: lease, _meta_lease: meta_lease })

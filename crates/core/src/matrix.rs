@@ -17,7 +17,8 @@
 //! guest-to-Firecracker path.
 
 use pim_virtio::memory::PAGE_SIZE;
-use pim_virtio::{Gpa, GuestMemory};
+use pim_virtio::{Gpa, GuestMemory, SegCache};
+use simkit::BytePool;
 
 use crate::error::VpimError;
 
@@ -61,6 +62,11 @@ pub struct PageLease {
     mem: GuestMemory,
     pages: Vec<Gpa>,
 }
+
+/// What serialization produces: the virtqueue buffer list
+/// `(guest address, length, device-writable)` plus the lease on the meta
+/// pages backing it.
+pub type SerializedMatrix = (Vec<(Gpa, u32, bool)>, PageLease);
 
 impl PageLease {
     /// Number of leased pages.
@@ -195,50 +201,85 @@ impl TransferMatrix {
     /// # Errors
     ///
     /// Guest allocator exhaustion or out-of-bounds writes.
-    pub fn serialize(
+    pub fn serialize(&self, mem: &GuestMemory) -> Result<SerializedMatrix, VpimError> {
+        let total = self.serialized_bytes() as usize;
+        let mut scratch = vec![0u8; total];
+        self.serialize_via(mem, &mut scratch)
+    }
+
+    /// [`serialize`](Self::serialize) staging through a pooled scratch
+    /// buffer — the steady-state path allocates nothing.
+    ///
+    /// # Errors
+    ///
+    /// Guest allocator exhaustion or out-of-bounds writes.
+    pub fn serialize_pooled(
         &self,
         mem: &GuestMemory,
-    ) -> Result<(Vec<(Gpa, u32, bool)>, PageLease), VpimError> {
-        // Layout: matrix meta (8B) then per DPU: meta (32B) + pages (8B each),
-        // each buffer 8-byte aligned, packed into contiguous pages.
+        pool: &BytePool,
+    ) -> Result<SerializedMatrix, VpimError> {
+        let total = self.serialized_bytes() as usize;
+        let mut scratch = pool.take(total);
+        self.serialize_via(mem, &mut scratch)
+    }
+
+    /// Total serialized size: matrix meta (8 B) then per DPU meta (32 B) +
+    /// pages (8 B each), each buffer 8-byte aligned, densely packed.
+    fn serialized_bytes(&self) -> u64 {
         let mut total = 8u64;
         for e in &self.entries {
             total += 32 + 8 * e.pages.len() as u64;
         }
-        let npages = total.div_ceil(PAGE_SIZE) as usize;
+        total
+    }
+
+    /// Assembles the whole flat layout in `scratch` (every byte written, so
+    /// dirty pooled buffers are fine), then lands it in guest memory with
+    /// **one** bulk write into contiguous pages — instead of the seed's one
+    /// `write_u64` VM access per field.
+    fn serialize_via(
+        &self,
+        mem: &GuestMemory,
+        scratch: &mut [u8],
+    ) -> Result<SerializedMatrix, VpimError> {
+        let total = scratch.len();
+        let npages = (total as u64).div_ceil(PAGE_SIZE) as usize;
         let base = mem.alloc_contiguous(npages.max(1))?;
         let lease_pages: Vec<Gpa> = (0..npages.max(1))
             .map(|i| Gpa(base.0 + i as u64 * PAGE_SIZE))
             .collect();
 
+        fn put(scratch: &mut [u8], off: &mut usize, v: u64) {
+            scratch[*off..*off + 8].copy_from_slice(&v.to_le_bytes());
+            *off += 8;
+        }
+
         let mut bufs: Vec<(Gpa, u32, bool)> = Vec::with_capacity(2 * self.entries.len() + 1);
-        let mut cursor = base;
+        let mut off = 0usize;
 
         // Matrix metadata buffer: [nr_dpus].
-        mem.write_u64(cursor, self.entries.len() as u64)?;
-        bufs.push((cursor, 8, false));
-        cursor = cursor.add(8);
+        put(scratch, &mut off, self.entries.len() as u64);
+        bufs.push((base, 8, false));
 
         for e in &self.entries {
             // Per-DPU metadata buffer: [dpu, mram_offset, len, nb_pages].
-            mem.write_u64(cursor, u64::from(e.dpu))?;
-            mem.write_u64(cursor.add(8), e.mram_offset)?;
-            mem.write_u64(cursor.add(16), e.len)?;
-            mem.write_u64(cursor.add(24), e.pages.len() as u64)?;
-            bufs.push((cursor, 32, false));
-            cursor = cursor.add(32);
+            bufs.push((base.add(off as u64), 32, false));
+            put(scratch, &mut off, u64::from(e.dpu));
+            put(scratch, &mut off, e.mram_offset);
+            put(scratch, &mut off, e.len);
+            put(scratch, &mut off, e.pages.len() as u64);
 
             // Page buffer: the GPAs of the data pages.
-            let page_buf = cursor;
-            for (i, p) in e.pages.iter().enumerate() {
-                mem.write_u64(cursor.add(8 * i as u64), p.0)?;
-            }
             if !e.pages.is_empty() {
-                bufs.push((page_buf, (8 * e.pages.len()) as u32, false));
+                bufs.push((base.add(off as u64), (8 * e.pages.len()) as u32, false));
             }
-            cursor = cursor.add(8 * e.pages.len() as u64);
+            for p in &e.pages {
+                put(scratch, &mut off, p.0);
+            }
         }
-        debug_assert!(bufs.len() + 1 <= MAX_BUFFERS);
+        debug_assert_eq!(off, total);
+        debug_assert!(bufs.len() < MAX_BUFFERS);
+        mem.write(base, scratch)?;
         Ok((bufs, PageLease { mem: mem.clone(), pages: lease_pages }))
     }
 
@@ -310,15 +351,42 @@ impl TransferMatrix {
     /// Out-of-bounds guest access (a malicious or buggy page list).
     pub fn gather(mem: &GuestMemory, entry: &DpuXfer) -> Result<Vec<u8>, VpimError> {
         let mut out = vec![0u8; entry.len as usize];
+        Self::gather_into(mem, entry, &mut out, &mut SegCache::new())?;
+        Ok(out)
+    }
+
+    /// [`gather`](Self::gather) into a caller-owned buffer (typically a
+    /// pooled one) through borrowed guest views, with bounds checks served
+    /// from a per-request [`SegCache`]. Writes every byte of `out`.
+    ///
+    /// # Errors
+    ///
+    /// [`VpimError::BadRequest`] on length mismatch; out-of-bounds guest
+    /// access (a malicious or buggy page list).
+    pub fn gather_into(
+        mem: &GuestMemory,
+        entry: &DpuXfer,
+        out: &mut [u8],
+        cache: &mut SegCache,
+    ) -> Result<(), VpimError> {
+        if out.len() as u64 != entry.len {
+            return Err(VpimError::BadRequest(format!(
+                "gather length {} != entry length {}",
+                out.len(),
+                entry.len
+            )));
+        }
         for (i, page) in entry.pages.iter().enumerate() {
             let lo = i * PAGE_SIZE as usize;
             let hi = ((i + 1) * PAGE_SIZE as usize).min(entry.len as usize);
             if lo >= hi {
                 break;
             }
-            mem.read(*page, &mut out[lo..hi])?;
+            mem.with_slice_cached(cache, *page, (hi - lo) as u64, |s| {
+                out[lo..hi].copy_from_slice(s);
+            })?;
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Scatters contiguous data into one entry's guest pages (the backend's
@@ -328,6 +396,21 @@ impl TransferMatrix {
     ///
     /// [`VpimError::BadRequest`] on length mismatch; out-of-bounds access.
     pub fn scatter(mem: &GuestMemory, entry: &DpuXfer, data: &[u8]) -> Result<(), VpimError> {
+        Self::scatter_from(mem, entry, data, &mut SegCache::new())
+    }
+
+    /// [`scatter`](Self::scatter) through borrowed mutable guest views with
+    /// a per-request [`SegCache`].
+    ///
+    /// # Errors
+    ///
+    /// [`VpimError::BadRequest`] on length mismatch; out-of-bounds access.
+    pub fn scatter_from(
+        mem: &GuestMemory,
+        entry: &DpuXfer,
+        data: &[u8],
+        cache: &mut SegCache,
+    ) -> Result<(), VpimError> {
         if data.len() as u64 != entry.len {
             return Err(VpimError::BadRequest(format!(
                 "scatter length {} != entry length {}",
@@ -341,7 +424,9 @@ impl TransferMatrix {
             if lo >= hi {
                 break;
             }
-            mem.write(*page, &data[lo..hi])?;
+            mem.with_slice_mut_cached(cache, *page, (hi - lo) as u64, |s| {
+                s.copy_from_slice(&data[lo..hi]);
+            })?;
         }
         Ok(())
     }

@@ -4,7 +4,7 @@
 use std::sync::Arc;
 
 use pim_vmm::{BootReport, DispatchMode, Vm, VmConfig};
-use simkit::{CostModel, MetricsRegistry, WorkerPool};
+use simkit::{BytePool, CostModel, MetricsRegistry, WorkerPool};
 use upmem_driver::UpmemDriver;
 
 use crate::backend::Backend;
@@ -32,6 +32,10 @@ pub struct VpimSystem {
     /// every backend on this host so the worker count reflects the machine,
     /// not the number of attached devices.
     data_pool: Arc<WorkerPool>,
+    /// The host's scratch-buffer pool for the zero-copy data path, shared
+    /// by every frontend serializer and backend worker (telemetry under
+    /// `datapath.pool.*`).
+    scratch: BytePool,
 }
 
 impl VpimSystem {
@@ -59,7 +63,8 @@ impl VpimSystem {
             &registry,
         );
         let data_pool = Arc::new(WorkerPool::new(cm.backend_threads));
-        VpimSystem { driver, manager: Some(manager), sched, vcfg, cm, registry, data_pool }
+        let scratch = BytePool::with_registry(&registry, "datapath.pool");
+        VpimSystem { driver, manager: Some(manager), sched, vcfg, cm, registry, data_pool, scratch }
     }
 
     /// The host driver.
@@ -100,8 +105,10 @@ impl VpimSystem {
 
     /// The host-wide metrics registry. Every layer records here:
     /// `frontend.prefetch.*` and `frontend.batch.*` (guest driver),
-    /// `backend.*` (device model), `manager.rank_state.transitions`,
-    /// `vmm.vmexits`, `virtio.irq.injections`, and the per-device
+    /// `backend.*` (device model), `datapath.pool.{hits,misses,bytes,
+    /// outstanding}` and `datapath.bytes.zero_copy` (zero-copy data path),
+    /// `manager.rank_state.transitions`, `vmm.vmexits`,
+    /// `virtio.irq.injections`, and the per-device
     /// `virtio.queue.depth.rank{i}` gauges.
     #[must_use]
     pub fn registry(&self) -> &MetricsRegistry {
@@ -147,7 +154,7 @@ impl VpimSystem {
 
         let mut devices = Vec::with_capacity(n_devices);
         for i in 0..n_devices {
-            let backend = Backend::with_scheduler(
+            let backend = Backend::with_parts(
                 self.driver.clone(),
                 self.sched.clone(),
                 self.vcfg,
@@ -155,6 +162,7 @@ impl VpimSystem {
                 format!("{tag}/vupmem{i}"),
                 &self.registry,
                 self.data_pool.clone(),
+                self.scratch.clone(),
             );
             let device = Arc::new(VupmemDevice::with_registry(
                 format!("{tag}/vupmem{i}"),
@@ -170,7 +178,7 @@ impl VpimSystem {
         let em = vm.event_manager().clone();
         let mut frontends = Vec::with_capacity(n_devices);
         for (i, device) in devices.iter().enumerate() {
-            frontends.push(Arc::new(Frontend::probe_with_registry(
+            frontends.push(Arc::new(Frontend::probe_with_pool(
                 device.clone(),
                 i,
                 em.clone(),
@@ -178,6 +186,7 @@ impl VpimSystem {
                 self.cm.clone(),
                 self.vcfg,
                 &self.registry,
+                self.scratch.clone(),
             )?));
         }
         // …the VMM boots (devices activate)…

@@ -39,6 +39,7 @@ pub mod compose;
 pub mod cost;
 pub mod error;
 pub mod executor;
+pub mod pool;
 pub mod rng;
 pub mod stats;
 pub mod telemetry;
@@ -49,6 +50,7 @@ pub use compose::{parallel, pool, sequential};
 pub use cost::CostModel;
 pub use error::{ErrorKind, HasErrorKind};
 pub use executor::{JobHandle, WorkerPool};
+pub use pool::{BytePool, PoolGuard};
 pub use rng::SimRng;
 pub use telemetry::{
     Counter, Gauge, Instrument, MetricSet, MetricValue, MetricsRegistry, MetricsSnapshot, Span,

@@ -15,6 +15,23 @@
 //!   safe-Rust swizzle processing a full 64-byte line per iteration,
 //!   standing in for the C/AVX-512 rewrite (`vPIM-C`).
 //!
+//! A third, allocation-free family performs the swizzle **in place**:
+//!
+//! * [`interleave_inplace`] / [`deinterleave_inplace`] — line-local
+//!   swizzle: each full 64-byte line is an 8×8 byte-matrix transpose done
+//!   with a word-level mask-swap network, the sub-line tail uses a 64-byte
+//!   stack scratch. No heap temporaries at all.
+//! * [`interleave_inplace_scalar`] / [`deinterleave_inplace_scalar`] — the
+//!   per-byte reference for the same line-local permutation (`vPIM-rust`
+//!   stand-in for the fused path).
+//!
+//! The in-place family is *line-local*: bytes never cross their own
+//! 64-byte line, which models the DDR burst boundary directly. For buffers
+//! longer than one line this wire layout differs from the global
+//! lane-major layout of [`interleave_fast`] — but both are self-inverse
+//! pairs, so the observable MRAM contents after a write→read round trip
+//! are identical under either convention.
+//!
 //! Criterion benches (`cargo bench -p vpim-bench`) measure the real gap;
 //! the [`simkit::CostModel`] charges the modeled gap in virtual time.
 //! Interleaving is also a pillar of vPIM's isolation story (§3.5): when a
@@ -122,6 +139,122 @@ pub fn deinterleave_fast(src: &[u8], dst: &mut [u8]) {
     dst[body..].copy_from_slice(src_tail);
 }
 
+/// Interleaves `data` in place, line-locally (fast path).
+///
+/// Each full 64-byte line becomes an 8×8 byte-matrix transpose (byte
+/// `8r + c` of the line moves to `8c + r`), computed on eight `u64` words
+/// with a three-step mask-swap network; a sub-line tail is permuted with
+/// [`permuted_index`] over the tail length via a 64-byte stack scratch.
+/// Allocation-free.
+pub fn interleave_inplace(data: &mut [u8]) {
+    let body = (data.len() / LINE) * LINE;
+    let (lines, tail) = data.split_at_mut(body);
+    for line in lines.chunks_exact_mut(LINE) {
+        transpose8x8(line);
+    }
+    permute_tail_forward(tail);
+}
+
+/// Reverses [`interleave_inplace`], in place and allocation-free.
+///
+/// The full-line transpose is an involution, so the body pass is the same
+/// network; only the tail permutation inverts.
+pub fn deinterleave_inplace(data: &mut [u8]) {
+    let body = (data.len() / LINE) * LINE;
+    let (lines, tail) = data.split_at_mut(body);
+    for line in lines.chunks_exact_mut(LINE) {
+        transpose8x8(line);
+    }
+    permute_tail_inverse(tail);
+}
+
+/// Per-byte reference for [`interleave_inplace`] (same line-local
+/// permutation, no word-level tricks).
+pub fn interleave_inplace_scalar(data: &mut [u8]) {
+    let body = (data.len() / LINE) * LINE;
+    let (lines, tail) = data.split_at_mut(body);
+    for line in lines.chunks_exact_mut(LINE) {
+        let mut scratch = [0u8; LINE];
+        scratch.copy_from_slice(line);
+        for (i, &b) in scratch.iter().enumerate() {
+            line[permuted_index(i, LINE)] = b;
+        }
+    }
+    permute_tail_forward(tail);
+}
+
+/// Per-byte reference for [`deinterleave_inplace`].
+pub fn deinterleave_inplace_scalar(data: &mut [u8]) {
+    let body = (data.len() / LINE) * LINE;
+    let (lines, tail) = data.split_at_mut(body);
+    for line in lines.chunks_exact_mut(LINE) {
+        let mut scratch = [0u8; LINE];
+        scratch.copy_from_slice(line);
+        for (i, b) in line.iter_mut().enumerate() {
+            *b = scratch[permuted_index(i, LINE)];
+        }
+    }
+    permute_tail_inverse(tail);
+}
+
+/// Transposes one 64-byte line viewed as an 8×8 byte matrix (row `r`,
+/// column `c` at index `8r + c`), using the standard three-step block
+/// swap on little-endian `u64` rows: 4×4 blocks, then 2×2, then single
+/// bytes. Self-inverse.
+fn transpose8x8(line: &mut [u8]) {
+    debug_assert_eq!(line.len(), LINE);
+    let mut x = [0u64; LANES];
+    for (r, chunk) in line.chunks_exact(8).enumerate() {
+        x[r] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+    }
+    for i in 0..4 {
+        let t = ((x[i] >> 32) ^ x[i + 4]) & 0x0000_0000_FFFF_FFFF;
+        x[i] ^= t << 32;
+        x[i + 4] ^= t;
+    }
+    for i in [0, 1, 4, 5] {
+        let t = ((x[i] >> 16) ^ x[i + 2]) & 0x0000_FFFF_0000_FFFF;
+        x[i] ^= t << 16;
+        x[i + 2] ^= t;
+    }
+    for i in [0, 2, 4, 6] {
+        let t = ((x[i] >> 8) ^ x[i + 1]) & 0x00FF_00FF_00FF_00FF;
+        x[i] ^= t << 8;
+        x[i + 1] ^= t;
+    }
+    for (r, chunk) in line.chunks_exact_mut(8).enumerate() {
+        chunk.copy_from_slice(&x[r].to_le_bytes());
+    }
+}
+
+/// Applies the forward interleave permutation to a sub-line tail in place.
+fn permute_tail_forward(tail: &mut [u8]) {
+    let t = tail.len();
+    debug_assert!(t < LINE);
+    if t < 2 {
+        return;
+    }
+    let mut scratch = [0u8; LINE];
+    scratch[..t].copy_from_slice(tail);
+    for (i, &b) in scratch[..t].iter().enumerate() {
+        tail[permuted_index(i, t)] = b;
+    }
+}
+
+/// Applies the inverse interleave permutation to a sub-line tail in place.
+fn permute_tail_inverse(tail: &mut [u8]) {
+    let t = tail.len();
+    debug_assert!(t < LINE);
+    if t < 2 {
+        return;
+    }
+    let mut scratch = [0u8; LINE];
+    scratch[..t].copy_from_slice(tail);
+    for (i, b) in tail.iter_mut().enumerate() {
+        *b = scratch[permuted_index(i, t)];
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -180,5 +313,57 @@ mod tests {
             deinterleave_scalar(&inter, &mut back);
             prop_assert_eq!(back, data);
         }
+
+        /// The word-level in-place swizzle computes exactly the same
+        /// permutation as its per-byte reference, both directions.
+        #[test]
+        fn inplace_fast_matches_inplace_scalar(data in proptest::collection::vec(any::<u8>(), 0..2048)) {
+            let mut fast = data.clone();
+            let mut scalar = data.clone();
+            interleave_inplace(&mut fast);
+            interleave_inplace_scalar(&mut scalar);
+            prop_assert_eq!(&fast, &scalar);
+            deinterleave_inplace(&mut fast);
+            deinterleave_inplace_scalar(&mut scalar);
+            prop_assert_eq!(&fast, &scalar);
+        }
+
+        /// interleave_inplace ∘ deinterleave_inplace ≡ id (either order),
+        /// including non-multiple-of-64 tails.
+        #[test]
+        fn inplace_pair_is_identity(data in proptest::collection::vec(any::<u8>(), 0..2048)) {
+            let mut buf = data.clone();
+            interleave_inplace(&mut buf);
+            deinterleave_inplace(&mut buf);
+            prop_assert_eq!(&buf, &data);
+            deinterleave_inplace(&mut buf);
+            interleave_inplace(&mut buf);
+            prop_assert_eq!(&buf, &data);
+        }
+
+        /// Up to one line (≤ 64 bytes) the line-local permutation coincides
+        /// with the global lane-major one.
+        #[test]
+        fn inplace_matches_global_scalar_within_one_line(data in proptest::collection::vec(any::<u8>(), 0..65)) {
+            let mut inplace = data.clone();
+            interleave_inplace(&mut inplace);
+            let mut global = vec![0u8; data.len()];
+            interleave_scalar(&data, &mut global);
+            prop_assert_eq!(inplace, global);
+        }
+    }
+
+    #[test]
+    fn transpose_moves_bytes_lane_major_within_a_line() {
+        let mut line: Vec<u8> = (0u8..64).collect();
+        interleave_inplace(&mut line);
+        for r in 0..8 {
+            for c in 0..8 {
+                // Logical byte 8r+c lands at lane-major index 8c+r.
+                assert_eq!(line[8 * c + r], (8 * r + c) as u8);
+            }
+        }
+        deinterleave_inplace(&mut line);
+        assert_eq!(line, (0u8..64).collect::<Vec<_>>());
     }
 }

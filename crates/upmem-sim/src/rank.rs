@@ -153,24 +153,45 @@ impl Rank {
     /// Invalid DPU index, transfer larger than 4 GB, or an out-of-bounds
     /// MRAM range.
     pub fn write_dpu(&self, dpu: usize, offset: u64, data: &[u8]) -> Result<(), SimError> {
+        if self.config.verify_interleave {
+            // Borrowed input, so one staging copy is unavoidable; the
+            // zero-copy data path hands us its scratch directly through
+            // write_dpu_inplace instead.
+            let mut staged = data.to_vec();
+            self.write_dpu_inplace(dpu, offset, &mut staged)
+        } else {
+            self.check_dpu(dpu)?;
+            Self::check_len(data.len() as u64)?;
+            self.emulate_ddr_busy(data.len());
+            self.dpus[dpu].lock().mram_mut().write(offset, data)
+        }
+    }
+
+    /// [`write_dpu`](Self::write_dpu) for callers that own (and may
+    /// sacrifice) the buffer: the interleave/deinterleave pair runs **in
+    /// place** on `data`, so the verify path allocates nothing. On return
+    /// `data` holds the logical bytes again (the pair is self-inverse).
+    ///
+    /// # Errors
+    ///
+    /// Invalid DPU index, transfer larger than 4 GB, or an out-of-bounds
+    /// MRAM range.
+    pub fn write_dpu_inplace(&self, dpu: usize, offset: u64, data: &mut [u8]) -> Result<(), SimError> {
         self.check_dpu(dpu)?;
         Self::check_len(data.len() as u64)?;
         self.emulate_ddr_busy(data.len());
         if self.config.verify_interleave {
             // Transform outside the DPU lock: the critical section is only
             // the MRAM write itself.
-            let mut wire = vec![0u8; data.len()];
-            interleave::interleave_fast(data, &mut wire);
-            let mut logical = vec![0u8; data.len()];
-            interleave::deinterleave_fast(&wire, &mut logical);
-            self.dpus[dpu].lock().mram_mut().write(offset, &logical)
-        } else {
-            self.dpus[dpu].lock().mram_mut().write(offset, data)
+            interleave::interleave_inplace(data);
+            interleave::deinterleave_inplace(data);
         }
+        self.dpus[dpu].lock().mram_mut().write(offset, data)
     }
 
     /// Reads one DPU's MRAM into host bytes — the data half of a
-    /// `read-from-rank`.
+    /// `read-from-rank`. Allocation-free: the verify transform runs in
+    /// place on `dst` after the MRAM copy.
     ///
     /// # Errors
     ///
@@ -180,17 +201,13 @@ impl Rank {
         self.check_dpu(dpu)?;
         Self::check_len(dst.len() as u64)?;
         self.emulate_ddr_busy(dst.len());
+        self.dpus[dpu].lock().mram().read(offset, dst)?;
         if self.config.verify_interleave {
-            let mut logical = vec![0u8; dst.len()];
-            self.dpus[dpu].lock().mram().read(offset, &mut logical)?;
-            // Transform outside the DPU lock (see write_dpu).
-            let mut wire = vec![0u8; dst.len()];
-            interleave::interleave_fast(&logical, &mut wire);
-            interleave::deinterleave_fast(&wire, dst);
-            Ok(())
-        } else {
-            self.dpus[dpu].lock().mram().read(offset, dst)
+            // Transform outside the DPU lock (see write_dpu_inplace).
+            interleave::interleave_inplace(dst);
+            interleave::deinterleave_inplace(dst);
         }
+        Ok(())
     }
 
     /// Loads a program image onto the given DPUs (all functional DPUs if

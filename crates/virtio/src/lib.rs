@@ -44,4 +44,4 @@ pub mod queue;
 
 pub use error::VirtioError;
 pub use irq::IrqLine;
-pub use memory::{Gpa, GuestMemory};
+pub use memory::{Gpa, GuestMemory, SegCache};

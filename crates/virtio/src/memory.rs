@@ -46,6 +46,58 @@ struct Inner {
     allocator: Mutex<PageAllocator>,
 }
 
+/// A per-request GPA→HVA segment cache.
+///
+/// A transfer matrix names many pages, and most of a request's accesses
+/// land in the page-aligned extent the previous access already validated.
+/// The cache remembers one such extent (`[lo, hi)`, page-aligned, clamped
+/// to RAM) so repeated same-segment descriptors skip the bounds re-check —
+/// the moral equivalent of caching one GPA→HVA translation.
+///
+/// Staleness cannot occur: guest RAM is allocated once at
+/// [`GuestMemory::new`] and never grows, shrinks, or moves, so an extent
+/// that was in bounds stays in bounds for the memory's lifetime. The cache
+/// is plain request-local state (`Copy`, no locks) — create one per
+/// request or per worker, never share across memories.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SegCache {
+    /// Validated extent start (inclusive, page-aligned).
+    lo: u64,
+    /// Validated extent end (exclusive, page-aligned or RAM end).
+    hi: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl SegCache {
+    /// An empty cache (covers nothing).
+    #[must_use]
+    pub fn new() -> Self {
+        SegCache::default()
+    }
+
+    /// Whether `[gpa, gpa+len)` lies inside the validated extent.
+    /// Zero-length accesses never hit: they carry boundary semantics the
+    /// full check must see.
+    fn covers(&self, gpa: Gpa, len: u64) -> bool {
+        len > 0
+            && gpa.0 >= self.lo
+            && gpa.0.checked_add(len).is_some_and(|end| end <= self.hi)
+    }
+
+    /// Bounds checks satisfied from the cached extent.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Bounds checks that went through the full range check.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
 #[derive(Debug)]
 struct PageAllocator {
     /// Free page indices within the allocatable range.
@@ -94,8 +146,12 @@ impl GuestMemory {
 
     fn check(&self, gpa: Gpa, len: u64) -> Result<(), VirtioError> {
         let size = self.size();
+        // `gpa.0 < size` also rejects zero-length accesses at (or past) the
+        // exact end-of-RAM boundary: no byte of `[gpa, gpa+len)` is backed
+        // by RAM there, and `with_slice` must never vend a view anchored
+        // outside the mapping.
         match gpa.0.checked_add(len) {
-            Some(end) if end <= size => Ok(()),
+            Some(end) if end <= size && gpa.0 < size => Ok(()),
             _ => Err(VirtioError::OutOfBounds { gpa, len }),
         }
     }
@@ -217,6 +273,62 @@ impl GuestMemory {
         Ok(f(&mut ram[gpa.0 as usize..(gpa.0 + len) as usize]))
     }
 
+    /// [`check`](Self::check) through a [`SegCache`]: a range inside the
+    /// cache's validated extent skips the full bounds check; a miss
+    /// validates normally and admits the surrounding page-aligned extent.
+    ///
+    /// # Errors
+    ///
+    /// [`VirtioError::OutOfBounds`] if the range exceeds guest RAM.
+    pub fn check_cached(&self, cache: &mut SegCache, gpa: Gpa, len: u64) -> Result<(), VirtioError> {
+        if cache.covers(gpa, len) {
+            cache.hits += 1;
+            return Ok(());
+        }
+        self.check(gpa, len)?;
+        cache.misses += 1;
+        if len > 0 {
+            cache.lo = (gpa.0 / PAGE_SIZE) * PAGE_SIZE;
+            cache.hi = (gpa.0 + len).div_ceil(PAGE_SIZE).saturating_mul(PAGE_SIZE).min(self.size());
+        }
+        Ok(())
+    }
+
+    /// [`with_slice`](Self::with_slice) with the bounds check served from a
+    /// [`SegCache`] — the zero-copy read window of the pooled data path.
+    ///
+    /// # Errors
+    ///
+    /// [`VirtioError::OutOfBounds`] if the range exceeds guest RAM.
+    pub fn with_slice_cached<T>(
+        &self,
+        cache: &mut SegCache,
+        gpa: Gpa,
+        len: u64,
+        f: impl FnOnce(&[u8]) -> T,
+    ) -> Result<T, VirtioError> {
+        self.check_cached(cache, gpa, len)?;
+        let ram = self.inner.ram.read();
+        Ok(f(&ram[gpa.0 as usize..(gpa.0 + len) as usize]))
+    }
+
+    /// Mutable [`with_slice_cached`](Self::with_slice_cached).
+    ///
+    /// # Errors
+    ///
+    /// [`VirtioError::OutOfBounds`] if the range exceeds guest RAM.
+    pub fn with_slice_mut_cached<T>(
+        &self,
+        cache: &mut SegCache,
+        gpa: Gpa,
+        len: u64,
+        f: impl FnOnce(&mut [u8]) -> T,
+    ) -> Result<T, VirtioError> {
+        self.check_cached(cache, gpa, len)?;
+        let mut ram = self.inner.ram.write();
+        Ok(f(&mut ram[gpa.0 as usize..(gpa.0 + len) as usize]))
+    }
+
     /// Allocates `n` guest pages (not necessarily contiguous), returning
     /// their base GPAs. Used by the simulated guest userspace for
     /// application buffers.
@@ -316,6 +428,66 @@ mod tests {
         assert!(mem.write(Gpa(u64::MAX), &[0]).is_err());
         let mut b = [0u8];
         assert!(mem.read(Gpa(PAGE_SIZE), &mut b).is_err());
+    }
+
+    #[test]
+    fn zero_length_rejected_at_and_past_end_of_ram() {
+        let mem = GuestMemory::new(PAGE_SIZE);
+        // In-bounds zero-length accesses are fine…
+        assert!(mem.write(Gpa(0), &[]).is_ok());
+        assert!(mem.read(Gpa(PAGE_SIZE - 1), &mut []).is_ok());
+        assert!(mem.with_slice(Gpa(123), 0, |s| s.len()).is_ok());
+        // …but at the exact end-of-RAM boundary (or past it) no byte of the
+        // range is backed, so every accessor must reject — including len 0.
+        assert!(mem.write(Gpa(PAGE_SIZE), &[]).is_err());
+        assert!(mem.read(Gpa(PAGE_SIZE), &mut []).is_err());
+        assert!(mem.with_slice(Gpa(PAGE_SIZE), 0, |_| ()).is_err());
+        assert!(mem.with_slice_mut(Gpa(PAGE_SIZE), 0, |_| ()).is_err());
+        assert!(mem.with_slice(Gpa(PAGE_SIZE + 1), 0, |_| ()).is_err());
+        // Overflowing gpa+len is rejected, not wrapped.
+        assert!(mem.with_slice(Gpa(u64::MAX), 2, |_| ()).is_err());
+        let mut cache = SegCache::new();
+        assert!(mem.check_cached(&mut cache, Gpa(PAGE_SIZE), 0).is_err());
+    }
+
+    #[test]
+    fn seg_cache_skips_rechecks_within_extent() {
+        let mem = GuestMemory::new(4 * PAGE_SIZE);
+        let mut cache = SegCache::new();
+        mem.write(Gpa(128), &[7u8; 16]).unwrap();
+        // First access misses and admits the page; the rest of the page hits.
+        for off in (0u64..PAGE_SIZE).step_by(64) {
+            let v = mem.with_slice_cached(&mut cache, Gpa(off), 16, |s| s[0]).unwrap();
+            if off == 128 {
+                assert_eq!(v, 7);
+            }
+        }
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), PAGE_SIZE / 64 - 1);
+        // Leaving the extent re-validates and re-admits.
+        mem.with_slice_cached(&mut cache, Gpa(3 * PAGE_SIZE), 8, |_| ()).unwrap();
+        assert_eq!(cache.misses(), 2);
+        // Out-of-bounds stays rejected no matter what the cache holds.
+        assert!(mem.with_slice_cached(&mut cache, Gpa(4 * PAGE_SIZE - 4), 8, |_| ()).is_err());
+        // Mutations through the cached window land in RAM.
+        mem.with_slice_mut_cached(&mut cache, Gpa(100), 4, |s| s.fill(9)).unwrap();
+        let mut back = [0u8; 4];
+        mem.read(Gpa(100), &mut back).unwrap();
+        assert_eq!(back, [9u8; 4]);
+    }
+
+    #[test]
+    fn seg_cache_spanning_ranges_clamp_to_ram_end() {
+        let mem = GuestMemory::new(2 * PAGE_SIZE);
+        let mut cache = SegCache::new();
+        // A range ending exactly at RAM end admits an extent clamped there…
+        mem.check_cached(&mut cache, Gpa(PAGE_SIZE + 8), PAGE_SIZE - 8).unwrap();
+        assert_eq!(cache.misses(), 1);
+        // …whose interior hits…
+        mem.check_cached(&mut cache, Gpa(2 * PAGE_SIZE - 64), 64).unwrap();
+        assert_eq!(cache.hits(), 1);
+        // …but one byte past still fails.
+        assert!(mem.check_cached(&mut cache, Gpa(2 * PAGE_SIZE - 63), 64).is_err());
     }
 
     #[test]

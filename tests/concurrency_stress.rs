@@ -65,7 +65,9 @@ fn stress_many_vms_many_ranks_many_client_threads() {
             fe.load_program(checksum::Checksum::KERNEL, &[]).unwrap();
         }
     }
-    let base_vmexits = sys.registry().snapshot().count("vmm.vmexits");
+    let base = sys.registry().snapshot();
+    let base_vmexits = base.count("vmm.vmexits");
+    let base_zero_copy = base.count("datapath.bytes.zero_copy");
 
     thread::scope(|s| {
         for (v, vm) in vms.iter().enumerate() {
@@ -155,6 +157,27 @@ fn stress_many_vms_many_ranks_many_client_threads() {
             "queue depth gauge must return to zero: {snap:?}"
         );
     }
+    // Zero-copy data path, to the byte: each thread-round moves
+    // DPUS_PER_THREAD payloads on the write and, on the read, one 4-byte
+    // result word plus the full payload per DPU. (The hit/miss split is
+    // shard-dependent under parallel dispatch, but the moved-bytes total
+    // and the guard drop balance are deterministic.)
+    let per_round =
+        DPUS_PER_THREAD * BYTES_PER_DPU + DPUS_PER_THREAD * (4 + BYTES_PER_DPU);
+    assert_eq!(
+        snap.count("datapath.bytes.zero_copy") - base_zero_copy,
+        (n_threads * ROUNDS * per_round) as u64,
+        "zero-copy byte accounting: {snap:?}"
+    );
+    assert_eq!(
+        snap.level("datapath.pool.outstanding"),
+        0,
+        "every PoolGuard must return its buffer: {snap:?}"
+    );
+    assert!(
+        snap.count("datapath.pool.hits") > snap.count("datapath.pool.misses"),
+        "pool must recycle under steady traffic: {snap:?}"
+    );
     drop(vms);
     sys.shutdown();
 }
