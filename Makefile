@@ -5,13 +5,15 @@
 
 # The repo's tier-1 gate (ROADMAP.md): release build + full test suite,
 # then the concurrency stress/determinism and scheduler oversubscription
-# suites under varied harness parallelism, and the zero-copy data-path
-# integrity/leak gate.
+# suites under varied harness parallelism, the zero-copy data-path
+# integrity/leak gate, and the fault-injection chaos gate with its seed
+# matrix.
 tier1:
 	sh ci/offline-gate.sh
 	sh ci/stress-gate.sh
 	sh ci/sched-gate.sh
 	sh ci/perf-gate.sh
+	sh ci/chaos-gate.sh
 
 build:
 	cargo build --offline --workspace

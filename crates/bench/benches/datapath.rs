@@ -113,7 +113,7 @@ fn bench_zero_copy(c: &mut Criterion) {
             );
             // Warm the pool so the timed region measures the steady state.
             let mut cache = SegCache::new();
-            datapath::write_entry(&mem, &rank, &entry, true, path, &pool, &mut cache)
+            datapath::write_entry(&mem, &rank, &entry, true, path, &pool, &mut cache, None, 0)
                 .expect("warmup");
             group.bench_with_input(
                 BenchmarkId::new(format!("zero_copy_{path:?}"), size),
@@ -121,8 +121,10 @@ fn bench_zero_copy(c: &mut Criterion) {
                 |b, entry| {
                     b.iter(|| {
                         let mut cache = SegCache::new();
-                        datapath::write_entry(&mem, &rank, entry, true, path, &pool, &mut cache)
-                            .expect("write_entry")
+                        datapath::write_entry(
+                            &mem, &rank, entry, true, path, &pool, &mut cache, None, 0,
+                        )
+                        .expect("write_entry")
                     })
                 },
             );

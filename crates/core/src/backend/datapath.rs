@@ -18,12 +18,34 @@
 
 use pim_virtio::{GuestMemory, SegCache};
 use simkit::cost::DataPath;
-use simkit::{BytePool, CostModel, VirtualNanos};
+use simkit::{BytePool, CostModel, FaultPlane, VirtualNanos};
 use upmem_sim::interleave;
 use upmem_sim::Rank;
 
 use crate::error::VpimError;
 use crate::matrix::{DpuXfer, TransferMatrix};
+
+/// Fault point for a torn per-DPU chunk write ([`write_entry`] only): the
+/// entry's first half lands in MRAM, then the op fails typed. Keyed by the
+/// entry's index in its request, so both dispatch modes and any worker
+/// interleaving observe the identical schedule.
+pub const CHUNK_TORN_WRITE_POINT: &str = "backend.chunk.torn_write";
+
+/// Fault point for a stalled chunk worker ([`write_entry`] and
+/// [`read_entry`]): the worker sleeps ~2 ms of *wall-clock* time before
+/// proceeding normally. Virtual-time reports are untouched — the stall
+/// models a slow host thread, not a slower device.
+pub const CHUNK_STALL_POINT: &str = "backend.chunk.stall";
+
+/// Consults [`CHUNK_STALL_POINT`] for entry `key`: a hit blocks the worker
+/// for ~2 ms of wall-clock time, then the op proceeds normally.
+fn maybe_stall(plane: Option<&FaultPlane>, key: u64) {
+    if let Some(plane) = plane {
+        if plane.hit_keyed(CHUNK_STALL_POINT, key) {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+    }
+}
 
 /// Runs the fused interleave→deinterleave pair on `data` **in place** using
 /// the selected implementation. The result is the identity transform (what
@@ -73,6 +95,7 @@ pub fn interleave_cost(cm: &CostModel, bytes: u64, path: DataPath) -> VirtualNan
 /// # Errors
 ///
 /// Out-of-bounds guest access, invalid DPU, or MRAM range errors.
+#[allow(clippy::too_many_arguments)]
 pub fn write_entry(
     mem: &GuestMemory,
     rank: &Rank,
@@ -81,8 +104,26 @@ pub fn write_entry(
     path: DataPath,
     pool: &BytePool,
     cache: &mut SegCache,
+    plane: Option<&FaultPlane>,
+    key: u64,
 ) -> Result<u64, VpimError> {
     use pim_virtio::memory::PAGE_SIZE;
+    maybe_stall(plane, key);
+    if let Some(plane) = plane {
+        if plane.hit_keyed(CHUNK_TORN_WRITE_POINT, key) {
+            // Tear: the entry's first half lands in MRAM, then the op
+            // fails typed. A recovered retry must overwrite the torn range
+            // idempotently (guaranteed: entries address disjoint ranges
+            // and the retry rewrites the same offsets).
+            let mut data = pool.take(entry.len as usize);
+            TransferMatrix::gather_into(mem, entry, &mut data, cache)?;
+            let torn = (data.len() / 2) & !7;
+            if torn > 0 {
+                rank.write_dpu(entry.dpu as usize, entry.mram_offset, &data[..torn])?;
+            }
+            return Err(VpimError::Injected { point: CHUNK_TORN_WRITE_POINT });
+        }
+    }
     if !verify {
         let dpu = entry.dpu as usize;
         for (i, page) in entry.pages.iter().enumerate() {
@@ -112,6 +153,7 @@ pub fn write_entry(
 /// # Errors
 ///
 /// Out-of-bounds guest access, invalid DPU, or MRAM range errors.
+#[allow(clippy::too_many_arguments)]
 pub fn read_entry(
     mem: &GuestMemory,
     rank: &Rank,
@@ -120,8 +162,11 @@ pub fn read_entry(
     path: DataPath,
     pool: &BytePool,
     cache: &mut SegCache,
+    plane: Option<&FaultPlane>,
+    key: u64,
 ) -> Result<u64, VpimError> {
     use pim_virtio::memory::PAGE_SIZE;
+    maybe_stall(plane, key);
     if !verify {
         let dpu = entry.dpu as usize;
         for (i, page) in entry.pages.iter().enumerate() {

@@ -17,7 +17,10 @@ use pim_virtio::queue::DescChain;
 use pim_virtio::{Gpa, GuestMemory, SegCache};
 use simkit::compose::pool_schedule;
 use simkit::cost::DataPath;
-use simkit::{BytePool, CostModel, Counter, HasErrorKind, MetricsRegistry, VirtualNanos, WorkerPool};
+use simkit::{
+    BytePool, CostModel, Counter, FaultPlane, HasErrorKind, InjectCell, MetricsRegistry,
+    VirtualNanos, WorkerPool,
+};
 use upmem_driver::{PerfMapping, UpmemDriver};
 use upmem_sim::Rank;
 
@@ -29,7 +32,10 @@ use crate::sched::{RankSlot, Scheduler};
 use crate::spec::{PimDeviceConfig, Request, Response};
 
 /// The per-entry transfer unit [`run_entries`](Backend::run_entries)
-/// executes: [`datapath::write_entry`] or [`datapath::read_entry`].
+/// executes: [`datapath::write_entry`] or [`datapath::read_entry`]. The
+/// trailing `(Option<&FaultPlane>, u64)` pair is the fault plane (if
+/// installed) and the entry's index in its request — the deterministic key
+/// the chunk fault points are evaluated over.
 type EntryOp = fn(
     &GuestMemory,
     &Rank,
@@ -38,6 +44,8 @@ type EntryOp = fn(
     DataPath,
     &BytePool,
     &mut SegCache,
+    Option<&FaultPlane>,
+    u64,
 ) -> Result<u64, VpimError>;
 
 /// Response status: success.
@@ -96,6 +104,8 @@ pub struct Backend {
     /// Scratch-buffer pool for the zero-copy data path (shared with the
     /// frontend serializer in the system wiring).
     scratch: BytePool,
+    /// Late-bound fault plane for the chunk fault points.
+    inject: InjectCell,
 }
 
 impl Backend {
@@ -193,7 +203,15 @@ impl Backend {
             counters: BackendCounters::from_registry(registry),
             pool,
             scratch,
+            inject: InjectCell::new(),
         }
+    }
+
+    /// Installs the fault-injection plane consulted by the per-DPU chunk
+    /// fault points ([`datapath::CHUNK_TORN_WRITE_POINT`],
+    /// [`datapath::CHUNK_STALL_POINT`]).
+    pub fn install_fault_plane(&self, plane: Arc<FaultPlane>) {
+        self.inject.install(plane);
     }
 
     /// The worker pool executing this backend's data path.
@@ -396,12 +414,23 @@ impl Backend {
         op: EntryOp,
     ) -> Result<(), VpimError> {
         let path = self.vcfg.data_path;
+        let plane = self.inject.plane();
         let chunks = partition::partition_by_dpu(&matrix.entries, self.pool.workers());
         if chunks.len() <= 1 {
             let mut cache = SegCache::new();
             let mut moved = 0u64;
-            for entry in &matrix.entries {
-                moved += op(mem, rank, entry, verify, path, &self.scratch, &mut cache)?;
+            for (i, entry) in matrix.entries.iter().enumerate() {
+                moved += op(
+                    mem,
+                    rank,
+                    entry,
+                    verify,
+                    path,
+                    &self.scratch,
+                    &mut cache,
+                    plane.as_deref(),
+                    i as u64,
+                )?;
             }
             self.counters.zero_copy.add(moved);
             return Ok(());
@@ -412,6 +441,7 @@ impl Backend {
                 let mem = mem.clone();
                 let rank = Arc::clone(rank);
                 let scratch = self.scratch.clone();
+                let plane = plane.clone();
                 let entries: Vec<(usize, DpuXfer)> = chunk
                     .entry_indices
                     .iter()
@@ -421,8 +451,18 @@ impl Backend {
                     let mut cache = SegCache::new();
                     let mut moved = 0u64;
                     for (i, entry) in &entries {
-                        moved += op(&mem, &rank, entry, verify, path, &scratch, &mut cache)
-                            .map_err(|e| (*i, e))?;
+                        moved += op(
+                            &mem,
+                            &rank,
+                            entry,
+                            verify,
+                            path,
+                            &scratch,
+                            &mut cache,
+                            plane.as_deref(),
+                            *i as u64,
+                        )
+                        .map_err(|e| (*i, e))?;
                     }
                     Ok(moved)
                 }

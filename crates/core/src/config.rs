@@ -2,8 +2,113 @@
 
 use serde::{Deserialize, Serialize};
 use simkit::cost::DataPath;
+use simkit::FaultPlan;
 
 use crate::sched::SchedPolicy;
+
+/// A fault-injection site: one of the named fault points threaded through
+/// the stack. The enum (rather than a string) keeps [`VpimConfig`] `Copy`
+/// and makes configurations exhaustively checkable; [`name`](Self::name)
+/// yields the point name the [`simkit::FaultPlane`] is armed with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultSite {
+    /// A guest kick is dropped before the device handler runs
+    /// (`vmm.kick.drop`).
+    KickDrop,
+    /// A completion IRQ is delayed past its notify (`virtio.irq.delay`).
+    IrqDelay,
+    /// A guest-memory data access raises a transient EIO
+    /// (`virtio.mem.eio`).
+    MemEio,
+    /// A backend per-DPU chunk write tears partway (`backend.chunk.torn_write`).
+    ChunkTornWrite,
+    /// A backend per-DPU chunk worker stalls in wall-clock time
+    /// (`backend.chunk.stall`).
+    ChunkStall,
+    /// A simulated control-interface op fails (`sim.ci.op`).
+    CiOp,
+    /// A simulated MRAM DMA fails, keyed by DPU (`sim.mram.dma`).
+    MramDma,
+    /// A program launch faults at boot (`sim.launch.fault`).
+    LaunchFault,
+    /// A manager RPC (alloc / sync / mark-ckpt) fails (`manager.rpc`).
+    ManagerRpc,
+    /// The scheduler's checkpoint path stalls at the safe point
+    /// (`sched.ckpt.stall`).
+    CkptStall,
+}
+
+impl FaultSite {
+    /// Every site, in stack order (guest-facing first).
+    pub const ALL: [FaultSite; 10] = [
+        FaultSite::KickDrop,
+        FaultSite::IrqDelay,
+        FaultSite::MemEio,
+        FaultSite::ChunkTornWrite,
+        FaultSite::ChunkStall,
+        FaultSite::CiOp,
+        FaultSite::MramDma,
+        FaultSite::LaunchFault,
+        FaultSite::ManagerRpc,
+        FaultSite::CkptStall,
+    ];
+
+    /// The fault-point name this site arms on the plane.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            FaultSite::KickDrop => "vmm.kick.drop",
+            FaultSite::IrqDelay => "virtio.irq.delay",
+            FaultSite::MemEio => "virtio.mem.eio",
+            FaultSite::ChunkTornWrite => "backend.chunk.torn_write",
+            FaultSite::ChunkStall => "backend.chunk.stall",
+            FaultSite::CiOp => "sim.ci.op",
+            FaultSite::MramDma => "sim.mram.dma",
+            FaultSite::LaunchFault => "sim.launch.fault",
+            FaultSite::ManagerRpc => "manager.rpc",
+            FaultSite::CkptStall => "sched.ckpt.stall",
+        }
+    }
+}
+
+/// One armed fault: a site plus the plan deciding which hits fire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// Where to inject.
+    pub site: FaultSite,
+    /// When to fire.
+    pub plan: FaultPlan,
+}
+
+/// The fault-injection knobs (the `inject` section of [`VpimConfig`]).
+///
+/// Disabled by default: no plane is built, every fault point stays a
+/// single relaxed atomic load, and the system is bit-identical to one
+/// compiled without injection. The fixed-size `faults` array (rather than
+/// a `Vec`) keeps [`VpimConfig`] `Copy`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InjectSection {
+    /// Build and install a [`simkit::FaultPlane`] at system start.
+    pub enabled: bool,
+    /// Seed for probability plans and retry jitter — the *only* source of
+    /// randomness, so a (seed, config) pair replays bit-identically.
+    pub seed: u64,
+    /// Faults to arm at start (first `None` terminates the list).
+    pub faults: [Option<FaultSpec>; 8],
+}
+
+impl InjectSection {
+    /// The armed faults (the leading `Some` prefix of the array).
+    pub fn armed(&self) -> impl Iterator<Item = FaultSpec> + '_ {
+        self.faults.iter().flatten().copied()
+    }
+}
+
+impl Default for InjectSection {
+    fn default() -> Self {
+        InjectSection { enabled: false, seed: 0, faults: [None; 8] }
+    }
+}
 
 /// The rank scheduler's knobs (the `sched` section of [`VpimConfig`]).
 ///
@@ -134,6 +239,8 @@ pub struct VpimConfig {
     pub batch_pages_per_dpu: usize,
     /// Rank scheduling and oversubscription knobs.
     pub sched: SchedSection,
+    /// Deterministic fault-injection knobs (disabled by default).
+    pub inject: InjectSection,
 }
 
 /// Fluent constructor for [`VpimConfig`], starting from the fully
@@ -255,6 +362,43 @@ impl VpimConfigBuilder {
         self
     }
 
+    /// Enables fault injection with the given seed (the sole randomness
+    /// source for probability plans and retry jitter).
+    #[must_use]
+    pub fn inject_seed(mut self, seed: u64) -> Self {
+        self.cfg.inject.enabled = true;
+        self.cfg.inject.seed = seed;
+        self
+    }
+
+    /// Arms a fault at system start (and enables injection). Up to 8
+    /// faults can be armed from configuration; more can always be armed at
+    /// runtime through the plane itself.
+    ///
+    /// # Panics
+    ///
+    /// When all 8 configuration slots are taken.
+    #[must_use]
+    pub fn inject_fault(mut self, site: FaultSite, plan: FaultPlan) -> Self {
+        self.cfg.inject.enabled = true;
+        let slot = self
+            .cfg
+            .inject
+            .faults
+            .iter_mut()
+            .find(|s| s.is_none())
+            .expect("all 8 configured fault slots are taken");
+        *slot = Some(FaultSpec { site, plan });
+        self
+    }
+
+    /// Replaces the whole `inject` section.
+    #[must_use]
+    pub fn inject(mut self, inject: InjectSection) -> Self {
+        self.cfg.inject = inject;
+        self
+    }
+
     /// Finishes the configuration.
     #[must_use]
     pub fn build(self) -> VpimConfig {
@@ -283,6 +427,7 @@ impl VpimConfig {
             prefetch_pages_per_dpu: 16,
             batch_pages_per_dpu: 64,
             sched: SchedSection::default(),
+            inject: InjectSection::default(),
         }
     }
 
@@ -451,6 +596,37 @@ mod tests {
         assert_eq!(cfg.sched.quantum_ms, 50);
         assert_eq!(cfg.sched.park_budget_mib, 256);
         assert_eq!(cfg.sched.admission_timeout_ms, 30_000);
+    }
+
+    #[test]
+    fn inject_defaults_off_and_builder_arms_faults() {
+        let cfg = VpimConfig::builder().build();
+        assert!(!cfg.inject.enabled);
+        assert_eq!(cfg.inject.armed().count(), 0);
+
+        let cfg = VpimConfig::builder()
+            .inject_seed(42)
+            .inject_fault(FaultSite::KickDrop, FaultPlan::Nth(3))
+            .inject_fault(FaultSite::MemEio, FaultPlan::EveryK(5))
+            .build();
+        assert!(cfg.inject.enabled);
+        assert_eq!(cfg.inject.seed, 42);
+        let armed: Vec<FaultSpec> = cfg.inject.armed().collect();
+        assert_eq!(armed.len(), 2);
+        assert_eq!(armed[0].site.name(), "vmm.kick.drop");
+        assert_eq!(armed[1].plan, FaultPlan::EveryK(5));
+        // The config (with injection armed) is still Copy + Eq.
+        let copy = cfg;
+        assert_eq!(copy, cfg);
+    }
+
+    #[test]
+    fn fault_site_names_are_unique_and_stable() {
+        use std::collections::HashSet;
+        let names: HashSet<&str> = FaultSite::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), FaultSite::ALL.len());
+        assert!(names.contains("sched.ckpt.stall"));
+        assert!(names.contains("backend.chunk.torn_write"));
     }
 
     #[test]

@@ -44,6 +44,13 @@ pub enum VpimError {
         /// The backend's rendered error message.
         message: String,
     },
+    /// A transient failure raised by the deterministic fault-injection
+    /// plane at a frontend-visible site (e.g. a dropped guest kick).
+    /// Retrying is always safe; see [`VpimError::is_transient`].
+    Injected {
+        /// The fault point that fired (e.g. `vmm.kick.drop`).
+        point: &'static str,
+    },
 }
 
 impl VpimError {
@@ -57,6 +64,16 @@ impl VpimError {
             self,
             VpimError::Virtio(VirtioError::OutOfPages { .. } | VirtioError::QueueFull)
         )
+    }
+
+    /// True when the failure came from the fault-injection plane (at any
+    /// layer) and retrying the operation is therefore always safe. This is
+    /// deliberately narrower than "retryable-looking": e.g. `NotLinked` and
+    /// `ManagerDown` are [`ErrorKind::Unavailable`] states that a retry
+    /// cannot fix and must fail fast.
+    #[must_use]
+    pub fn is_transient(&self) -> bool {
+        self.kind() == ErrorKind::Injected
     }
 }
 
@@ -76,6 +93,9 @@ impl fmt::Display for VpimError {
             VpimError::BadRequest(msg) => write!(f, "malformed request: {msg}"),
             VpimError::ProtocolViolation(msg) => write!(f, "protocol violation: {msg}"),
             VpimError::Remote { message, .. } => write!(f, "backend: {message}"),
+            VpimError::Injected { point } => {
+                write!(f, "transient failure (injected at {point})")
+            }
         }
     }
 }
@@ -111,7 +131,13 @@ impl From<SimError> for VpimError {
 
 impl From<VmmError> for VpimError {
     fn from(e: VmmError) -> Self {
-        VpimError::Vmm(e.to_string())
+        match e {
+            // Keep the injected classification: a dropped kick must stay
+            // distinguishable (and transient) after crossing into vpim.
+            VmmError::KickDropped => VpimError::Injected { point: pim_vmm::KICK_DROP_POINT },
+            VmmError::Virtio(v) => VpimError::Virtio(v),
+            other => VpimError::Vmm(other.to_string()),
+        }
     }
 }
 
@@ -131,6 +157,7 @@ impl HasErrorKind for VpimError {
             VpimError::BadRequest(_) => ErrorKind::InvalidInput,
             VpimError::ProtocolViolation(_) => ErrorKind::Protocol,
             VpimError::Remote { kind, .. } => *kind,
+            VpimError::Injected { .. } => ErrorKind::Injected,
         }
     }
 }

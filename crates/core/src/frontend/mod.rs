@@ -23,7 +23,10 @@ use pim_virtio::mmio::{reg, status as mmio_status};
 use pim_virtio::queue::{DriverQueue, QueueLayout};
 use pim_virtio::{Gpa, GuestMemory};
 use pim_vmm::{EventManager, KickHandle, VirtioDevice};
-use simkit::{BytePool, CostModel, Counter, Gauge, MetricsRegistry, VirtualNanos, WriteStep};
+use simkit::{
+    BytePool, CostModel, Counter, Gauge, MetricsRegistry, RetryMetrics, RetryPolicy,
+    TimeoutClass, VirtualNanos, WriteStep,
+};
 use upmem_sim::ci::CiStatus;
 
 use crate::config::VpimConfig;
@@ -170,6 +173,9 @@ pub struct Frontend {
     cm: CostModel,
     vcfg: VpimConfig,
     metrics: FrontMetrics,
+    /// Shared `retry.*` instruments; bumped by the transport-level
+    /// [`RetryPolicy`] in [`complete`](Self::complete).
+    retry: RetryMetrics,
     /// Scratch-buffer pool for matrix serialization (shared with the
     /// backend data path in the system wiring).
     scratch: BytePool,
@@ -269,6 +275,7 @@ impl Frontend {
         )?;
 
         let metrics = FrontMetrics::from_registry(registry, device_idx);
+        let retry = RetryMetrics::from_registry(registry);
         Ok(Frontend {
             device,
             device_idx,
@@ -284,6 +291,7 @@ impl Frontend {
                 batch: metrics.batch_buffer(0, 0),
             }),
             metrics,
+            retry,
             scratch,
             clocks: Mutex::new(HeadClocks::default()),
         })
@@ -385,7 +393,12 @@ impl Frontend {
         let pages = self.mem.alloc_pages(2)?;
         let (req_page, status_page) = (pages[0], pages[1]);
         let enc = req.encode();
-        self.mem.write(req_page, &enc)?;
+        if let Err(e) = self.mem.write(req_page, &enc) {
+            // Nothing was chained yet: give the pages back so a transient
+            // (injected EIO) failure leaves the allocator balanced.
+            let _ = self.mem.free_pages_back(&pages);
+            return Err(e.into());
+        }
 
         let mut bufs: Vec<(Gpa, u32, bool)> = Vec::with_capacity(extra.len() + 2);
         bufs.push((req_page, enc.len() as u32, false));
@@ -465,17 +478,77 @@ impl Frontend {
     }
 
     /// Waits for a submitted op, decodes its response, and frees its pages.
+    ///
+    /// Transient failures are retried under the
+    /// [`TimeoutClass::VirtioRoundTrip`] policy (bounded attempts,
+    /// virtual-time exponential backoff with deterministic jitter seeded
+    /// from `VpimConfig.inject.seed`): a dropped kick never dispatched the
+    /// chain — it is still pending in the avail ring — so the guest
+    /// re-notifies and re-kicks; an injected EIO on the status page simply
+    /// re-reads it. All backoff is virtual time charged to the op's report;
+    /// no thread sleeps for it, so Sequential and Parallel dispatch agree.
     fn complete(&self, op: PendingOp) -> Result<(Response, OpReport), VpimError> {
-        op.kick.wait().map_err(VpimError::from)?;
+        let policy = RetryPolicy::for_class(&self.cm, TimeoutClass::VirtioRoundTrip);
+        let seed = self.vcfg.inject.seed;
+        let mut backoff = VirtualNanos::ZERO;
+        let mut n = 0u32;
+
+        let mut kick_result = op.kick.wait().map_err(VpimError::from);
+        while let Err(e) = &kick_result {
+            if !e.is_transient() || n + 1 >= policy.max_attempts {
+                if e.is_transient() {
+                    self.retry.giveups.inc();
+                }
+                // Giving up on an undispatched chain abandons its queue
+                // slot and pages: the device may still process the chain
+                // if a later op kicks, so they must not be recycled.
+                break;
+            }
+            let b = policy.backoff(seed, n);
+            backoff += b;
+            self.retry.attempts.inc();
+            self.retry.backoff_vt.add(b);
+            n += 1;
+            self.device.mmio().write(reg::QUEUE_NOTIFY, spec::TRANSFERQ)?;
+            kick_result = self
+                .em
+                .kick_async(self.device_idx, spec::TRANSFERQ)
+                .map_err(VpimError::from)
+                .and_then(|k| k.wait().map_err(VpimError::from));
+        }
+        kick_result?;
         self.wait_used(op.head, op.gen)?;
 
-        let raw = self.mem.with_slice(op.status_page, 4096, <[u8]>::to_vec)?;
+        let raw = loop {
+            match self.mem.with_slice(op.status_page, 4096, <[u8]>::to_vec) {
+                Ok(raw) => break raw,
+                Err(e) => {
+                    let e = VpimError::from(e);
+                    if !e.is_transient() || n + 1 >= policy.max_attempts {
+                        if e.is_transient() {
+                            self.retry.giveups.inc();
+                        }
+                        // The chain has drained, so the device is done
+                        // with the pages: reclaim them even though the
+                        // status read failed.
+                        let _ = self.mem.free_pages_back(&op.pages);
+                        return Err(e);
+                    }
+                    let b = policy.backoff(seed, n);
+                    backoff += b;
+                    self.retry.attempts.inc();
+                    self.retry.backoff_vt.add(b);
+                    n += 1;
+                }
+            }
+        };
         let resp = Response::decode(&raw)?;
         self.mem.free_pages_back(&op.pages)?;
 
         let mut report = OpReport::default();
         report.add_messages(1);
         report.step(WriteStep::Interrupt, self.cm.virtio_round_trip());
+        report.add_duration(backoff);
         if resp.is_ok() {
             Ok((resp, report))
         } else {

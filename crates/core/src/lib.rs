@@ -68,8 +68,10 @@ pub mod sched;
 pub mod spec;
 pub mod system;
 
-pub use config::{SchedSection, Variant, VpimConfig, VpimConfigBuilder};
+pub use backend::datapath::{CHUNK_STALL_POINT, CHUNK_TORN_WRITE_POINT};
+pub use config::{FaultSite, FaultSpec, InjectSection, SchedSection, Variant, VpimConfig, VpimConfigBuilder};
 pub use error::VpimError;
+pub use manager::MANAGER_RPC_POINT;
 pub use report::OpReport;
-pub use sched::{SchedPolicy, SchedStats, Scheduler, SnapshotStore};
+pub use sched::{SchedPolicy, SchedStats, Scheduler, SnapshotStore, CKPT_STALL_POINT};
 pub use system::{VpimSystem, VpimVm};

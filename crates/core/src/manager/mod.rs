@@ -29,11 +29,18 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use simkit::{CostModel, VirtualNanos};
+use simkit::{CostModel, FaultPlane, InjectCell, VirtualNanos};
 use upmem_driver::UpmemDriver;
 
 use crate::error::VpimError;
 use table::TableState;
+
+/// Fault point for manager RPCs ([`ManagerClient::alloc`],
+/// [`ManagerClient::sync`], [`ManagerClient::mark_ckpt`]): firing makes
+/// the call fail typed (or, for the fire-and-wait `sync`, skip the sweep)
+/// before reaching the manager — the simulated analogue of a dropped
+/// domain-socket message. Counter-based across all RPC kinds.
+pub const MANAGER_RPC_POINT: &str = "manager.rpc";
 
 /// Tuning knobs of the manager (§3.5 defaults).
 #[derive(Debug, Clone)]
@@ -71,6 +78,9 @@ enum Msg {
 #[derive(Debug, Clone)]
 pub struct ManagerClient {
     tx: Sender<Msg>,
+    /// Shared across clones (`Arc`), so installing a plane on the manager
+    /// covers every client handed out before or after.
+    inject: Arc<InjectCell>,
 }
 
 impl ManagerClient {
@@ -78,9 +88,13 @@ impl ManagerClient {
     ///
     /// # Errors
     ///
-    /// [`VpimError::NoRankAvailable`] after all attempts, or
-    /// [`VpimError::ManagerDown`] if the manager stopped.
+    /// [`VpimError::NoRankAvailable`] after all attempts,
+    /// [`VpimError::ManagerDown`] if the manager stopped, or a typed
+    /// [`VpimError::Injected`] when [`MANAGER_RPC_POINT`] fires.
     pub fn alloc(&self, owner: &str) -> Result<AllocOutcome, VpimError> {
+        if self.inject.hit(MANAGER_RPC_POINT) {
+            return Err(VpimError::Injected { point: MANAGER_RPC_POINT });
+        }
         let (reply_tx, reply_rx) = unbounded();
         self.tx
             .send(Msg::Alloc { owner: owner.to_string(), reply: reply_tx })
@@ -90,8 +104,13 @@ impl ManagerClient {
 
     /// Runs one synchronous observe-and-reset sweep in the manager and
     /// waits for it: released ranks become `NANA`, then reset to `NAAV`,
-    /// before this returns. A no-op result if the manager stopped.
+    /// before this returns. A no-op result if the manager stopped, or if
+    /// [`MANAGER_RPC_POINT`] fires (the sweep is skipped — callers already
+    /// tolerate the observer being late, so this degrades gracefully).
     pub fn sync(&self) {
+        if self.inject.hit(MANAGER_RPC_POINT) {
+            return;
+        }
         let (reply_tx, reply_rx) = unbounded();
         if self.tx.send(Msg::Sync { reply: reply_tx }).is_ok() {
             let _ = reply_rx.recv();
@@ -103,8 +122,12 @@ impl ManagerClient {
     ///
     /// # Errors
     ///
-    /// [`VpimError::ManagerDown`] if the manager stopped.
+    /// [`VpimError::ManagerDown`] if the manager stopped, or a typed
+    /// [`VpimError::Injected`] when [`MANAGER_RPC_POINT`] fires.
     pub fn mark_ckpt(&self, rank: usize) -> Result<bool, VpimError> {
+        if self.inject.hit(MANAGER_RPC_POINT) {
+            return Err(VpimError::Injected { point: MANAGER_RPC_POINT });
+        }
         let (reply_tx, reply_rx) = unbounded();
         self.tx
             .send(Msg::MarkCkpt { rank, reply: reply_tx })
@@ -212,7 +235,7 @@ impl Manager {
                 }
             }));
         }
-        let client = ManagerClient { tx: tx.clone() };
+        let client = ManagerClient { tx: tx.clone(), inject: Arc::new(InjectCell::new()) };
         // Keep a sender for the reset channel alive in state for shutdown.
         state.set_reset_sender(reset_tx);
         Manager { client, state, stop, threads, tx, cfg }
@@ -222,6 +245,13 @@ impl Manager {
     #[must_use]
     pub fn client(&self) -> ManagerClient {
         self.client.clone()
+    }
+
+    /// Installs the fault-injection plane consulted by every client's RPCs
+    /// ([`MANAGER_RPC_POINT`]). The cell is shared through `Arc`, so
+    /// clients cloned *before* this call are covered too.
+    pub fn install_fault_plane(&self, plane: Arc<FaultPlane>) {
+        self.client.inject.install(plane);
     }
 
     /// Current state of every rank (diagnostics / figures).

@@ -41,12 +41,22 @@ use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
-use simkit::{CostModel, Counter, Gauge, MetricsRegistry, VirtualNanos};
+use simkit::{
+    CostModel, Counter, FaultPlane, Gauge, InjectCell, MetricsRegistry, RetryMetrics,
+    RetryPolicy, TimeoutClass, VirtualNanos,
+};
 use upmem_driver::{PerfMapping, UpmemDriver};
 
 use crate::config::SchedSection;
 use crate::error::VpimError;
 use crate::manager::ManagerClient;
+
+/// Fault point for the scheduler's checkpoint path: firing stalls the
+/// preempter ~2 ms of wall-clock time at the safe point (slot locked,
+/// snapshot not yet taken). The checkpoint itself — and therefore the
+/// restored state and all `sched.*` telemetry — is unaffected: the stall
+/// models a slow host thread, not a torn checkpoint.
+pub const CKPT_STALL_POINT: &str = "sched.ckpt.stall";
 
 /// A backend's rank slot: the mutex-guarded perf mapping the scheduler
 /// time-shares. Holding the lock *is* holding the safe-point token — the
@@ -170,7 +180,9 @@ struct Inner {
     changed: Condvar,
     store: SnapshotStore,
     metrics: SchedMetrics,
+    retry: RetryMetrics,
     registry: MetricsRegistry,
+    inject: InjectCell,
 }
 
 /// The admission-controlled rank scheduler (one per [`VpimSystem`]).
@@ -222,10 +234,25 @@ impl Scheduler {
                 changed: Condvar::new(),
                 store: SnapshotStore::new(cfg.park_budget_mib.saturating_mul(1 << 20)),
                 metrics: SchedMetrics::from_registry(registry),
+                retry: RetryMetrics::from_registry(registry),
                 registry: registry.clone(),
+                inject: InjectCell::new(),
                 cfg,
             }),
         }
+    }
+
+    /// Installs the fault-injection plane consulted by the checkpoint path
+    /// ([`CKPT_STALL_POINT`]); its seed also drives the allocation retry
+    /// policy's deterministic jitter. Clones share the cell.
+    pub fn install_fault_plane(&self, plane: Arc<FaultPlane>) {
+        self.inner.inject.install(plane);
+    }
+
+    /// The seed retry jitter is derived from: the installed plane's seed,
+    /// or 0 when injection is off (jitter is then still deterministic).
+    fn retry_seed(&self) -> u64 {
+        self.inner.inject.plane().map_or(0, |p| p.seed())
     }
 
     /// The scheduling configuration this scheduler runs under.
@@ -292,9 +319,19 @@ impl Scheduler {
 
     fn acquire_dedicated(&self, tenant: &str, slot: &RankSlot) -> Result<RankGrant, VpimError> {
         let inner = &*self.inner;
-        let outcome = inner.manager.alloc(tenant)?;
+        // Transient (injected) manager failures are retried under the
+        // allocation timeout class; backoff is charged to the grant's
+        // virtual wait so both dispatch modes report identical timelines.
+        let policy = RetryPolicy::for_class(&inner.cm, TimeoutClass::ManagerAlloc);
+        let (outcome, backoff_vt) = policy.run(
+            self.retry_seed(),
+            Some(&inner.retry),
+            VpimError::is_transient,
+            |_| inner.manager.alloc(tenant),
+        );
+        let outcome = outcome?;
         let mapping = inner.driver.open_perf(outcome.rank, tenant)?;
-        let wait_vt = inner.cm.manager_alloc();
+        let wait_vt = inner.cm.manager_alloc() + backoff_vt;
         self.register_grant(tenant, outcome.rank, slot);
         inner.metrics.grants.inc();
         inner.registry.histogram(&format!("sched.wait.{tenant}")).record(wait_vt);
@@ -319,6 +356,9 @@ impl Scheduler {
             ticket
         };
         inner.changed.notify_all();
+        let policy = RetryPolicy::for_class(&inner.cm, TimeoutClass::ManagerAlloc);
+        let mut transient_left = policy.max_attempts.max(1);
+        let mut transient_n = 0u32;
         loop {
             // Only the policy's head probes the manager: at most one
             // admission request occupies the manager pool at a time, and
@@ -342,7 +382,21 @@ impl Scheduler {
                             }
                         }
                     }
+                    Err(e) if e.is_transient() && transient_left > 1 => {
+                        // Injected manager fault: keep the ticket and
+                        // re-probe after a bounded, deterministic backoff
+                        // charged to the grant's virtual wait.
+                        transient_left -= 1;
+                        let b = policy.backoff(self.retry_seed(), transient_n);
+                        transient_n += 1;
+                        wait_vt += b;
+                        inner.retry.attempts.inc();
+                        inner.retry.backoff_vt.add(b);
+                    }
                     Err(e) => {
+                        if e.is_transient() {
+                            inner.retry.giveups.inc();
+                        }
                         self.dequeue(ticket);
                         return Err(e);
                     }
@@ -486,6 +540,12 @@ impl Scheduler {
         // Safe point: taking the slot lock waits out any in-flight
         // operation (operations hold the lock for their full duration).
         let mut guard = slot.lock();
+        if inner.inject.hit(CKPT_STALL_POINT) {
+            // Wall-clock stall only: the slot stays locked (no operation can
+            // sneak in), the snapshot below is still quiescent, and no
+            // virtual time is charged — parked state restores bit-identically.
+            std::thread::sleep(Duration::from_millis(2));
+        }
         let Some(mapping) = guard.as_ref() else {
             // The victim released on its own while we were picking it.
             drop(guard);

@@ -3,8 +3,8 @@
 
 use std::sync::Arc;
 
-use pim_vmm::{BootReport, DispatchMode, Vm, VmConfig};
-use simkit::{BytePool, CostModel, MetricsRegistry, WorkerPool};
+use pim_vmm::{BootReport, DispatchMode, VirtioDevice, Vm, VmConfig};
+use simkit::{BytePool, CostModel, FaultPlane, MetricsRegistry, WorkerPool};
 use upmem_driver::UpmemDriver;
 
 use crate::backend::Backend;
@@ -36,6 +36,10 @@ pub struct VpimSystem {
     /// by every frontend serializer and backend worker (telemetry under
     /// `datapath.pool.*`).
     scratch: BytePool,
+    /// The host's fault-injection plane (`Some` iff `VpimConfig.inject`
+    /// enables it): one seeded plane shared by every layer so the armed
+    /// schedules are global and `inject.*` telemetry aggregates host-wide.
+    inject: Option<Arc<FaultPlane>>,
 }
 
 impl VpimSystem {
@@ -64,7 +68,39 @@ impl VpimSystem {
         );
         let data_pool = Arc::new(WorkerPool::new(cm.backend_threads));
         let scratch = BytePool::with_registry(&registry, "datapath.pool");
-        VpimSystem { driver, manager: Some(manager), sched, vcfg, cm, registry, data_pool, scratch }
+        let inject = if vcfg.inject.enabled {
+            let plane = Arc::new(FaultPlane::with_registry(vcfg.inject.seed, &registry));
+            for spec in vcfg.inject.armed() {
+                plane.arm(spec.site.name(), spec.plan);
+            }
+            // Host-side layers: simulated ranks (CI ops, MRAM DMA, launch),
+            // the manager's RPC surface, and the scheduler's checkpoint
+            // path. Per-VM layers are installed at launch.
+            driver.machine().install_fault_plane(&plane);
+            manager.install_fault_plane(plane.clone());
+            sched.install_fault_plane(plane.clone());
+            Some(plane)
+        } else {
+            None
+        };
+        VpimSystem {
+            driver,
+            manager: Some(manager),
+            sched,
+            vcfg,
+            cm,
+            registry,
+            data_pool,
+            scratch,
+            inject,
+        }
+    }
+
+    /// The host's fault-injection plane, when `VpimConfig.inject` enabled
+    /// one. Tests use this to re-arm points or read per-point stats.
+    #[must_use]
+    pub fn fault_plane(&self) -> Option<&Arc<FaultPlane>> {
+        self.inject.as_ref()
     }
 
     /// The host driver.
@@ -151,6 +187,13 @@ impl VpimSystem {
         // `vmm.vmexits` cell (install before the manager is cloned below).
         vm.event_manager_mut()
             .set_kick_counter(self.registry.counter("vmm.vmexits"));
+        if let Some(plane) = &self.inject {
+            // Per-VM fault surfaces: guest kicks (dropped at dispatch) and
+            // guest-memory access (transient EIO). Installed before the
+            // event manager or memory handle is cloned below.
+            vm.event_manager_mut().set_fault_plane(plane.clone());
+            vm.memory().install_fault_plane(plane.clone());
+        }
 
         let mut devices = Vec::with_capacity(n_devices);
         for i in 0..n_devices {
@@ -164,12 +207,19 @@ impl VpimSystem {
                 self.data_pool.clone(),
                 self.scratch.clone(),
             );
+            if let Some(plane) = &self.inject {
+                backend.install_fault_plane(plane.clone());
+            }
             let device = Arc::new(VupmemDevice::with_registry(
                 format!("{tag}/vupmem{i}"),
                 backend,
                 Vm::irq_number(i),
                 &self.registry,
             ));
+            if let Some(plane) = &self.inject {
+                // Delayed completion IRQs (virtio.irq.delay).
+                device.irq().install_fault_plane(plane.clone());
+            }
             vm.event_manager_mut().register(device.clone());
             devices.push(device);
         }

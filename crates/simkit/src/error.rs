@@ -41,6 +41,10 @@ pub enum ErrorKind {
     Protocol,
     /// An internal invariant broke; indicates a bug rather than bad input.
     Internal,
+    /// A transient failure raised by the deterministic fault-injection
+    /// plane ([`crate::inject`]). The defining property: retrying the
+    /// operation is always safe and (plan permitting) can succeed.
+    Injected,
 }
 
 impl ErrorKind {
@@ -58,6 +62,7 @@ impl ErrorKind {
             ErrorKind::Fault => 7,
             ErrorKind::Protocol => 8,
             ErrorKind::Internal => 9,
+            ErrorKind::Injected => 10,
         }
     }
 
@@ -75,6 +80,7 @@ impl ErrorKind {
             7 => ErrorKind::Fault,
             8 => ErrorKind::Protocol,
             9 => ErrorKind::Internal,
+            10 => ErrorKind::Injected,
             _ => return None,
         })
     }
@@ -91,6 +97,7 @@ impl ErrorKind {
             ErrorKind::Fault => "fault",
             ErrorKind::Protocol => "protocol",
             ErrorKind::Internal => "internal",
+            ErrorKind::Injected => "injected",
         }
     }
 }
@@ -129,6 +136,7 @@ mod tests {
             ErrorKind::Fault,
             ErrorKind::Protocol,
             ErrorKind::Internal,
+            ErrorKind::Injected,
         ] {
             assert_ne!(k.code(), 0, "0 is reserved for no-error");
             assert_eq!(ErrorKind::from_code(k.code()), Some(k));

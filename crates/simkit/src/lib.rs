@@ -39,7 +39,9 @@ pub mod compose;
 pub mod cost;
 pub mod error;
 pub mod executor;
+pub mod inject;
 pub mod pool;
+pub mod retry;
 pub mod rng;
 pub mod stats;
 pub mod telemetry;
@@ -50,7 +52,9 @@ pub use compose::{parallel, pool, sequential};
 pub use cost::CostModel;
 pub use error::{ErrorKind, HasErrorKind};
 pub use executor::{JobHandle, WorkerPool};
+pub use inject::{FaultPlan, FaultPlane, InjectCell, PointStats};
 pub use pool::{BytePool, PoolGuard};
+pub use retry::{RetryMetrics, RetryPolicy, TimeoutClass};
 pub use rng::SimRng;
 pub use telemetry::{
     Counter, Gauge, Instrument, MetricSet, MetricValue, MetricsRegistry, MetricsSnapshot, Span,

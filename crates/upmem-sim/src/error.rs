@@ -64,6 +64,13 @@ pub enum SimError {
         /// Number of DPUs observed in the Running state.
         running: usize,
     },
+    /// A transient failure raised by the fault-injection plane inside the
+    /// simulated hardware (a CI op or MRAM DMA that "failed" on the wire).
+    /// Retrying the operation is always safe.
+    Injected {
+        /// The fault point that fired (e.g. `sim.mram.dma`).
+        point: &'static str,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -100,6 +107,9 @@ impl fmt::Display for SimError {
             SimError::NotQuiescent { running } => {
                 write!(f, "rank is not quiescent: {running} dpus still running")
             }
+            SimError::Injected { point } => {
+                write!(f, "transient hardware failure (injected at {point})")
+            }
         }
     }
 }
@@ -121,6 +131,7 @@ impl HasErrorKind for SimError {
             SimError::NoProgramLoaded => ErrorKind::Unavailable,
             SimError::Fault(_) => ErrorKind::Fault,
             SimError::RankBusy | SimError::NotQuiescent { .. } => ErrorKind::Busy,
+            SimError::Injected { .. } => ErrorKind::Injected,
         }
     }
 }

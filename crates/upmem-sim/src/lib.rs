@@ -54,4 +54,4 @@ pub use error::{DpuFault, SimError};
 pub use geometry::PimConfig;
 pub use kernel::{DpuKernel, KernelImage, KernelRegistry};
 pub use machine::PimMachine;
-pub use rank::Rank;
+pub use rank::{Rank, CI_OP_POINT, LAUNCH_FAULT_POINT, MRAM_DMA_POINT};

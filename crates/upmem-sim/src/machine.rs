@@ -86,6 +86,15 @@ impl PimMachine {
     pub fn total_dpus(&self) -> usize {
         self.ranks.iter().map(|r| r.dpu_count()).sum()
     }
+
+    /// Installs the fault-injection plane on every rank (see
+    /// [`Rank::install_fault_plane`]). Clones share ranks, so installing
+    /// once covers every handle to this machine.
+    pub fn install_fault_plane(&self, plane: &Arc<simkit::FaultPlane>) {
+        for r in &self.ranks {
+            r.install_fault_plane(Arc::clone(plane));
+        }
+    }
 }
 
 #[cfg(test)]

@@ -5,14 +5,30 @@
 //! transfers are the operations vPIM virtualizes (`write-to-rank`,
 //! `read-from-rank`, CI ops), each moving at most 4 GB (§3.1).
 
+use std::sync::Arc;
+
 use parking_lot::Mutex;
+use simkit::{FaultPlane, InjectCell};
 
 use crate::ci::{CiCommand, CiCounters, CiStatus};
 use crate::dpu::{Dpu, DpuState, LaunchReport};
-use crate::error::SimError;
+use crate::error::{DpuFault, SimError};
 use crate::geometry::{PimConfig, DPUS_PER_CHIP, MAX_RANK_XFER};
 use crate::interleave;
 use crate::kernel::{KernelImage, KernelRegistry};
+
+/// Fault point for MRAM DMA ([`Rank::write_dpu`], [`Rank::read_dpu`] and
+/// friends), keyed by the target DPU index so concurrent per-DPU workers
+/// observe a deterministic schedule regardless of interleaving.
+pub const MRAM_DMA_POINT: &str = "sim.mram.dma";
+
+/// Fault point for control-interface operations (symbol transfers and
+/// status polls). Counter-based: fires on the nth CI op this rank sees.
+pub const CI_OP_POINT: &str = "sim.ci.op";
+
+/// Fault point for program launches: firing makes the launch report a
+/// [`DpuFault`] before any DPU boots, modeling a boot-time CI fault.
+pub const LAUNCH_FAULT_POINT: &str = "sim.launch.fault";
 
 /// A captured rank state: one [`crate::dpu::DpuSnapshot`] per DPU.
 #[derive(Debug, Clone)]
@@ -52,6 +68,7 @@ pub struct Rank {
     dpus: Vec<Mutex<Dpu>>,
     ci: CiCounters,
     config: PimConfig,
+    inject: InjectCell,
 }
 
 impl Rank {
@@ -64,6 +81,30 @@ impl Rank {
             dpus: (0..n).map(|_| Mutex::new(Dpu::new(config))).collect(),
             ci: CiCounters::new(),
             config: config.clone(),
+            inject: InjectCell::new(),
+        }
+    }
+
+    /// Installs the fault-injection plane consulted by MRAM DMA
+    /// ([`MRAM_DMA_POINT`]), CI ops ([`CI_OP_POINT`]) and launches
+    /// ([`LAUNCH_FAULT_POINT`]).
+    pub fn install_fault_plane(&self, plane: Arc<FaultPlane>) {
+        self.inject.install(plane);
+    }
+
+    fn injected_dma(&self, dpu: usize) -> Result<(), SimError> {
+        if self.inject.hit_keyed(MRAM_DMA_POINT, dpu as u64) {
+            Err(SimError::Injected { point: MRAM_DMA_POINT })
+        } else {
+            Ok(())
+        }
+    }
+
+    fn injected_ci(&self) -> Result<(), SimError> {
+        if self.inject.hit(CI_OP_POINT) {
+            Err(SimError::Injected { point: CI_OP_POINT })
+        } else {
+            Ok(())
         }
     }
 
@@ -162,6 +203,7 @@ impl Rank {
         } else {
             self.check_dpu(dpu)?;
             Self::check_len(data.len() as u64)?;
+            self.injected_dma(dpu)?;
             self.emulate_ddr_busy(data.len());
             self.dpus[dpu].lock().mram_mut().write(offset, data)
         }
@@ -179,6 +221,7 @@ impl Rank {
     pub fn write_dpu_inplace(&self, dpu: usize, offset: u64, data: &mut [u8]) -> Result<(), SimError> {
         self.check_dpu(dpu)?;
         Self::check_len(data.len() as u64)?;
+        self.injected_dma(dpu)?;
         self.emulate_ddr_busy(data.len());
         if self.config.verify_interleave {
             // Transform outside the DPU lock: the critical section is only
@@ -200,6 +243,7 @@ impl Rank {
     pub fn read_dpu(&self, dpu: usize, offset: u64, dst: &mut [u8]) -> Result<(), SimError> {
         self.check_dpu(dpu)?;
         Self::check_len(dst.len() as u64)?;
+        self.injected_dma(dpu)?;
         self.emulate_ddr_busy(dst.len());
         self.dpus[dpu].lock().mram().read(offset, dst)?;
         if self.config.verify_interleave {
@@ -237,6 +281,7 @@ impl Rank {
     /// Invalid DPU index, unknown symbol, or size mismatch.
     pub fn write_symbol(&self, dpu: usize, name: &str, bytes: &[u8]) -> Result<(), SimError> {
         self.check_dpu(dpu)?;
+        self.injected_ci()?;
         self.ci.record(CiCommand::Poll); // symbol transfers ride the CI
         self.dpus[dpu].lock().write_symbol(name, bytes)
     }
@@ -248,6 +293,7 @@ impl Rank {
     /// Invalid DPU index, unknown symbol, or size mismatch.
     pub fn read_symbol(&self, dpu: usize, name: &str, bytes: &mut [u8]) -> Result<(), SimError> {
         self.check_dpu(dpu)?;
+        self.injected_ci()?;
         self.ci.record(CiCommand::Poll);
         self.dpus[dpu].lock().read_symbol(name, bytes)
     }
@@ -274,6 +320,11 @@ impl Rank {
         for &d in &ids {
             self.check_dpu(d)?;
         }
+        if self.inject.hit(LAUNCH_FAULT_POINT) {
+            return Err(SimError::Fault(DpuFault::new(
+                "injected launch fault (sim.launch.fault)",
+            )));
+        }
         let mut reports = Vec::with_capacity(ids.len());
         for &d in &ids {
             self.ci.record(CiCommand::Boot {
@@ -299,6 +350,7 @@ impl Rank {
     /// Invalid DPU index.
     pub fn poll_status(&self, dpu: usize) -> Result<CiStatus, SimError> {
         self.check_dpu(dpu)?;
+        self.injected_ci()?;
         self.ci.record(CiCommand::Poll);
         Ok(match self.dpus[dpu].lock().state() {
             DpuState::Idle => CiStatus::Idle,
@@ -598,6 +650,54 @@ mod tests {
         slow.read_dpu(0, 0, &mut back).unwrap();
         assert!(start.elapsed() >= std::time::Duration::from_millis(8));
         assert_eq!(back, [7u8; 4096]);
+    }
+
+    #[test]
+    fn injected_faults_are_typed_and_recoverable() {
+        use simkit::{FaultPlan, FaultPlane};
+        let r = rank();
+        let plane = Arc::new(FaultPlane::new(3));
+        r.install_fault_plane(Arc::clone(&plane));
+
+        // MRAM DMA: keyed by DPU and pure in the key — under Nth(3) the
+        // key-2 DPU faults (deterministically, retries included) while its
+        // neighbours stay clean.
+        plane.arm(MRAM_DMA_POINT, FaultPlan::Nth(3));
+        assert!(matches!(
+            r.write_dpu(2, 0, &[1u8; 16]),
+            Err(SimError::Injected { point: MRAM_DMA_POINT })
+        ));
+        r.write_dpu(3, 0, &[2u8; 16]).unwrap();
+        assert!(r.write_dpu(2, 0, &[1u8; 16]).is_err());
+        // Disarming restores passthrough; no state was torn.
+        plane.disarm(MRAM_DMA_POINT);
+        r.write_dpu(2, 0, &[1u8; 16]).unwrap();
+        let mut back = [0u8; 16];
+        r.read_dpu(2, 0, &mut back).unwrap();
+        assert_eq!(back, [1u8; 16]);
+
+        // CI ops: counter-based; the op is not counted when it faults.
+        plane.arm(CI_OP_POINT, FaultPlan::Nth(1));
+        let before = r.ci().total();
+        assert!(matches!(
+            r.poll_status(0),
+            Err(SimError::Injected { point: CI_OP_POINT })
+        ));
+        assert_eq!(r.ci().total(), before);
+        assert!(r.poll_status(0).is_ok());
+        plane.disarm(CI_OP_POINT);
+
+        // Launch: fires as a typed DPU fault before any DPU boots.
+        plane.arm(LAUNCH_FAULT_POINT, FaultPlan::Nth(1));
+        let registry = KernelRegistry::new();
+        registry.register(Arc::new(AddOne));
+        r.load_program(None, &AddOne.image()).unwrap();
+        for d in 0..r.dpu_count() {
+            r.write_symbol(d, "n", &0u32.to_le_bytes()).unwrap();
+        }
+        assert!(matches!(r.launch(None, 8, &registry), Err(SimError::Fault(_))));
+        // The rank stays usable: the retry launches cleanly.
+        r.launch(None, 8, &registry).unwrap();
     }
 
     #[test]

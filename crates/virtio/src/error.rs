@@ -36,6 +36,13 @@ pub enum VirtioError {
     BadQueueSize(u16),
     /// An MMIO access targeted an unknown register offset.
     BadRegister(u64),
+    /// A transient I/O failure raised by the fault-injection plane on a
+    /// guest-memory data access (the simulated analogue of a host `EIO`).
+    /// Retrying the access is always safe.
+    Eio {
+        /// The fault point that fired (e.g. `virtio.mem.eio`).
+        point: &'static str,
+    },
 }
 
 impl fmt::Display for VirtioError {
@@ -53,6 +60,9 @@ impl fmt::Display for VirtioError {
             VirtioError::ChainTooLong => write!(f, "descriptor chain exceeds queue size"),
             VirtioError::BadQueueSize(n) => write!(f, "invalid queue size {n}"),
             VirtioError::BadRegister(off) => write!(f, "unknown mmio register offset {off:#x}"),
+            VirtioError::Eio { point } => {
+                write!(f, "transient guest memory EIO (injected at {point})")
+            }
         }
     }
 }
@@ -70,6 +80,7 @@ impl HasErrorKind for VirtioError {
             VirtioError::BadDescriptor(_)
             | VirtioError::ChainTooLong
             | VirtioError::BadRegister(_) => ErrorKind::Protocol,
+            VirtioError::Eio { .. } => ErrorKind::Injected,
         }
     }
 }

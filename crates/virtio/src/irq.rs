@@ -10,13 +10,20 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
-use simkit::Counter;
+use simkit::{Counter, FaultPlane, InjectCell};
+
+/// The fault point consulted by [`IrqLine::assert_irq`]: firing *delays*
+/// the interrupt — the pending count still rises (the completion is real),
+/// but no waiter is woken. A sleeping driver recovers transparently on its
+/// next wait-slice timeout, which re-examines the pending count.
+pub const IRQ_DELAY_POINT: &str = "virtio.irq.delay";
 
 /// A level of pending interrupts plus waiters.
 #[derive(Debug, Default)]
 struct Line {
     pending: Mutex<u64>,
     cv: Condvar,
+    inject: InjectCell,
 }
 
 /// A shared interrupt line between a device (asserts) and a driver (waits).
@@ -77,12 +84,25 @@ impl IrqLine {
         &self.injections
     }
 
-    /// Device side: assert the line (one completion).
+    /// Installs the fault-injection plane shared by every clone of this
+    /// line; [`assert_irq`](Self::assert_irq) then consults
+    /// [`IRQ_DELAY_POINT`].
+    pub fn install_fault_plane(&self, plane: Arc<FaultPlane>) {
+        self.line.inject.install(plane);
+    }
+
+    /// Device side: assert the line (one completion). If the
+    /// [`IRQ_DELAY_POINT`] fault fires, the interrupt is *delayed*: it is
+    /// counted and left pending, but waiters are not woken until their
+    /// next timeout slice (or a later assert/nudge).
     pub fn assert_irq(&self) {
         self.injections.inc();
         let mut p = self.line.pending.lock();
         *p += 1;
         drop(p);
+        if self.line.inject.hit(IRQ_DELAY_POINT) {
+            return;
+        }
         self.line.cv.notify_all();
     }
 
@@ -158,6 +178,28 @@ mod tests {
     fn wait_times_out() {
         let irq = IrqLine::new(9);
         assert!(!irq.wait(Duration::from_millis(5)));
+    }
+
+    #[test]
+    fn delayed_irq_is_pending_but_silent() {
+        use simkit::{FaultPlan, FaultPlane};
+        let irq = IrqLine::new(4);
+        let plane = Arc::new(FaultPlane::new(0));
+        plane.arm(IRQ_DELAY_POINT, FaultPlan::Nth(1));
+        irq.install_fault_plane(plane);
+        // The delayed assert still counts and still leaves one pending…
+        irq.assert_irq();
+        assert_eq!(irq.injections(), 1);
+        // …so a waiter's timeout slice transparently recovers it.
+        assert!(irq.wait(Duration::from_millis(5)));
+        // Subsequent asserts (Nth(1) spent) notify normally.
+        let waiter = {
+            let irq = irq.clone();
+            thread::spawn(move || irq.wait(Duration::from_secs(5)))
+        };
+        thread::sleep(Duration::from_millis(10));
+        irq.assert_irq();
+        assert!(waiter.join().unwrap());
     }
 
     #[test]

@@ -16,11 +16,19 @@ use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
+use simkit::{FaultPlane, InjectCell};
 
 use crate::error::VirtioError;
 
 /// Page size of the simulated guest (standard 4 KiB).
 pub const PAGE_SIZE: u64 = 4096;
+
+/// The fault point consulted on every scoped data access
+/// ([`GuestMemory::with_slice`] and friends): firing raises a transient
+/// [`VirtioError::Eio`]. The raw/typed accessors (`read`/`write`/`read_u16`
+/// …) are deliberately *not* instrumented — they carry virtqueue ring
+/// bookkeeping, which a transient data-path EIO must never tear.
+pub const MEM_EIO_POINT: &str = "virtio.mem.eio";
 
 /// A guest physical address.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -44,6 +52,9 @@ impl Gpa {
 struct Inner {
     ram: RwLock<Vec<u8>>,
     allocator: Mutex<PageAllocator>,
+    /// Late-bound fault plane; empty (pure passthrough) until a system
+    /// with injection enabled installs its plane.
+    inject: InjectCell,
 }
 
 /// A per-request GPA→HVA segment cache.
@@ -128,6 +139,7 @@ impl GuestMemory {
                     free: (0..pages).collect(),
                     total: pages,
                 }),
+                inject: InjectCell::new(),
             }),
         }
     }
@@ -142,6 +154,20 @@ impl GuestMemory {
     #[must_use]
     pub fn free_pages(&self) -> usize {
         self.inner.allocator.lock().free.len()
+    }
+
+    /// Installs the fault-injection plane: every clone of this memory
+    /// starts consulting [`MEM_EIO_POINT`] on scoped data accesses.
+    pub fn install_fault_plane(&self, plane: Arc<FaultPlane>) {
+        self.inner.inject.install(plane);
+    }
+
+    fn injected_eio(&self) -> Result<(), VirtioError> {
+        if self.inner.inject.hit(MEM_EIO_POINT) {
+            Err(VirtioError::Eio { point: MEM_EIO_POINT })
+        } else {
+            Ok(())
+        }
     }
 
     fn check(&self, gpa: Gpa, len: u64) -> Result<(), VirtioError> {
@@ -252,6 +278,7 @@ impl GuestMemory {
         len: u64,
         f: impl FnOnce(&[u8]) -> T,
     ) -> Result<T, VirtioError> {
+        self.injected_eio()?;
         self.check(gpa, len)?;
         let ram = self.inner.ram.read();
         Ok(f(&ram[gpa.0 as usize..(gpa.0 + len) as usize]))
@@ -268,6 +295,7 @@ impl GuestMemory {
         len: u64,
         f: impl FnOnce(&mut [u8]) -> T,
     ) -> Result<T, VirtioError> {
+        self.injected_eio()?;
         self.check(gpa, len)?;
         let mut ram = self.inner.ram.write();
         Ok(f(&mut ram[gpa.0 as usize..(gpa.0 + len) as usize]))
@@ -307,6 +335,7 @@ impl GuestMemory {
         len: u64,
         f: impl FnOnce(&[u8]) -> T,
     ) -> Result<T, VirtioError> {
+        self.injected_eio()?;
         self.check_cached(cache, gpa, len)?;
         let ram = self.inner.ram.read();
         Ok(f(&ram[gpa.0 as usize..(gpa.0 + len) as usize]))
@@ -324,6 +353,7 @@ impl GuestMemory {
         len: u64,
         f: impl FnOnce(&mut [u8]) -> T,
     ) -> Result<T, VirtioError> {
+        self.injected_eio()?;
         self.check_cached(cache, gpa, len)?;
         let mut ram = self.inner.ram.write();
         Ok(f(&mut ram[gpa.0 as usize..(gpa.0 + len) as usize]))
@@ -544,6 +574,41 @@ mod tests {
         let base = mem.alloc_contiguous(3).unwrap();
         assert_eq!(base.page(), all[2].page());
         assert!(mem.alloc_contiguous(1).is_err());
+    }
+
+    #[test]
+    fn injected_eio_is_transient_and_scoped_to_data_accesses() {
+        use simkit::{FaultPlan, FaultPlane};
+        let mem = GuestMemory::new(4 * PAGE_SIZE);
+        let plane = Arc::new(FaultPlane::new(1));
+        plane.arm(MEM_EIO_POINT, FaultPlan::Nth(1));
+        mem.install_fault_plane(plane.clone());
+        // The first scoped access fires a typed transient EIO…
+        assert!(matches!(
+            mem.with_slice(Gpa(0), 4, |_| ()),
+            Err(VirtioError::Eio { point: MEM_EIO_POINT })
+        ));
+        // …and the retry goes through untouched (Nth(1) is spent).
+        assert!(mem.with_slice(Gpa(0), 4, |_| ()).is_ok());
+        // Ring bookkeeping accessors are never instrumented: even with the
+        // point firing on every hit, raw reads/writes stay clean.
+        plane.arm(MEM_EIO_POINT, FaultPlan::EveryK(1));
+        assert!(mem.write(Gpa(0), &[1, 2, 3]).is_ok());
+        let mut b = [0u8; 3];
+        assert!(mem.read(Gpa(0), &mut b).is_ok());
+        assert!(mem.write_u16(Gpa(8), 7).is_ok());
+        let mut cache = SegCache::new();
+        assert!(matches!(
+            mem.with_slice_cached(&mut cache, Gpa(0), 2, |_| ()),
+            Err(VirtioError::Eio { .. })
+        ));
+        assert!(matches!(
+            mem.with_slice_mut_cached(&mut cache, Gpa(0), 2, |_| ()),
+            Err(VirtioError::Eio { .. })
+        ));
+        // Clones share the installed plane.
+        let clone = mem.clone();
+        assert!(clone.with_slice(Gpa(0), 1, |_| ()).is_err());
     }
 
     proptest! {

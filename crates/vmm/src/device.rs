@@ -16,6 +16,10 @@ pub enum VmmError {
     Device(String),
     /// The VM is not in a state that allows the operation.
     BadState(String),
+    /// A guest kick (queue notification) was dropped by the
+    /// fault-injection plane (`vmm.kick.drop`) before the handler ran.
+    /// Nothing was dispatched, so re-notifying the queue is always safe.
+    KickDropped,
 }
 
 impl fmt::Display for VmmError {
@@ -24,6 +28,9 @@ impl fmt::Display for VmmError {
             VmmError::Virtio(e) => write!(f, "virtio transport error: {e}"),
             VmmError::Device(msg) => write!(f, "device error: {msg}"),
             VmmError::BadState(msg) => write!(f, "invalid vm state: {msg}"),
+            VmmError::KickDropped => {
+                write!(f, "guest kick dropped (injected at vmm.kick.drop)")
+            }
         }
     }
 }
@@ -49,6 +56,7 @@ impl HasErrorKind for VmmError {
             VmmError::Virtio(e) => e.kind(),
             VmmError::Device(_) => ErrorKind::Internal,
             VmmError::BadState(_) => ErrorKind::Unavailable,
+            VmmError::KickDropped => ErrorKind::Injected,
         }
     }
 }

@@ -25,13 +25,20 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
-use simkit::{Counter, JobHandle, VirtualNanos, WorkerPool};
+use simkit::{Counter, FaultPlane, JobHandle, VirtualNanos, WorkerPool};
 
 use crate::device::{VirtioDevice, VmmError};
 
 /// Dispatch-pool width in parallel mode: one worker per rank of the
 /// paper's 8-rank testbed, matching its per-request worker threads.
 pub const DISPATCH_WORKERS: usize = 8;
+
+/// The fault point consulted by [`EventManager::kick_async`]: firing
+/// *drops* the guest kick — the vmexit is counted, but the device handler
+/// never runs and the resulting [`KickHandle`] resolves to
+/// [`VmmError::KickDropped`]. Nothing is dispatched and nothing is left
+/// pending, so callers recover by simply re-notifying the queue.
+pub const KICK_DROP_POINT: &str = "vmm.kick.drop";
 
 /// In-flight notifications for one device: a count plus a condvar so
 /// callers can await quiescence.
@@ -85,6 +92,7 @@ pub struct EventManager {
     mode: DispatchMode,
     kicks: Counter,
     pool: Option<Arc<WorkerPool>>,
+    inject: Option<Arc<FaultPlane>>,
 }
 
 /// The receipt for one [`EventManager::kick_async`]: resolves to the
@@ -145,6 +153,7 @@ impl EventManager {
                 DispatchMode::Sequential => None,
                 DispatchMode::Parallel => Some(Arc::new(WorkerPool::new(workers))),
             },
+            inject: None,
         }
     }
 
@@ -187,6 +196,14 @@ impl EventManager {
         self.kicks = counter;
     }
 
+    /// Installs the fault-injection plane; [`kick_async`](Self::kick_async)
+    /// then consults [`KICK_DROP_POINT`]. Like
+    /// [`set_kick_counter`](Self::set_kick_counter), existing clones keep
+    /// the old (absent) plane, so install before handing the manager out.
+    pub fn set_fault_plane(&mut self, plane: Arc<FaultPlane>) {
+        self.inject = Some(plane);
+    }
+
     /// Dispatches a queue notification for device `idx` and returns a
     /// [`KickHandle`] tracking its completion.
     ///
@@ -210,6 +227,15 @@ impl EventManager {
             .get(idx)
             .ok_or_else(|| VmmError::BadState(format!("no device {idx}")))?
             .clone();
+        if let Some(plane) = &self.inject {
+            if plane.hit(KICK_DROP_POINT) {
+                // Dropped before dispatch: the handler never runs and no
+                // pending entry is taken, so wait_idle stays truthful.
+                return Ok(KickHandle {
+                    inner: KickInner::Ready(Err(VmmError::KickDropped)),
+                });
+            }
+        }
         let inner = match (&self.pool, self.mode) {
             (Some(pool), DispatchMode::Parallel) => {
                 let pending = Arc::clone(&self.pending[idx]);
@@ -526,6 +552,29 @@ mod tests {
         assert_eq!(probe.notifies.load(Ordering::Relaxed), 1);
         assert_eq!(mgr.pending(idx), 0);
         h.wait().unwrap();
+    }
+
+    #[test]
+    fn dropped_kick_never_reaches_the_handler() {
+        use simkit::{FaultPlan, FaultPlane};
+        for mode in [DispatchMode::Sequential, DispatchMode::Parallel] {
+            let mut mgr = EventManager::new(mode);
+            let plane = Arc::new(FaultPlane::new(7));
+            plane.arm(KICK_DROP_POINT, FaultPlan::Nth(1));
+            mgr.set_fault_plane(plane);
+            let probe = Arc::new(Probe::new());
+            let idx = mgr.register(probe.clone());
+            // First kick is dropped: counted as a vmexit, handler unrun,
+            // nothing pending (wait_idle stays truthful).
+            let h = mgr.kick_async(idx, 0).unwrap();
+            assert!(matches!(h.wait(), Err(VmmError::KickDropped)));
+            assert_eq!(probe.notifies.load(Ordering::Relaxed), 0);
+            assert_eq!(mgr.pending(idx), 0);
+            assert_eq!(mgr.kicks(), 1);
+            // Re-notifying recovers: Nth(1) is spent.
+            mgr.kick(idx, 0).unwrap();
+            assert_eq!(probe.notifies.load(Ordering::Relaxed), 1);
+        }
     }
 
     #[test]

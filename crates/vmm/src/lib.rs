@@ -27,5 +27,5 @@ pub mod vm;
 
 pub use config::{VmConfig, VupmemConfig};
 pub use device::{VirtioDevice, VmmError};
-pub use event::{DispatchMode, EventManager, KickHandle};
+pub use event::{DispatchMode, EventManager, KickHandle, KICK_DROP_POINT};
 pub use vm::{BootReport, Vm};

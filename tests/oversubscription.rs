@@ -11,11 +11,11 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use simkit::CostModel;
+use simkit::{CostModel, FaultPlan};
 use upmem_driver::UpmemDriver;
 use upmem_sim::{PimConfig, PimMachine};
 use vpim::manager::ManagerConfig;
-use vpim::{VpimConfig, VpimSystem};
+use vpim::{FaultSite, VpimConfig, VpimSystem};
 
 const ROUNDS: usize = 4;
 const DPUS: [u32; 2] = [0, 3];
@@ -203,6 +203,69 @@ fn scheduler_telemetry_is_published() {
     assert_eq!(waits, snap.count("sched.grants"), "every grant records a wait sample");
     drop((a, b));
     sys.shutdown();
+}
+
+/// A wall-clock stall injected at the checkpoint safe point must change
+/// *nothing* observable: tenants park and restore bit-identically, the
+/// preemption schedule is unchanged, and the exact `sched.preemptions` /
+/// `sched.restores` totals match the un-stalled run (virtual time never
+/// sees the stall).
+#[test]
+fn checkpoint_stall_injection_preserves_bit_identical_time_sharing() {
+    let run = |stall: bool| {
+        let mut builder = VpimConfig::builder()
+            .batching(false)
+            .prefetch(false)
+            .oversubscription(true)
+            .sched_quantum_ms(0)
+            .inject_seed(0x5CED);
+        if stall {
+            builder = builder.inject_fault(FaultSite::CkptStall, FaultPlan::EveryK(1));
+        }
+        let sys = VpimSystem::start_with(host(1), builder.build(), CostModel::default(), snappy());
+        let a = sys.launch_vm("vm-a", 1).unwrap();
+        let b = sys.launch_vm("vm-b", 1).unwrap();
+        for round in 0..3usize {
+            for (v, vm) in [(0usize, &a), (1usize, &b)] {
+                let fe = vm.frontend(0);
+                let data = pattern(v, 0, round);
+                fe.write_rank(&[(0, round as u64 * CHUNK, &data)]).unwrap();
+                // Every chunk written so far survived the park/restore.
+                let reads: Vec<(u32, u64, u64)> =
+                    (0..=round).map(|r| (0, r as u64 * CHUNK, CHUNK)).collect();
+                let (outs, _) = fe.read_rank(&reads).unwrap();
+                for r in 0..=round {
+                    assert_eq!(outs[r], pattern(v, 0, r), "vm-{v} round {r} (stall={stall})");
+                }
+            }
+        }
+        let stats = sys.scheduler().stats();
+        let snap = sys.registry().snapshot();
+        assert_eq!(snap.count("sched.preemptions"), stats.preemptions, "{snap:?}");
+        assert_eq!(snap.count("sched.restores"), stats.restores, "{snap:?}");
+        if stall {
+            let plane = sys.fault_plane().expect("inject enabled");
+            let st = plane.point_stats(vpim::CKPT_STALL_POINT).unwrap();
+            assert_eq!(st.hits, stats.preemptions, "one stall probe per checkpoint");
+            assert_eq!(st.fired, st.hits, "EveryK(1) stalls every checkpoint");
+        }
+        let finals: Vec<Vec<u8>> = [&a, &b]
+            .iter()
+            .map(|vm| {
+                let (mut outs, _) = vm.frontend(0).read_rank(&[(0, 0, 3 * CHUNK)]).unwrap();
+                outs.remove(0)
+            })
+            .collect();
+        drop((a, b));
+        sys.shutdown();
+        (finals, stats.preemptions, stats.restores)
+    };
+
+    let (clean, p0, r0) = run(false);
+    let (stalled, p1, r1) = run(true);
+    assert_eq!(clean, stalled, "stalled checkpoints must restore bit-identically");
+    assert_eq!((p0, r0), (p1, r1), "stall must not change the preemption schedule");
+    assert_eq!((p1, r1), (7, 6), "exact preemption/restore totals");
 }
 
 #[test]
