@@ -6,14 +6,16 @@
 # The repo's tier-1 gate (ROADMAP.md): release build + full test suite,
 # then the concurrency stress/determinism and scheduler oversubscription
 # suites under varied harness parallelism, the zero-copy data-path
-# integrity/leak gate, and the fault-injection chaos gate with its seed
-# matrix.
+# integrity/leak gate, the fault-injection chaos gate with its seed
+# matrix, and the load gate (1k-session service-level smoke, bit-identical
+# LoadReport across thread counts, refreshes BENCH_load.json).
 tier1:
 	sh ci/offline-gate.sh
 	sh ci/stress-gate.sh
 	sh ci/sched-gate.sh
 	sh ci/perf-gate.sh
 	sh ci/chaos-gate.sh
+	sh ci/load-gate.sh
 
 build:
 	cargo build --offline --workspace

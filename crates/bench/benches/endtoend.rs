@@ -9,7 +9,7 @@ use simkit::CostModel;
 use upmem_driver::UpmemDriver;
 use upmem_sdk::DpuSet;
 use upmem_sim::{PimConfig, PimMachine};
-use vpim::{Variant, VpimConfig, VpimSystem};
+use vpim::{Variant, StartOpts, TenantSpec, VpimConfig, VpimSystem};
 
 fn host() -> Arc<UpmemDriver> {
     let machine = PimMachine::new(PimConfig {
@@ -40,8 +40,8 @@ fn bench_checksum_transports(c: &mut Criterion) {
     // Full vPIM (VM reused across iterations; the op is what we measure).
     {
         let driver = host();
-        let sys = VpimSystem::start(driver, VpimConfig::full());
-        let vm = sys.launch_vm("bench", 1).unwrap();
+        let sys = VpimSystem::start(driver, VpimConfig::full(), StartOpts::default());
+        let vm = sys.launch(TenantSpec::new("bench")).unwrap();
         group.bench_function("vpim", |b| {
             b.iter(|| {
                 let mut set =
@@ -63,8 +63,8 @@ fn bench_small_write_ablation(c: &mut Criterion) {
     group.sample_size(20);
     for (label, variant) in [("batching", Variant::VpimB), ("no_batching", Variant::VpimC)] {
         let driver = host();
-        let sys = VpimSystem::start(driver, VpimConfig::variant_config(variant));
-        let vm = sys.launch_vm("bench", 1).unwrap();
+        let sys = VpimSystem::start(driver, VpimConfig::variant_config(variant), StartOpts::default());
+        let vm = sys.launch(TenantSpec::new("bench")).unwrap();
         let mut set = DpuSet::alloc_vm(vm.frontends(), 8, CostModel::default()).unwrap();
         let payload = vec![0x5Au8; 160];
         group.bench_with_input(BenchmarkId::new(label, 128), &payload, |b, payload| {
@@ -99,8 +99,8 @@ fn bench_small_read_ablation(c: &mut Criterion) {
     group.sample_size(20);
     for (label, variant) in [("prefetch", Variant::VpimP), ("no_prefetch", Variant::VpimC)] {
         let driver = host();
-        let sys = VpimSystem::start(driver, VpimConfig::variant_config(variant));
-        let vm = sys.launch_vm("bench", 1).unwrap();
+        let sys = VpimSystem::start(driver, VpimConfig::variant_config(variant), StartOpts::default());
+        let vm = sys.launch(TenantSpec::new("bench")).unwrap();
         let mut set = DpuSet::alloc_vm(vm.frontends(), 8, CostModel::default()).unwrap();
         set.copy_to_heap(0, 0, &vec![9u8; 64 << 10]).unwrap();
         group.bench_function(BenchmarkId::new(label, 128), |b| {

@@ -16,7 +16,7 @@ use simkit::CostModel;
 use upmem_driver::UpmemDriver;
 use upmem_sdk::DpuSet;
 use upmem_sim::{PimConfig, PimMachine};
-use vpim::{VpimConfig, VpimSystem, VpimVm};
+use vpim::{StartOpts, TenantSpec, VpimConfig, VpimSystem, VpimVm};
 
 const RANKS: usize = 4;
 /// 2 DPUs per rank keeps the whole workload within the backend's 8-thread
@@ -44,8 +44,8 @@ fn host() -> Arc<UpmemDriver> {
 fn launch(parallel: bool) -> (VpimSystem, VpimVm) {
     let vcfg =
         VpimConfig::builder().batching(false).prefetch(false).parallel(parallel).build();
-    let sys = VpimSystem::start(host(), vcfg);
-    let vm = sys.launch_vm("bench", RANKS).unwrap();
+    let sys = VpimSystem::start(host(), vcfg, StartOpts::default());
+    let vm = sys.launch(TenantSpec::new("bench").devices(RANKS)).unwrap();
     (sys, vm)
 }
 

@@ -6,7 +6,7 @@ use simkit::CostModel;
 use upmem_driver::UpmemDriver;
 use upmem_sdk::{DpuSet, SdkError};
 use upmem_sim::{PimConfig, PimMachine};
-use vpim::{Variant, VpimConfig, VpimSystem, VpimVm};
+use vpim::{Variant, StartOpts, TenantSpec, VpimConfig, VpimSystem, VpimVm};
 
 /// Dataset scale.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -132,13 +132,8 @@ impl BenchEnv {
         n_dpus: usize,
     ) -> Result<(VpimSystem, VpimVm), vpim::VpimError> {
         let n_ranks = n_dpus.div_ceil(60).max(1);
-        let sys = VpimSystem::start_with(
-            self.driver.clone(),
-            VpimConfig::variant_config(variant),
-            self.cm.clone(),
-            vpim::manager::ManagerConfig::default(),
-        );
-        let vm = sys.launch_vm_with_memory("bench-vm", n_ranks, self.scale.guest_mem_mib())?;
+        let sys = VpimSystem::start(self.driver.clone(), VpimConfig::variant_config(variant), StartOpts::new().cost_model(self.cm.clone()).manager(vpim::manager::ManagerConfig::default()));
+        let vm = sys.launch(TenantSpec::new("bench-vm").devices(n_ranks).mem_mib(self.scale.guest_mem_mib()))?;
         Ok((sys, vm))
     }
 

@@ -438,13 +438,13 @@ pub struct ManagerReport {
 /// Exercises the manager and reports its § 4.2 numbers.
 #[must_use]
 pub fn manager_experiment(env: &BenchEnv) -> ManagerReport {
-    let sys = vpim::VpimSystem::start(env.driver().clone(), vpim::VpimConfig::full());
+    let sys = vpim::VpimSystem::start(env.driver().clone(), vpim::VpimConfig::full(), vpim::StartOpts::default());
     let alloc_latency = sys.manager().alloc_cost();
     let reset_time = env
         .cost_model()
         .rank_reset(env.driver().machine().config().rank_mapped_bytes());
     // Exercise: launch, release, wait for recycle.
-    let vm = sys.launch_vm("mgr-exercise", 2).expect("vm");
+    let vm = sys.launch(vpim::TenantSpec::new("mgr-exercise").devices(2)).expect("vm");
     vm.release_all().expect("release");
     drop(vm);
     let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
@@ -530,14 +530,9 @@ pub fn ablation_backend_threads(env: &BenchEnv) -> Vec<(usize, VirtualNanos)> {
         .map(|threads| {
             let mut cm = env.cost_model().clone();
             cm.backend_threads = threads;
-            let sys = vpim::VpimSystem::start_with(
-                env.driver().clone(),
-                vpim::VpimConfig::full(),
-                cm.clone(),
-                vpim::manager::ManagerConfig::default(),
-            );
+            let sys = vpim::VpimSystem::start(env.driver().clone(), vpim::VpimConfig::full(), vpim::StartOpts::new().cost_model(cm.clone()).manager(vpim::manager::ManagerConfig::default()));
             let vm = sys
-                .launch_vm_with_memory("abl", 1, env.scale().guest_mem_mib())
+                .launch(vpim::TenantSpec::new("abl").mem_mib(env.scale().guest_mem_mib()))
                 .expect("vm");
             let mut set = upmem_sdk::DpuSet::alloc_vm(vm.frontends(), 60, cm).expect("alloc");
             let run = Checksum::run(&mut set, env.scale().mb(40), 42).expect("checksum");
@@ -559,14 +554,9 @@ pub fn ablation_prefetch_pages(env: &BenchEnv) -> Vec<(usize, VirtualNanos, u64)
         .into_iter()
         .map(|pages| {
             let cfg = vpim::VpimConfig::builder().prefetch_pages(pages).build();
-            let sys = vpim::VpimSystem::start_with(
-                env.driver().clone(),
-                cfg,
-                env.cost_model().clone(),
-                vpim::manager::ManagerConfig::default(),
-            );
+            let sys = vpim::VpimSystem::start(env.driver().clone(), cfg, vpim::StartOpts::new().cost_model(env.cost_model().clone()).manager(vpim::manager::ManagerConfig::default()));
             let vm = sys
-                .launch_vm_with_memory("abl", 1, env.scale().guest_mem_mib())
+                .launch(vpim::TenantSpec::new("abl").mem_mib(env.scale().guest_mem_mib()))
                 .expect("vm");
             let mut set =
                 upmem_sdk::DpuSet::alloc_vm(vm.frontends(), 16, env.cost_model().clone())
@@ -597,14 +587,9 @@ pub fn ablation_batch_pages(env: &BenchEnv) -> Vec<(usize, VirtualNanos, u64)> {
         .into_iter()
         .map(|pages| {
             let cfg = vpim::VpimConfig::builder().batch_pages(pages).build();
-            let sys = vpim::VpimSystem::start_with(
-                env.driver().clone(),
-                cfg,
-                env.cost_model().clone(),
-                vpim::manager::ManagerConfig::default(),
-            );
+            let sys = vpim::VpimSystem::start(env.driver().clone(), cfg, vpim::StartOpts::new().cost_model(env.cost_model().clone()).manager(vpim::manager::ManagerConfig::default()));
             let vm = sys
-                .launch_vm_with_memory("abl", 1, env.scale().guest_mem_mib())
+                .launch(vpim::TenantSpec::new("abl").mem_mib(env.scale().guest_mem_mib()))
                 .expect("vm");
             let mut set =
                 upmem_sdk::DpuSet::alloc_vm(vm.frontends(), 16, env.cost_model().clone())

@@ -162,6 +162,72 @@ struct ReadChunk {
     _meta_lease: PageLease,
 }
 
+/// Options for [`Frontend::probe`]: everything the guest driver needs
+/// beyond the device itself. The required parts (device index, event
+/// manager, guest memory) are constructor arguments; cost model,
+/// configuration, metrics registry, and serializer scratch pool default to
+/// fresh instances unless shared ones are supplied — the system wiring
+/// hands every frontend the host's registry and pool.
+#[derive(Debug, Clone)]
+pub struct ProbeOpts {
+    device_idx: usize,
+    em: EventManager,
+    mem: GuestMemory,
+    cm: CostModel,
+    vcfg: VpimConfig,
+    registry: MetricsRegistry,
+    scratch: Option<BytePool>,
+}
+
+impl ProbeOpts {
+    /// Options for device `device_idx` of a VM with event manager `em` and
+    /// guest memory `mem`, with the default cost model, the full
+    /// optimization configuration, and a private metrics registry.
+    #[must_use]
+    pub fn new(device_idx: usize, em: EventManager, mem: GuestMemory) -> Self {
+        ProbeOpts {
+            device_idx,
+            em,
+            mem,
+            cm: CostModel::default(),
+            vcfg: VpimConfig::full(),
+            registry: MetricsRegistry::new(),
+            scratch: None,
+        }
+    }
+
+    /// Uses `cm` as the cost model.
+    #[must_use]
+    pub fn cost_model(mut self, cm: CostModel) -> Self {
+        self.cm = cm;
+        self
+    }
+
+    /// Uses `vcfg` as the optimization configuration.
+    #[must_use]
+    pub fn config(mut self, vcfg: VpimConfig) -> Self {
+        self.vcfg = vcfg;
+        self
+    }
+
+    /// Publishes prefetch/batch/queue-depth metrics into `registry`
+    /// (`frontend.prefetch.*`, `frontend.batch.*`,
+    /// `virtio.queue.depth.rank{device_idx}`).
+    #[must_use]
+    pub fn registry(mut self, registry: &MetricsRegistry) -> Self {
+        self.registry = registry.clone();
+        self
+    }
+
+    /// Shares an existing serializer scratch [`BytePool`] instead of
+    /// creating one from the registry.
+    #[must_use]
+    pub fn scratch(mut self, pool: BytePool) -> Self {
+        self.scratch = Some(pool);
+        self
+    }
+}
+
 /// The guest-side driver for one vUPMEM device.
 #[derive(Debug)]
 pub struct Frontend {
@@ -196,55 +262,10 @@ impl Frontend {
     /// # Errors
     ///
     /// Guest memory exhaustion or MMIO errors.
-    pub fn probe(
-        device: Arc<VupmemDevice>,
-        device_idx: usize,
-        em: EventManager,
-        mem: GuestMemory,
-        cm: CostModel,
-        vcfg: VpimConfig,
-    ) -> Result<Frontend, VpimError> {
-        Self::probe_with_registry(device, device_idx, em, mem, cm, vcfg, &MetricsRegistry::new())
-    }
-
-    /// [`probe`](Self::probe), with prefetch/batch/queue-depth metrics
-    /// published into `registry` (`frontend.prefetch.*`, `frontend.batch.*`,
-    /// `virtio.queue.depth.rank{device_idx}`).
-    ///
-    /// # Errors
-    ///
-    /// Guest memory exhaustion or MMIO errors.
-    pub fn probe_with_registry(
-        device: Arc<VupmemDevice>,
-        device_idx: usize,
-        em: EventManager,
-        mem: GuestMemory,
-        cm: CostModel,
-        vcfg: VpimConfig,
-        registry: &MetricsRegistry,
-    ) -> Result<Frontend, VpimError> {
-        let scratch = BytePool::with_registry(registry, "datapath.pool");
-        Self::probe_with_pool(device, device_idx, em, mem, cm, vcfg, registry, scratch)
-    }
-
-    /// [`probe_with_registry`](Self::probe_with_registry), sharing an
-    /// existing serializer scratch [`BytePool`] instead of creating one —
-    /// the system wiring hands frontends and backends the same pool.
-    ///
-    /// # Errors
-    ///
-    /// Guest memory exhaustion or MMIO errors.
-    #[allow(clippy::too_many_arguments)]
-    pub fn probe_with_pool(
-        device: Arc<VupmemDevice>,
-        device_idx: usize,
-        em: EventManager,
-        mem: GuestMemory,
-        cm: CostModel,
-        vcfg: VpimConfig,
-        registry: &MetricsRegistry,
-        scratch: BytePool,
-    ) -> Result<Frontend, VpimError> {
+    pub fn probe(device: Arc<VupmemDevice>, opts: ProbeOpts) -> Result<Frontend, VpimError> {
+        let ProbeOpts { device_idx, em, mem, cm, vcfg, registry, scratch } = opts;
+        let scratch =
+            scratch.unwrap_or_else(|| BytePool::with_registry(&registry, "datapath.pool"));
         let m = device.mmio();
         m.write(reg::STATUS, mmio_status::ACKNOWLEDGE)?;
         m.write(reg::STATUS, mmio_status::ACKNOWLEDGE | mmio_status::DRIVER)?;
@@ -274,8 +295,8 @@ impl Frontend {
                 | mmio_status::DRIVER_OK,
         )?;
 
-        let metrics = FrontMetrics::from_registry(registry, device_idx);
-        let retry = RetryMetrics::from_registry(registry);
+        let metrics = FrontMetrics::from_registry(&registry, device_idx);
+        let retry = RetryMetrics::from_registry(&registry);
         Ok(Frontend {
             device,
             device_idx,
@@ -295,6 +316,52 @@ impl Frontend {
             scratch,
             clocks: Mutex::new(HeadClocks::default()),
         })
+    }
+
+    /// Old spelling of [`probe`](Self::probe) with an explicit registry.
+    ///
+    /// # Errors
+    ///
+    /// Guest memory exhaustion or MMIO errors.
+    #[deprecated(note = "use `Frontend::probe(device, ProbeOpts)`")]
+    pub fn probe_with_registry(
+        device: Arc<VupmemDevice>,
+        device_idx: usize,
+        em: EventManager,
+        mem: GuestMemory,
+        cm: CostModel,
+        vcfg: VpimConfig,
+        registry: &MetricsRegistry,
+    ) -> Result<Frontend, VpimError> {
+        let opts =
+            ProbeOpts::new(device_idx, em, mem).cost_model(cm).config(vcfg).registry(registry);
+        Self::probe(device, opts)
+    }
+
+    /// Old spelling of [`probe`](Self::probe) with an explicit registry
+    /// and shared scratch pool.
+    ///
+    /// # Errors
+    ///
+    /// Guest memory exhaustion or MMIO errors.
+    #[deprecated(note = "use `Frontend::probe(device, ProbeOpts)`")]
+    #[allow(clippy::too_many_arguments)]
+    pub fn probe_with_pool(
+        device: Arc<VupmemDevice>,
+        device_idx: usize,
+        em: EventManager,
+        mem: GuestMemory,
+        cm: CostModel,
+        vcfg: VpimConfig,
+        registry: &MetricsRegistry,
+        scratch: BytePool,
+    ) -> Result<Frontend, VpimError> {
+        let opts = ProbeOpts::new(device_idx, em, mem)
+            .cost_model(cm)
+            .config(vcfg)
+            .registry(registry)
+            .scratch(scratch);
+        Self::probe(device, opts)
     }
 
     /// Completes initialization after boot: requests the device

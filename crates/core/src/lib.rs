@@ -43,12 +43,13 @@
 //! use upmem_driver::UpmemDriver;
 //!
 //! // One host: machine + driver + manager.
+//! use vpim::prelude::*;
 //! let machine = PimMachine::new(PimConfig::small());
 //! let driver = Arc::new(UpmemDriver::new(machine));
-//! let system = VpimSystem::start(driver, VpimConfig::full());
+//! let system = VpimSystem::start(driver, VpimConfig::full(), StartOpts::default());
 //!
 //! // One VM with one vUPMEM device, booted and linked to a rank.
-//! let vm = system.launch_vm("vm-0", 1).unwrap();
+//! let vm = system.launch(TenantSpec::new("vm-0")).unwrap();
 //! assert_eq!(vm.devices().len(), 1);
 //! # system.shutdown();
 //! ```
@@ -61,6 +62,7 @@ pub mod config;
 pub mod device;
 pub mod error;
 pub mod frontend;
+pub mod load;
 pub mod manager;
 pub mod matrix;
 pub mod report;
@@ -71,7 +73,31 @@ pub mod system;
 pub use backend::datapath::{CHUNK_STALL_POINT, CHUNK_TORN_WRITE_POINT};
 pub use config::{FaultSite, FaultSpec, InjectSection, SchedSection, Variant, VpimConfig, VpimConfigBuilder};
 pub use error::VpimError;
+pub use frontend::{Frontend, ProbeOpts};
+pub use load::{LoadHarness, LoadReport, LoadSpec};
 pub use manager::MANAGER_RPC_POINT;
 pub use report::OpReport;
 pub use sched::{SchedPolicy, SchedStats, Scheduler, SnapshotStore, CKPT_STALL_POINT};
-pub use system::{VpimSystem, VpimVm};
+pub use system::{StartOpts, TenantSpec, VpimSystem, VpimVm};
+
+/// The session-facing surface in one import: host bring-up
+/// ([`VpimSystem`], [`StartOpts`], [`VpimConfig`]), tenant launch
+/// ([`TenantSpec`], [`VpimVm`]), the guest driver ([`Frontend`],
+/// [`ProbeOpts`], [`OpReport`]), errors, and the load harness.
+///
+/// ```
+/// use vpim::prelude::*;
+/// ```
+pub mod prelude {
+    pub use crate::config::{Variant, VpimConfig, VpimConfigBuilder};
+    pub use crate::error::VpimError;
+    pub use crate::frontend::{Frontend, ProbeOpts};
+    pub use crate::load::{
+        Arrival, Execution, LoadHarness, LoadReport, LoadSpec, OpOutcome, TenantMix,
+        TenantProfile,
+    };
+    pub use crate::report::OpReport;
+    pub use crate::system::{StartOpts, TenantSpec, VpimSystem, VpimVm};
+    pub use upmem_driver::UpmemDriver;
+    pub use upmem_sim::{PimConfig, PimMachine};
+}

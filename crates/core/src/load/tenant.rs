@@ -1,0 +1,235 @@
+//! Tenant profiles and op mixes for the load harness.
+//!
+//! The harness itself is workload-agnostic: a [`TenantOp`] is a named
+//! closure run against a launched [`VpimVm`] with a per-op seed, returning
+//! an [`OpOutcome`] (its virtual-time cost plus a checksum folded into the
+//! report). Concrete mixes — the PrIM apps, the UPIS index search — are
+//! assembled by higher layers (`vpim_system::loadmix`), which keeps the
+//! dependency graph acyclic (those crates already depend on `vpim`).
+
+use std::fmt;
+use std::sync::Arc;
+
+use simkit::{SimRng, VirtualNanos};
+
+use crate::error::VpimError;
+use crate::system::{TenantSpec, VpimVm};
+
+/// One scripted operation of a tenant session. Receives the session's VM
+/// and a per-op seed; must derive all randomness from that seed so the
+/// outcome is a pure function of `(op, seed)` regardless of when or on
+/// which thread the op runs.
+pub type OpFn = Arc<dyn Fn(&VpimVm, u64) -> Result<OpOutcome, VpimError> + Send + Sync>;
+
+/// What one [`TenantOp`] produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpOutcome {
+    /// The op's virtual-time cost (service time it contributes to the
+    /// session).
+    pub cost: VirtualNanos,
+    /// A workload-defined checksum; the report folds all checksums with a
+    /// commutative sum so any divergence anywhere shows up.
+    pub checksum: u64,
+}
+
+impl OpOutcome {
+    /// An outcome costing `cost` with checksum `checksum`.
+    #[must_use]
+    pub fn new(cost: VirtualNanos, checksum: u64) -> Self {
+        OpOutcome { cost, checksum }
+    }
+}
+
+/// A named op in a tenant's script.
+#[derive(Clone)]
+pub struct TenantOp {
+    name: String,
+    run: OpFn,
+}
+
+impl TenantOp {
+    /// An op called `name` running `f`.
+    #[must_use]
+    pub fn new(name: impl Into<String>, f: OpFn) -> Self {
+        TenantOp { name: name.into(), run: f }
+    }
+
+    /// The op's name (the per-op latency key in the report).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Runs the op.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the workload surfaces.
+    pub fn run(&self, vm: &VpimVm, seed: u64) -> Result<OpOutcome, VpimError> {
+        (self.run)(vm, seed)
+    }
+}
+
+impl fmt::Debug for TenantOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TenantOp").field("name", &self.name).finish_non_exhaustive()
+    }
+}
+
+/// One kind of tenant: a [`TenantSpec`] template, the scripted op list a
+/// session of this kind executes in order, a closed-loop think-time mean
+/// between ops, and a weight within the [`TenantMix`].
+#[derive(Debug, Clone)]
+pub struct TenantProfile {
+    name: String,
+    template: TenantSpec,
+    ops: Vec<TenantOp>,
+    think_mean_ns: u64,
+    weight: u64,
+}
+
+impl TenantProfile {
+    /// A profile called `name` whose sessions launch from `template`
+    /// (weight 1, no think time, empty script).
+    #[must_use]
+    pub fn new(name: impl Into<String>, template: TenantSpec) -> Self {
+        TenantProfile {
+            name: name.into(),
+            template,
+            ops: Vec::new(),
+            think_mean_ns: 0,
+            weight: 1,
+        }
+    }
+
+    /// Appends an op to the script.
+    #[must_use]
+    pub fn op(mut self, op: TenantOp) -> Self {
+        self.ops.push(op);
+        self
+    }
+
+    /// Mean closed-loop think time between ops (virtual nanoseconds,
+    /// exponentially distributed; 0 disables thinking).
+    #[must_use]
+    pub fn think_mean_ns(mut self, mean: u64) -> Self {
+        self.think_mean_ns = mean;
+        self
+    }
+
+    /// This profile's weight in the mix (clamped to at least 1).
+    #[must_use]
+    pub fn weight(mut self, w: u64) -> Self {
+        self.weight = w.max(1);
+        self
+    }
+
+    /// The profile name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The launch template.
+    #[must_use]
+    pub fn template(&self) -> &TenantSpec {
+        &self.template
+    }
+
+    /// The scripted ops.
+    #[must_use]
+    pub fn ops(&self) -> &[TenantOp] {
+        &self.ops
+    }
+
+    /// The think-time mean.
+    #[must_use]
+    pub fn think_mean(&self) -> u64 {
+        self.think_mean_ns
+    }
+}
+
+/// A weighted set of [`TenantProfile`]s. Each session draws its profile
+/// from this mix with a pure per-session RNG stream.
+#[derive(Debug, Clone, Default)]
+pub struct TenantMix {
+    profiles: Vec<TenantProfile>,
+}
+
+impl TenantMix {
+    /// An empty mix.
+    #[must_use]
+    pub fn new() -> Self {
+        TenantMix::default()
+    }
+
+    /// Adds a profile.
+    #[must_use]
+    pub fn profile(mut self, p: TenantProfile) -> Self {
+        self.profiles.push(p);
+        self
+    }
+
+    /// The profiles, in insertion order.
+    #[must_use]
+    pub fn profiles(&self) -> &[TenantProfile] {
+        &self.profiles
+    }
+
+    /// Weighted draw of a profile index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mix is empty.
+    #[must_use]
+    pub fn pick(&self, rng: &mut SimRng) -> usize {
+        assert!(!self.profiles.is_empty(), "TenantMix must hold at least one profile");
+        let total: u64 = self.profiles.iter().map(|p| p.weight).sum();
+        let mut ticket = rng.u64_below(total);
+        for (i, p) in self.profiles.iter().enumerate() {
+            if ticket < p.weight {
+                return i;
+            }
+            ticket -= p.weight;
+        }
+        self.profiles.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noop(name: &str) -> TenantOp {
+        TenantOp::new(name, Arc::new(|_vm, seed| Ok(OpOutcome::new(VirtualNanos::ZERO, seed))))
+    }
+
+    #[test]
+    fn weighted_pick_respects_weights() {
+        let mix = TenantMix::new()
+            .profile(TenantProfile::new("heavy", TenantSpec::new("h")).weight(9))
+            .profile(TenantProfile::new("light", TenantSpec::new("l")).weight(1));
+        let mut rng = SimRng::seeded(3);
+        let mut counts = [0usize; 2];
+        for _ in 0..2000 {
+            counts[mix.pick(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[1] * 5, "{counts:?}");
+        assert!(counts[1] > 0, "{counts:?}");
+    }
+
+    #[test]
+    fn profile_builder_round_trips() {
+        let p = TenantProfile::new("p", TenantSpec::new("t").devices(2).mem_mib(16))
+            .op(noop("a"))
+            .op(noop("b"))
+            .think_mean_ns(500)
+            .weight(0);
+        assert_eq!(p.name(), "p");
+        assert_eq!(p.ops().len(), 2);
+        assert_eq!(p.ops()[0].name(), "a");
+        assert_eq!(p.think_mean(), 500);
+        assert_eq!(p.template().n_devices(), 2);
+        assert_eq!(p.template().guest_mem_mib(), 16);
+    }
+}

@@ -4,7 +4,7 @@
 use std::sync::Arc;
 
 use pim_vmm::{BootReport, DispatchMode, VirtioDevice, Vm, VmConfig};
-use simkit::{BytePool, CostModel, FaultPlane, MetricsRegistry, WorkerPool};
+use simkit::{BytePool, CostModel, Counter, FaultPlane, Gauge, MetricsRegistry, WorkerPool};
 use upmem_driver::UpmemDriver;
 
 use crate::backend::Backend;
@@ -12,8 +12,124 @@ use crate::config::VpimConfig;
 use crate::device::VupmemDevice;
 use crate::error::VpimError;
 use crate::frontend::Frontend;
+use crate::frontend::ProbeOpts;
 use crate::manager::{Manager, ManagerConfig};
 use crate::sched::Scheduler;
+
+/// Host-level options for [`VpimSystem::start`]: the cost model every
+/// layer charges against and the manager daemon's tuning. The default is
+/// what `start` used before the options struct existed, so
+/// `StartOpts::default()` is always a safe argument.
+#[derive(Debug, Clone, Default)]
+pub struct StartOpts {
+    cost_model: CostModel,
+    manager: ManagerConfig,
+}
+
+impl StartOpts {
+    /// Default cost model and manager tuning.
+    #[must_use]
+    pub fn new() -> Self {
+        StartOpts::default()
+    }
+
+    /// Uses `cm` as the host cost model.
+    #[must_use]
+    pub fn cost_model(mut self, cm: CostModel) -> Self {
+        self.cost_model = cm;
+        self
+    }
+
+    /// Uses `mcfg` as the manager daemon tuning.
+    #[must_use]
+    pub fn manager(mut self, mcfg: ManagerConfig) -> Self {
+        self.manager = mcfg;
+        self
+    }
+}
+
+/// What to launch: a tenant microVM described by a builder — tag, device
+/// count, guest memory, and scheduler weight. [`VpimSystem::launch`] is
+/// the single admission path; the load harness spawns every session
+/// through it.
+///
+/// # Example
+///
+/// ```ignore
+/// let vm = sys.launch(TenantSpec::new("tenant-a").devices(2).mem_mib(64).weight(3))?;
+/// ```
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    tag: String,
+    devices: usize,
+    mem_mib: u64,
+    weight: u64,
+}
+
+impl TenantSpec {
+    /// A tenant named `tag` with one device, 512 MiB of guest RAM, and
+    /// scheduler weight 1 — the old `launch_vm(tag, 1)` shape.
+    #[must_use]
+    pub fn new(tag: impl Into<String>) -> Self {
+        TenantSpec { tag: tag.into(), devices: 1, mem_mib: 512, weight: 1 }
+    }
+
+    /// Number of vUPMEM devices (one physical rank each).
+    #[must_use]
+    pub fn devices(mut self, n: usize) -> Self {
+        self.devices = n;
+        self
+    }
+
+    /// Guest memory in MiB. Guest RAM is allocated eagerly, so size it to
+    /// the workload's transfer buffers (a load-harness session runs fine
+    /// in 16 MiB; the default suits the large PrIM inputs).
+    #[must_use]
+    pub fn mem_mib(mut self, mib: u64) -> Self {
+        self.mem_mib = mib;
+        self
+    }
+
+    /// Proportional-share weight for the oversubscribed scheduler
+    /// (clamped to at least 1 there; weight 1 is the default share).
+    #[must_use]
+    pub fn weight(mut self, w: u64) -> Self {
+        self.weight = w;
+        self
+    }
+
+    /// Replaces the tag, keeping everything else — how the load harness
+    /// stamps a per-session tag onto a profile's template.
+    #[must_use]
+    pub fn retag(mut self, tag: impl Into<String>) -> Self {
+        self.tag = tag.into();
+        self
+    }
+
+    /// The tenant tag.
+    #[must_use]
+    pub fn tag(&self) -> &str {
+        &self.tag
+    }
+
+    /// The device count.
+    #[must_use]
+    pub fn n_devices(&self) -> usize {
+        self.devices
+    }
+
+    /// The guest memory size in MiB.
+    #[must_use]
+    pub fn guest_mem_mib(&self) -> u64 {
+        self.mem_mib
+    }
+
+    /// The scheduler weight.
+    #[must_use]
+    pub fn sched_weight(&self) -> u64 {
+        self.weight
+    }
+}
 
 /// A host running vPIM: the driver, the manager daemon, and the knobs every
 /// VM launched on this host inherits. All layers record into one
@@ -40,23 +156,19 @@ pub struct VpimSystem {
     /// enables it): one seeded plane shared by every layer so the armed
     /// schedules are global and `inject.*` telemetry aggregates host-wide.
     inject: Option<Arc<FaultPlane>>,
+    /// `system.tenants.launched` — microVMs launched over the host's life.
+    tenants_launched: Counter,
+    /// `system.tenants.live` — microVMs currently alive (decremented when
+    /// a [`VpimVm`] drops).
+    tenants_live: Gauge,
 }
 
 impl VpimSystem {
-    /// Starts a host with the default cost model and manager tuning.
+    /// Starts a host. `opts` carries the cost model and manager tuning;
+    /// `StartOpts::default()` reproduces the old two-argument `start`.
     #[must_use]
-    pub fn start(driver: Arc<UpmemDriver>, vcfg: VpimConfig) -> Self {
-        Self::start_with(driver, vcfg, CostModel::default(), ManagerConfig::default())
-    }
-
-    /// Starts a host with explicit cost model and manager tuning.
-    #[must_use]
-    pub fn start_with(
-        driver: Arc<UpmemDriver>,
-        vcfg: VpimConfig,
-        cm: CostModel,
-        mcfg: ManagerConfig,
-    ) -> Self {
+    pub fn start(driver: Arc<UpmemDriver>, vcfg: VpimConfig, opts: StartOpts) -> Self {
+        let StartOpts { cost_model: cm, manager: mcfg } = opts;
         let registry = MetricsRegistry::new();
         let manager = Manager::start_with_registry(driver.clone(), cm.clone(), mcfg, &registry);
         let sched = Scheduler::new(
@@ -83,6 +195,8 @@ impl VpimSystem {
         } else {
             None
         };
+        let tenants_launched = registry.counter("system.tenants.launched");
+        let tenants_live = registry.gauge("system.tenants.live");
         VpimSystem {
             driver,
             manager: Some(manager),
@@ -93,7 +207,22 @@ impl VpimSystem {
             data_pool,
             scratch,
             inject,
+            tenants_launched,
+            tenants_live,
         }
+    }
+
+    /// Old spelling of [`start`](Self::start) with explicit cost model and
+    /// manager tuning.
+    #[deprecated(note = "use `VpimSystem::start(driver, vcfg, StartOpts)`")]
+    #[must_use]
+    pub fn start_with(
+        driver: Arc<UpmemDriver>,
+        vcfg: VpimConfig,
+        cm: CostModel,
+        mcfg: ManagerConfig,
+    ) -> Self {
+        Self::start(driver, vcfg, StartOpts::new().cost_model(cm).manager(mcfg))
     }
 
     /// The host's fault-injection plane, when `VpimConfig.inject` enabled
@@ -151,28 +280,42 @@ impl VpimSystem {
         &self.registry
     }
 
-    /// Launches a microVM with `n_devices` vUPMEM devices and 512 MiB of
-    /// guest RAM.
+    /// Old spelling of [`launch`](Self::launch) with the default 512 MiB
+    /// of guest RAM.
     ///
     /// # Errors
     ///
     /// Boot or device initialization failures.
+    #[deprecated(note = "use `VpimSystem::launch(TenantSpec::new(tag).devices(n))`")]
     pub fn launch_vm(&self, tag: &str, n_devices: usize) -> Result<VpimVm, VpimError> {
-        self.launch_vm_with_memory(tag, n_devices, 512)
+        self.launch(TenantSpec::new(tag).devices(n_devices))
     }
 
-    /// Launches a microVM with explicit guest memory (MiB). Larger
-    /// workloads need more guest pages for their transfer buffers.
+    /// Old spelling of [`launch`](Self::launch) with explicit guest memory.
     ///
     /// # Errors
     ///
     /// Boot or device initialization failures.
+    #[deprecated(note = "use `VpimSystem::launch(TenantSpec::new(tag).devices(n).mem_mib(m))`")]
     pub fn launch_vm_with_memory(
         &self,
         tag: &str,
         n_devices: usize,
         mem_mib: u64,
     ) -> Result<VpimVm, VpimError> {
+        self.launch(TenantSpec::new(tag).devices(n_devices).mem_mib(mem_mib))
+    }
+
+    /// Launches a tenant microVM described by `spec`: boots a VM with
+    /// `spec.devices` vUPMEM devices, registers the tenant's scheduler
+    /// weight, probes and initializes the guest drivers (which links each
+    /// device to a physical rank through the manager's admission path).
+    ///
+    /// # Errors
+    ///
+    /// Boot or device initialization failures.
+    pub fn launch(&self, spec: TenantSpec) -> Result<VpimVm, VpimError> {
+        let TenantSpec { tag, devices: n_devices, mem_mib, weight } = spec;
         let dispatch = if self.vcfg.parallel_handling {
             DispatchMode::Parallel
         } else {
@@ -197,6 +340,10 @@ impl VpimSystem {
 
         let mut devices = Vec::with_capacity(n_devices);
         for i in 0..n_devices {
+            // Scheduler accounts are keyed by backend tag, one per device.
+            if weight != 1 {
+                self.sched.set_weight(&format!("{tag}/vupmem{i}"), weight);
+            }
             let backend = Backend::with_parts(
                 self.driver.clone(),
                 self.sched.clone(),
@@ -228,16 +375,12 @@ impl VpimSystem {
         let em = vm.event_manager().clone();
         let mut frontends = Vec::with_capacity(n_devices);
         for (i, device) in devices.iter().enumerate() {
-            frontends.push(Arc::new(Frontend::probe_with_pool(
-                device.clone(),
-                i,
-                em.clone(),
-                vm.memory().clone(),
-                self.cm.clone(),
-                self.vcfg,
-                &self.registry,
-                self.scratch.clone(),
-            )?));
+            let opts = ProbeOpts::new(i, em.clone(), vm.memory().clone())
+                .cost_model(self.cm.clone())
+                .config(self.vcfg)
+                .registry(&self.registry)
+                .scratch(self.scratch.clone());
+            frontends.push(Arc::new(Frontend::probe(device.clone(), opts)?));
         }
         // …the VMM boots (devices activate)…
         let boot = vm.boot(&self.cm)?;
@@ -246,7 +389,9 @@ impl VpimSystem {
         for f in &frontends {
             f.initialize()?;
         }
-        Ok(VpimVm { vm, devices, frontends, boot })
+        self.tenants_launched.inc();
+        self.tenants_live.add(1);
+        Ok(VpimVm { vm, devices, frontends, boot, live: self.tenants_live.clone() })
     }
 
     /// Stops the manager daemon and consumes the system.
@@ -272,6 +417,14 @@ pub struct VpimVm {
     devices: Vec<Arc<VupmemDevice>>,
     frontends: Vec<Arc<Frontend>>,
     boot: BootReport,
+    /// The host's `system.tenants.live` gauge; dropped VMs step it down.
+    live: Gauge,
+}
+
+impl Drop for VpimVm {
+    fn drop(&mut self) {
+        self.live.sub(1);
+    }
 }
 
 impl VpimVm {
@@ -325,13 +478,13 @@ mod tests {
 
     fn system() -> VpimSystem {
         let machine = PimMachine::new(PimConfig::small());
-        VpimSystem::start(Arc::new(UpmemDriver::new(machine)), VpimConfig::full())
+        VpimSystem::start(Arc::new(UpmemDriver::new(machine)), VpimConfig::full(), StartOpts::default())
     }
 
     #[test]
     fn launch_links_ranks_and_reports_boot_time() {
         let sys = system();
-        let vm = sys.launch_vm("vm-0", 2).unwrap();
+        let vm = sys.launch(TenantSpec::new("vm-0").devices(2)).unwrap();
         assert_eq!(vm.frontends().len(), 2);
         assert_eq!(vm.frontend(0).nr_dpus(), 8);
         // Two vUPMEM devices: +4 ms of boot time (§3.2: up to 2 ms each).
@@ -346,8 +499,8 @@ mod tests {
     #[test]
     fn two_vms_cannot_share_a_rank() {
         let sys = system();
-        let a = sys.launch_vm("vm-a", 1).unwrap();
-        let b = sys.launch_vm("vm-b", 1).unwrap();
+        let a = sys.launch(TenantSpec::new("vm-a")).unwrap();
+        let b = sys.launch(TenantSpec::new("vm-b")).unwrap();
         assert_ne!(
             a.devices()[0].backend().linked_rank(),
             b.devices()[0].backend().linked_rank()
@@ -355,7 +508,7 @@ mod tests {
         // A third VM finds no rank (machine has 2). The exhaustion crosses
         // the virtio boundary, so it surfaces as NotLinked.
         assert!(matches!(
-            sys.launch_vm("vm-c", 1),
+            sys.launch(TenantSpec::new("vm-c")),
             Err(VpimError::NotLinked | VpimError::NoRankAvailable)
         ));
         sys.shutdown();
@@ -364,7 +517,7 @@ mod tests {
     #[test]
     fn write_read_through_the_full_stack() {
         let sys = system();
-        let vm = sys.launch_vm("vm-0", 1).unwrap();
+        let vm = sys.launch(TenantSpec::new("vm-0")).unwrap();
         let fe = vm.frontend(0);
         let data = vec![0xC3u8; 10_000];
         let report = fe.write_rank(&[(1, 64, &data)]).unwrap();
@@ -378,7 +531,7 @@ mod tests {
     #[test]
     fn registry_records_prefetch_hits_and_misses() {
         let sys = system();
-        let vm = sys.launch_vm("vm-0", 1).unwrap();
+        let vm = sys.launch(TenantSpec::new("vm-0")).unwrap();
         let fe = vm.frontend(0);
         fe.write_rank(&[(0, 0, &[7u8; 256])]).unwrap();
         // First small read misses (and installs a segment), second hits.
@@ -393,7 +546,7 @@ mod tests {
     #[test]
     fn registry_records_batch_merges() {
         let sys = system();
-        let vm = sys.launch_vm("vm-0", 1).unwrap();
+        let vm = sys.launch(TenantSpec::new("vm-0")).unwrap();
         let fe = vm.frontend(0);
         // Two small writes landing on the same MRAM page: the second is a
         // merge within the batch window.
@@ -409,7 +562,7 @@ mod tests {
     #[test]
     fn registry_records_vmexits() {
         let sys = system();
-        let vm = sys.launch_vm("vm-0", 1).unwrap();
+        let vm = sys.launch(TenantSpec::new("vm-0")).unwrap();
         // Initialization alone kicks the device (Configure round trip).
         let before = sys.registry().snapshot().count("vmm.vmexits");
         assert!(before >= 1);
@@ -422,7 +575,7 @@ mod tests {
     #[test]
     fn registry_records_irq_injections() {
         let sys = system();
-        let vm = sys.launch_vm("vm-0", 1).unwrap();
+        let vm = sys.launch(TenantSpec::new("vm-0")).unwrap();
         let before = sys.registry().snapshot().count("virtio.irq.injections");
         assert!(before >= 1, "configure completion already injected");
         vm.frontend(0).write_rank(&[(0, 0, &[4u8; 8192])]).unwrap();
@@ -434,7 +587,7 @@ mod tests {
     #[test]
     fn registry_tracks_queue_depth_per_rank() {
         let sys = system();
-        let vm = sys.launch_vm("vm-0", 2).unwrap();
+        let vm = sys.launch(TenantSpec::new("vm-0").devices(2)).unwrap();
         vm.frontend(1).write_rank(&[(0, 0, &[5u8; 8192])]).unwrap();
         let snap = sys.registry().snapshot();
         // The gauge exists per device and is back to zero once every
@@ -449,7 +602,7 @@ mod tests {
     #[test]
     fn registry_records_rank_state_transitions() {
         let sys = system();
-        let vm = sys.launch_vm("vm-0", 1).unwrap();
+        let vm = sys.launch(TenantSpec::new("vm-0")).unwrap();
         // Linking the device walked NAAV -> ALLO.
         assert!(sys.registry().snapshot().count("manager.rank_state.transitions") >= 1);
         assert_eq!(
@@ -463,15 +616,15 @@ mod tests {
     #[test]
     fn release_recycles_ranks_for_new_vms() {
         let machine = PimMachine::new(PimConfig::small());
-        let sys = VpimSystem::start(Arc::new(UpmemDriver::new(machine)), VpimConfig::full());
-        let a = sys.launch_vm("vm-a", 1).unwrap();
-        let _b = sys.launch_vm("vm-b", 1).unwrap();
+        let sys = VpimSystem::start(Arc::new(UpmemDriver::new(machine)), VpimConfig::full(), StartOpts::default());
+        let a = sys.launch(TenantSpec::new("vm-a")).unwrap();
+        let _b = sys.launch(TenantSpec::new("vm-b")).unwrap();
         a.release_all().unwrap();
         drop(a);
         // The released rank must come back (after observer + reset).
         let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
         loop {
-            match sys.launch_vm("vm-c", 1) {
+            match sys.launch(TenantSpec::new("vm-c")) {
                 Ok(_) => break,
                 Err(VpimError::NoRankAvailable | VpimError::NotLinked) => {
                     assert!(std::time::Instant::now() < deadline, "rank never recycled");

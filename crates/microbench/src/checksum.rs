@@ -160,8 +160,8 @@ mod tests {
             let mut set = DpuSet::alloc_native(&driver, 4, CostModel::default()).unwrap();
             Checksum::run(&mut set, 16 << 10, 2).unwrap()
         };
-        let sys = vpim::VpimSystem::start(driver, vpim::VpimConfig::full());
-        let vm = sys.launch_vm("vm-ck", 1).unwrap();
+        let sys = vpim::VpimSystem::start(driver, vpim::VpimConfig::full(), vpim::StartOpts::default());
+        let vm = sys.launch(vpim::TenantSpec::new("vm-ck")).unwrap();
         let mut set = DpuSet::alloc_vm(vm.frontends(), 4, CostModel::default()).unwrap();
         let virt = Checksum::run(&mut set, 16 << 10, 2).unwrap();
         assert!(virt.verified);

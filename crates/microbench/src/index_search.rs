@@ -154,6 +154,30 @@ impl IndexSearch {
         machine.register_kernel(std::sync::Arc::new(IndexSearchKernel));
     }
 
+    /// Runs the search on a vPIM VM's frontends — the library form of the
+    /// `index_search` example, used by the load harness to script the
+    /// UPIS workload ([`IndexSearchParams::paper`] for full scale) into a
+    /// tenant session. Returns the run plus its virtual cost.
+    ///
+    /// # Errors
+    ///
+    /// [`SdkError::NotEnoughDpus`] when the frontends cannot cover
+    /// `nr_dpus`, or transport failures.
+    pub fn run_vm(
+        frontends: &[std::sync::Arc<vpim::Frontend>],
+        nr_dpus: usize,
+        params: &IndexSearchParams,
+        seed: u64,
+    ) -> Result<(SearchRun, simkit::VirtualNanos), SdkError> {
+        let cm = frontends
+            .first()
+            .map_or_else(simkit::CostModel::default, |f| f.cost_model().clone());
+        let mut set = DpuSet::alloc_vm(frontends, nr_dpus, cm)?;
+        let run = Self::run(&mut set, params, seed)?;
+        let cost = set.timeline().app_total();
+        Ok((run, cost))
+    }
+
     /// Generates the synthetic corpus (skewed word distribution).
     #[must_use]
     pub fn corpus(params: &IndexSearchParams, seed: u64) -> Vec<Vec<u32>> {
@@ -384,8 +408,8 @@ mod tests {
             let mut set = DpuSet::alloc_native(&driver, 8, CostModel::default()).unwrap();
             IndexSearch::run(&mut set, &params, 5).unwrap()
         };
-        let sys = vpim::VpimSystem::start(driver, vpim::VpimConfig::full());
-        let vm = sys.launch_vm("vm-is", 1).unwrap();
+        let sys = vpim::VpimSystem::start(driver, vpim::VpimConfig::full(), vpim::StartOpts::default());
+        let vm = sys.launch(vpim::TenantSpec::new("vm-is")).unwrap();
         let mut set = DpuSet::alloc_vm(vm.frontends(), 8, CostModel::default()).unwrap();
         let virt = IndexSearch::run(&mut set, &params, 5).unwrap();
         assert!(virt.verified);

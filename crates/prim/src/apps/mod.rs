@@ -40,8 +40,8 @@ pub(crate) mod testutil {
         };
         assert!(native.verified, "{}: native run failed verification", app.name());
 
-        let sys = vpim::VpimSystem::start(driver, vpim::VpimConfig::full());
-        let vm = sys.launch_vm("vm-prim", 1).unwrap();
+        let sys = vpim::VpimSystem::start(driver, vpim::VpimConfig::full(), vpim::StartOpts::default());
+        let vm = sys.launch(vpim::TenantSpec::new("vm-prim")).unwrap();
         let mut set = DpuSet::alloc_vm(vm.frontends(), 8, CostModel::default()).unwrap();
         let virt = app.run(&mut set, &scale, 7).unwrap();
         assert!(virt.verified, "{}: vPIM run failed verification", app.name());

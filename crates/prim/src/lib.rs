@@ -30,8 +30,10 @@
 
 pub mod apps;
 pub mod common;
+pub mod workload;
 
 pub use common::{AppRun, PrimApp, ScaleParams};
+pub use workload::{run_on_vm, WorkloadRun};
 
 use std::sync::Arc;
 

@@ -1,0 +1,78 @@
+//! PrIM applications as library workloads on a running vPIM VM.
+//!
+//! The figure harness and the examples drive PrIM through their own
+//! `DpuSet` plumbing; the load harness (`vpim::load`) instead needs a
+//! one-call entry point it can script into a tenant session: *run this
+//! app at this scale on these frontends and tell me the virtual cost*.
+//! That is [`run_on_vm`].
+
+use std::sync::Arc;
+
+use simkit::{CostModel, VirtualNanos};
+use upmem_sdk::{DpuSet, SdkError};
+use vpim::frontend::Frontend;
+
+use crate::common::{AppRun, PrimApp, ScaleParams};
+
+/// One application execution on a VM: the verified result plus the
+/// virtual time the whole run cost (allocation to last retrieval).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkloadRun {
+    /// Verification flag and checksum from the application.
+    pub app: AppRun,
+    /// Virtual cost of the run, from the set's timeline. Derived from
+    /// work descriptions only, so a given `(app, scale, seed, nr_dpus)`
+    /// always costs the same — the property the load harness's
+    /// determinism invariant leans on.
+    pub cost: VirtualNanos,
+}
+
+/// Runs `app` over `nr_dpus` DPUs of a VM's `frontends` at `scale` with
+/// `seed`, through the same `DpuSet` path the benchmarks use. The cost
+/// model is taken from the first frontend so the VM's configuration wins.
+///
+/// # Errors
+///
+/// [`SdkError::NotEnoughDpus`] when the frontends cannot cover `nr_dpus`,
+/// or whatever the application surfaces.
+pub fn run_on_vm(
+    app: &dyn PrimApp,
+    frontends: &[Arc<Frontend>],
+    nr_dpus: usize,
+    scale: &ScaleParams,
+    seed: u64,
+) -> Result<WorkloadRun, SdkError> {
+    let cm = frontends.first().map_or_else(CostModel::default, |f| f.cost_model().clone());
+    let mut set = DpuSet::alloc_vm(frontends, nr_dpus, cm)?;
+    let run = app.run(&mut set, scale, seed)?;
+    let cost = set.timeline().app_total();
+    Ok(WorkloadRun { app: run, cost })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use upmem_driver::UpmemDriver;
+    use upmem_sim::{PimConfig, PimMachine};
+    use vpim::{StartOpts, TenantSpec, VpimConfig, VpimSystem};
+
+    #[test]
+    fn runs_va_on_a_vm_deterministically() {
+        let machine = PimMachine::new(PimConfig::small());
+        crate::register_all(&machine);
+        let sys = VpimSystem::start(
+            Arc::new(UpmemDriver::new(machine)),
+            VpimConfig::full(),
+            StartOpts::default(),
+        );
+        let vm = sys.launch(TenantSpec::new("wl").mem_mib(64)).unwrap();
+        let va = crate::by_name("va").unwrap();
+        let a = run_on_vm(&*va, vm.frontends(), 4, &ScaleParams::tiny(), 11).unwrap();
+        let b = run_on_vm(&*va, vm.frontends(), 4, &ScaleParams::tiny(), 11).unwrap();
+        assert!(a.app.verified);
+        assert_eq!(a, b, "same inputs must cost the same virtual time");
+        assert!(a.cost > VirtualNanos::ZERO);
+        drop(vm);
+        sys.shutdown();
+    }
+}

@@ -219,25 +219,68 @@ impl VtHistogram {
         std::array::from_fn(|i| self.0.buckets[i].load(Ordering::Relaxed))
     }
 
-    /// An upper bound below which `quantile` of the samples fall (bucket
-    /// resolution). Zero when empty.
-    #[must_use]
-    pub fn quantile_upper_bound(&self, quantile: f64) -> VirtualNanos {
+    /// Folds another histogram's mass into this one, bucket by bucket —
+    /// how a run-local histogram is mirrored into a registry-wide one.
+    pub fn merge_from(&self, other: &VtHistogram) {
+        for (i, c) in other.buckets().into_iter().enumerate() {
+            if c > 0 {
+                self.0.buckets[i].fetch_add(c, Ordering::Relaxed);
+            }
+        }
+        self.0.total_ns.fetch_add(other.0.total_ns.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// The bucket index, within-bucket rank and bucket count covering the
+    /// `p`-quantile sample, or `None` when the histogram is empty.
+    fn covering_bucket(&self, p: f64) -> Option<(usize, u64, u64)> {
         let counts = self.buckets();
         let total: u64 = counts.iter().sum();
         if total == 0 {
-            return VirtualNanos::ZERO;
+            return None;
         }
-        let want = (quantile.clamp(0.0, 1.0) * total as f64).ceil() as u64;
+        let want = ((p.clamp(0.0, 1.0) * total as f64).ceil() as u64).clamp(1, total);
         let mut seen = 0;
         for (i, c) in counts.iter().enumerate() {
-            seen += c;
-            if seen >= want.max(1) {
-                let bound = if i >= 63 { u64::MAX } else { (2u64 << i) - 1 };
-                return VirtualNanos::from_nanos(bound);
+            if seen + c >= want {
+                return Some((i, want - seen, *c));
             }
+            seen += c;
         }
-        VirtualNanos::MAX
+        None
+    }
+
+    /// The `p`-quantile of the recorded samples (`p` clamped to `[0, 1]`),
+    /// estimated by linear interpolation inside the covering log2 bucket.
+    /// Zero when empty.
+    ///
+    /// **Exactness bound:** the true order statistic falls in the same
+    /// bucket `[2^i, 2^(i+1))`, so the estimate is always within a factor
+    /// of 2 of the exact quantile — and the computation is pure integer
+    /// arithmetic, so identical bucket contents yield a bit-identical
+    /// result regardless of recording order or thread count.
+    #[must_use]
+    pub fn quantile(&self, p: f64) -> VirtualNanos {
+        let Some((i, rank, c)) = self.covering_bucket(p) else {
+            return VirtualNanos::ZERO;
+        };
+        let lo: u64 = if i == 0 { 0 } else { 1u64 << i };
+        let hi: u64 = if i >= 63 { u64::MAX } else { (1u64 << (i + 1)) - 1 };
+        let span = hi - lo;
+        // rank ∈ [1, c]: interpolate to the bucket's upper edge at rank == c.
+        let off = ((u128::from(span) * u128::from(rank)) / u128::from(c.max(1))) as u64;
+        VirtualNanos::from_nanos(lo + off)
+    }
+
+    /// An upper bound below which `quantile` of the samples fall (bucket
+    /// resolution). Zero when empty.
+    #[deprecated(note = "use `quantile(p)`; it interpolates inside the bucket")]
+    #[must_use]
+    pub fn quantile_upper_bound(&self, quantile: f64) -> VirtualNanos {
+        let Some((i, _, _)) = self.covering_bucket(quantile) else {
+            return VirtualNanos::ZERO;
+        };
+        let bound = if i >= 63 { u64::MAX } else { (2u64 << i) - 1 };
+        VirtualNanos::from_nanos(bound)
     }
 }
 
@@ -269,13 +312,15 @@ pub enum MetricValue {
     Level(i64),
     /// Accumulated virtual time.
     Time(VirtualNanos),
-    /// Histogram summary: sample count, time total, bucket-resolution p99.
+    /// Histogram summary: sample count, time total, interpolated p99
+    /// ([`VtHistogram::quantile`]).
     Histogram {
         /// Samples recorded.
         count: u64,
         /// Sum of all samples.
         total: VirtualNanos,
-        /// Bucket-resolution 99th-percentile upper bound.
+        /// 99th percentile, interpolated inside its log2 bucket (within 2×
+        /// of the exact order statistic).
         p99: VirtualNanos,
     },
 }
@@ -287,7 +332,7 @@ impl fmt::Display for MetricValue {
             MetricValue::Level(v) => write!(f, "{v}"),
             MetricValue::Time(d) => write!(f, "{d}"),
             MetricValue::Histogram { count, total, p99 } => {
-                write!(f, "n={count} total={total} p99<={p99}")
+                write!(f, "n={count} total={total} p99~{p99}")
             }
         }
     }
@@ -471,7 +516,7 @@ impl MetricsRegistry {
                         Slot::Histogram(h) => MetricValue::Histogram {
                             count: h.count(),
                             total: h.total(),
-                            p99: h.quantile_upper_bound(0.99),
+                            p99: h.quantile(0.99),
                         },
                     };
                     (name.clone(), value)
@@ -783,9 +828,45 @@ mod tests {
         assert_eq!(h.total().as_nanos(), 1_001_006);
         assert!(h.mean().as_nanos() > 0);
         // The median sample (3 ns) falls in bucket [2,4).
-        assert!(h.quantile_upper_bound(0.5).as_nanos() <= 7);
-        assert!(h.quantile_upper_bound(1.0).as_nanos() >= 1_000_000);
-        assert_eq!(VtHistogram::new().quantile_upper_bound(0.99), VirtualNanos::ZERO);
+        assert!(h.quantile(0.5).as_nanos() <= 7);
+        assert!(h.quantile(1.0).as_nanos() >= 1_000_000);
+        assert_eq!(VtHistogram::new().quantile(0.99), VirtualNanos::ZERO);
+        #[allow(deprecated)]
+        {
+            assert!(h.quantile_upper_bound(0.5).as_nanos() <= 7);
+            assert_eq!(VtHistogram::new().quantile_upper_bound(0.99), VirtualNanos::ZERO);
+        }
+    }
+
+    #[test]
+    fn quantile_is_within_a_factor_of_two_of_the_exact_order_statistic() {
+        // A deterministic long-tailed sample set exercising many buckets.
+        let h = VtHistogram::new();
+        let mut samples: Vec<u64> = Vec::new();
+        let mut x = 0x9E37_79B9u64;
+        for _ in 0..5000 {
+            x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            // Spread over ~20 octaves.
+            let s = 1 + (x >> 44) % (1 << 20);
+            samples.push(s);
+            h.record(VirtualNanos::from_nanos(s));
+        }
+        samples.sort_unstable();
+        for p in [0.5, 0.9, 0.99, 0.999] {
+            let idx = ((p * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+            let exact = samples[idx - 1];
+            let est = h.quantile(p).as_nanos();
+            // Same log2 bucket ⇒ strictly within a factor of 2.
+            assert!(est >= exact / 2 && est <= exact * 2, "p={p}: est {est} vs exact {exact}");
+            // And inside the covering bucket's range.
+            let bucket = 63 - exact.leading_zeros();
+            assert!(est >= 1 << bucket && est < (1u64 << (bucket + 1)), "p={p}");
+        }
+        // Degenerate single-bucket histogram: interpolation stays in range.
+        let one = VtHistogram::new();
+        one.record(VirtualNanos::from_nanos(5));
+        let q = one.quantile(0.5).as_nanos();
+        assert!((4..8).contains(&q), "got {q}");
     }
 
     #[test]

@@ -591,7 +591,7 @@ mod tests {
     use upmem_sim::error::DpuFault;
     use upmem_sim::kernel::{DpuKernel, KernelImage, SymbolDef};
     use upmem_sim::{DpuContext, PimConfig, PimMachine};
-    use vpim::{VpimConfig, VpimSystem};
+    use vpim::{StartOpts, TenantSpec, VpimConfig, VpimSystem};
 
     /// The paper's Fig. 2 kernel: count zeroes in a partition.
     struct CountZeroes;
@@ -689,8 +689,8 @@ mod tests {
     #[test]
     fn virtualized_count_zeroes_matches_native_results() {
         let driver = Arc::new(upmem_driver::UpmemDriver::new(machine()));
-        let sys = VpimSystem::start(driver, VpimConfig::full());
-        let vm = sys.launch_vm("vm-0", 2).unwrap();
+        let sys = VpimSystem::start(driver, VpimConfig::full(), StartOpts::default());
+        let vm = sys.launch(TenantSpec::new("vm-0").devices(2)).unwrap();
         let mut set =
             DpuSet::alloc_vm(vm.frontends(), 12, CostModel::default()).unwrap();
         let zeroes = count_zero_program(&mut set, 256);
@@ -708,8 +708,8 @@ mod tests {
         let native_total = native.timeline().app_total();
         drop(native);
 
-        let sys = VpimSystem::start(driver, VpimConfig::full());
-        let vm = sys.launch_vm("vm-0", 1).unwrap();
+        let sys = VpimSystem::start(driver, VpimConfig::full(), StartOpts::default());
+        let vm = sys.launch(TenantSpec::new("vm-0")).unwrap();
         let mut virt = DpuSet::alloc_vm(vm.frontends(), 8, CostModel::default()).unwrap();
         let _ = count_zero_program(&mut virt, 2048);
         let virt_total = virt.timeline().app_total();
@@ -723,8 +723,8 @@ mod tests {
     #[test]
     fn serial_copy_roundtrip_and_prefetch_hits() {
         let driver = Arc::new(upmem_driver::UpmemDriver::new(machine()));
-        let sys = VpimSystem::start(driver, VpimConfig::full());
-        let vm = sys.launch_vm("vm-0", 1).unwrap();
+        let sys = VpimSystem::start(driver, VpimConfig::full(), StartOpts::default());
+        let vm = sys.launch(TenantSpec::new("vm-0")).unwrap();
         let mut set = DpuSet::alloc_vm(vm.frontends(), 4, CostModel::default()).unwrap();
         set.copy_to_heap(2, 64, &[9u8; 512]).unwrap();
         // Many small reads over the same region: first misses, rest hit.
@@ -769,11 +769,8 @@ mod tests {
     fn multi_rank_per_rank_offsets_follow_dispatch_mode() {
         let driver = Arc::new(upmem_driver::UpmemDriver::new(machine()));
         // Sequential variant (vPIM-Seq): completion offsets accumulate.
-        let sys = VpimSystem::start(
-            driver.clone(),
-            vpim::VpimConfig::variant_config(vpim::Variant::VpimSeq),
-        );
-        let vm = sys.launch_vm("vm-0", 2).unwrap();
+        let sys = VpimSystem::start(driver.clone(), vpim::VpimConfig::variant_config(vpim::Variant::VpimSeq), StartOpts::default());
+        let vm = sys.launch(TenantSpec::new("vm-0").devices(2)).unwrap();
         let mut set = DpuSet::alloc_vm(vm.frontends(), 16, CostModel::default()).unwrap();
         let bufs: Vec<Vec<u8>> = (0..16).map(|_| vec![7u8; 8192]).collect();
         set.push_to_heap(0, &bufs).unwrap();

@@ -13,7 +13,7 @@ use simkit::{AppSegment, CostModel, DriverSegment};
 use upmem_driver::UpmemDriver;
 use upmem_sdk::DpuSet;
 use upmem_sim::{PimConfig, PimMachine};
-use vpim::{Variant, VpimConfig, VpimSystem};
+use vpim::prelude::*;
 
 fn main() {
     let machine = PimMachine::new(PimConfig {
@@ -39,8 +39,8 @@ fn main() {
 
     // The same demo, unmodified, inside VMs of three vPIM variants.
     for variant in [Variant::VpimRust, Variant::VpimC, Variant::Vpim] {
-        let sys = VpimSystem::start(driver.clone(), VpimConfig::variant_config(variant));
-        let vm = sys.launch_vm("checksum-vm", 1).expect("vm");
+        let sys = VpimSystem::start(driver.clone(), VpimConfig::variant_config(variant), StartOpts::default());
+        let vm = sys.launch(TenantSpec::new("checksum-vm")).expect("vm");
         let mut set = DpuSet::alloc_vm(vm.frontends(), dpus, CostModel::default()).expect("alloc");
         let run = Checksum::run(&mut set, file_bytes, 42).expect("checksum");
         assert!(run.verified && run.value == native_value);

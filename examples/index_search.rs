@@ -13,7 +13,7 @@ use simkit::CostModel;
 use upmem_driver::UpmemDriver;
 use upmem_sdk::DpuSet;
 use upmem_sim::{PimConfig, PimMachine};
-use vpim::{VpimConfig, VpimSystem};
+use vpim::prelude::*;
 
 fn main() {
     let machine = PimMachine::new(PimConfig {
@@ -47,8 +47,8 @@ fn main() {
             (run.total_hits, set.timeline().app_total())
         };
         // vPIM.
-        let sys = VpimSystem::start(driver.clone(), VpimConfig::full());
-        let vm = sys.launch_vm("search-vm", dpus.div_ceil(16)).expect("vm");
+        let sys = VpimSystem::start(driver.clone(), VpimConfig::full(), StartOpts::default());
+        let vm = sys.launch(TenantSpec::new("search-vm").devices(dpus.div_ceil(16))).expect("vm");
         let mut set = DpuSet::alloc_vm(vm.frontends(), dpus, CostModel::default()).expect("alloc");
         let run = IndexSearch::run(&mut set, &params, 42).expect("search");
         assert!(run.verified && run.total_hits == native_hits);

@@ -15,7 +15,7 @@ use upmem_driver::UpmemDriver;
 use upmem_sdk::DpuSet;
 use upmem_sim::{PimConfig, PimMachine};
 use vpim::manager::RankState;
-use vpim::{VpimConfig, VpimSystem};
+use vpim::prelude::*;
 
 fn states(sys: &VpimSystem) -> String {
     sys.manager()
@@ -41,13 +41,13 @@ fn main() {
     let native_app = driver.open_perf(0, "native:analytics").expect("native claim");
     native_app.write_dpu(0, 0, b"native tenant data").expect("native write");
 
-    let sys = VpimSystem::start(driver.clone(), VpimConfig::full());
+    let sys = VpimSystem::start(driver.clone(), VpimConfig::full(), StartOpts::default());
     std::thread::sleep(Duration::from_millis(100)); // observer notices the native claim
     println!("after native app claim:   {}", states(&sys));
 
     // Two VMs book ranks through the manager.
-    let vm_a = sys.launch_vm("tenant-a", 1).expect("vm a");
-    let vm_b = sys.launch_vm("tenant-b", 2).expect("vm b");
+    let vm_a = sys.launch(TenantSpec::new("tenant-a")).expect("vm a");
+    let vm_b = sys.launch(TenantSpec::new("tenant-b").devices(2)).expect("vm b");
     println!("after tenant VMs booked:  {}", states(&sys));
 
     // Tenant A leaves secrets in its rank, then releases it.
@@ -68,7 +68,7 @@ fn main() {
     println!("after tenant A released:  {}", states(&sys));
 
     // The next tenant cannot see tenant A's data.
-    let vm_c = sys.launch_vm("tenant-c", 1).expect("vm c");
+    let vm_c = sys.launch(TenantSpec::new("tenant-c")).expect("vm c");
     let mut set = DpuSet::alloc_vm(vm_c.frontends(), 8, CostModel::default()).expect("alloc");
     let back = set.copy_from_heap(0, 0, 23).expect("read");
     assert_eq!(back, vec![0u8; 23], "rank content must be erased between tenants");

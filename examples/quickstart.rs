@@ -14,7 +14,7 @@ use upmem_sim::dpu::MRAM_HEAP_BASE;
 use upmem_sim::error::DpuFault;
 use upmem_sim::kernel::{DpuKernel, KernelImage, SymbolDef};
 use upmem_sim::{DpuContext, PimConfig, PimMachine};
-use vpim::{VpimConfig, VpimSystem};
+use vpim::prelude::*;
 
 /// The DPU-side program of Fig. 2(b): each tasklet scans its slice of the
 /// partition and accumulates into the `zero_count` host variable.
@@ -98,8 +98,8 @@ fn main() {
     };
 
     // --- The same code inside a vPIM VM.
-    let sys = VpimSystem::start(driver, VpimConfig::full());
-    let vm = sys.launch_vm("quickstart-vm", 1).expect("launch VM");
+    let sys = VpimSystem::start(driver, VpimConfig::full(), StartOpts::default());
+    let vm = sys.launch(TenantSpec::new("quickstart-vm")).expect("launch VM");
     let mut set = DpuSet::alloc_vm(vm.frontends(), 8, CostModel::default()).expect("alloc");
     let zeroes = count_zero(&mut set, &array);
     let virt = set.timeline().app_total();

@@ -11,6 +11,8 @@
 //! * [`upmem_sdk`] — the host SDK mirror,
 //! * [`prim`] / [`microbench`] — the evaluation workloads.
 
+pub mod loadmix;
+
 pub use microbench;
 pub use pim_virtio;
 pub use pim_vmm;

@@ -21,7 +21,7 @@ use upmem_driver::UpmemDriver;
 use upmem_sim::error::DpuFault;
 use upmem_sim::kernel::{DpuKernel, KernelImage};
 use upmem_sim::{DpuContext, PimConfig, PimMachine};
-use vpim::{FaultSite, VpimConfig, VpimSystem, VpimVm};
+use vpim::{FaultSite, StartOpts, TenantSpec, VpimConfig, VpimSystem, VpimVm};
 
 /// A kernel that always succeeds — DPU faults in this suite come from the
 /// fault plane, not from kernel logic.
@@ -65,8 +65,8 @@ fn chaos_system(parallel: bool, seed: u64) -> (VpimSystem, VpimVm, Arc<FaultPlan
         .parallel(parallel)
         .inject_seed(seed)
         .build();
-    let sys = VpimSystem::start(host(), vcfg);
-    let vm = sys.launch_vm("chaos", 1).unwrap();
+    let sys = VpimSystem::start(host(), vcfg, StartOpts::default());
+    let vm = sys.launch(TenantSpec::new("chaos")).unwrap();
     let plane = sys.fault_plane().expect("inject enabled").clone();
     (sys, vm, plane)
 }
@@ -376,9 +376,9 @@ fn transient_manager_rpc_is_retried_during_linking() {
             .inject_seed(seed)
             .inject_fault(FaultSite::ManagerRpc, FaultPlan::Nth(1))
             .build();
-        let sys = VpimSystem::start(host(), vcfg);
+        let sys = VpimSystem::start(host(), vcfg, StartOpts::default());
         // The very first alloc RPC fails injected; the retry links anyway.
-        let vm = sys.launch_vm("chaos", 1).unwrap();
+        let vm = sys.launch(TenantSpec::new("chaos")).unwrap();
         let fe = vm.frontend(0);
         let data = payload(0, 4096, seed);
         fe.write_rank(&[(0, 0, &data)]).unwrap();
@@ -414,8 +414,8 @@ fn persistent_manager_fault_gives_up_typed() {
         .inject_seed(seed)
         .inject_fault(FaultSite::ManagerRpc, FaultPlan::EveryK(1))
         .build();
-    let sys = VpimSystem::start(host(), vcfg);
-    let err = sys.launch_vm("chaos", 1).unwrap_err();
+    let sys = VpimSystem::start(host(), vcfg, StartOpts::default());
+    let err = sys.launch(TenantSpec::new("chaos")).unwrap_err();
     // The injected kind survives the virtio crossing (Remote) or surfaces
     // directly, depending on where linking failed.
     assert_eq!(err.kind(), ErrorKind::Injected, "{err}");
@@ -498,9 +498,9 @@ fn seeded_probability_storm_only_ever_fails_typed() {
 /// to a plain run.
 #[test]
 fn disabled_injection_is_pure_passthrough() {
-    let sys = VpimSystem::start(host(), VpimConfig::full());
+    let sys = VpimSystem::start(host(), VpimConfig::full(), StartOpts::default());
     assert!(sys.fault_plane().is_none());
-    let vm = sys.launch_vm("plain", 1).unwrap();
+    let vm = sys.launch(TenantSpec::new("plain")).unwrap();
     let fe = vm.frontend(0);
     let data = payload(0, 4096, 7);
     fe.write_rank(&[(0, 0, &data)]).unwrap();

@@ -14,7 +14,7 @@ use std::thread;
 use microbench::checksum::{self, Checksum};
 use upmem_driver::UpmemDriver;
 use upmem_sim::{PimConfig, PimMachine};
-use vpim::{VpimConfig, VpimSystem};
+use vpim::{StartOpts, TenantSpec, VpimConfig, VpimSystem};
 
 const ROUNDS: usize = 6;
 const THREADS_PER_DEVICE: usize = 2;
@@ -53,11 +53,11 @@ fn stress_many_vms_many_ranks_many_client_threads() {
     // Direct requests only (no batching/prefetch absorption) so every
     // client call maps to exactly one virtqueue request.
     let vcfg = VpimConfig::builder().batching(false).prefetch(false).parallel(true).build();
-    let sys = VpimSystem::start(driver, vcfg);
+    let sys = VpimSystem::start(driver, vcfg, StartOpts::default());
 
     let mut vms = Vec::new();
     for v in 0..VMS {
-        vms.push(sys.launch_vm(&format!("stress-{v}"), DEVICES_PER_VM).unwrap());
+        vms.push(sys.launch(TenantSpec::new(format!("stress-{v}")).devices(DEVICES_PER_VM)).unwrap());
     }
     // Load the checksum kernel once per device (1 request each).
     for vm in &vms {
@@ -188,8 +188,8 @@ fn concurrent_threads_share_one_frontend_without_losing_completions() {
     // maximal contention on the shared completions map and used ring.
     let driver = host(1);
     let vcfg = VpimConfig::builder().batching(false).prefetch(false).parallel(true).build();
-    let sys = VpimSystem::start(driver, vcfg);
-    let vm = sys.launch_vm("contend", 1).unwrap();
+    let sys = VpimSystem::start(driver, vcfg, StartOpts::default());
+    let vm = sys.launch(TenantSpec::new("contend")).unwrap();
     let fe = vm.frontend(0);
 
     thread::scope(|s| {

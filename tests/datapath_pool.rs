@@ -14,7 +14,7 @@ use std::sync::Arc;
 
 use upmem_driver::UpmemDriver;
 use upmem_sim::{PimConfig, PimMachine};
-use vpim::{OpReport, VpimConfig, VpimSystem};
+use vpim::{OpReport, StartOpts, TenantSpec, VpimConfig, VpimSystem};
 
 const RANKS: usize = 2;
 const DPUS_PER_RANK: usize = 8;
@@ -47,8 +47,8 @@ type PoolTotals = (u64, u64, u64, i64);
 /// Runs `rounds` of full-rank write+read on every rank and returns the
 /// reports, the read-back payloads, and the pool counters.
 fn run(parallel: bool, rounds: usize) -> (Vec<OpReport>, Vec<Vec<u8>>, PoolTotals) {
-    let sys = VpimSystem::start(host(), config(parallel));
-    let vm = sys.launch_vm("pool", RANKS).unwrap();
+    let sys = VpimSystem::start(host(), config(parallel), StartOpts::default());
+    let vm = sys.launch(TenantSpec::new("pool").devices(RANKS)).unwrap();
     let mut reports = Vec::new();
     let mut outputs = Vec::new();
     for round in 0..rounds {

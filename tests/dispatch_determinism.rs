@@ -12,7 +12,7 @@ use simkit::CostModel;
 use upmem_driver::UpmemDriver;
 use upmem_sdk::DpuSet;
 use upmem_sim::{PimConfig, PimMachine};
-use vpim::{OpReport, VpimConfig, VpimSystem};
+use vpim::{OpReport, StartOpts, TenantSpec, VpimConfig, VpimSystem};
 
 const RANKS: usize = 4;
 const DPUS_PER_RANK: usize = 8;
@@ -45,8 +45,8 @@ fn payload(rank: usize, dpu: u32) -> Vec<u8> {
 /// to every rank, read it back. Returns every per-request report and every
 /// payload read back.
 fn run_rank_ops(parallel: bool) -> (Vec<OpReport>, Vec<Vec<Vec<u8>>>) {
-    let sys = VpimSystem::start(host(), config(parallel));
-    let vm = sys.launch_vm("det", RANKS).unwrap();
+    let sys = VpimSystem::start(host(), config(parallel), StartOpts::default());
+    let vm = sys.launch(TenantSpec::new("det").devices(RANKS)).unwrap();
     let mut reports = Vec::new();
     let mut outputs = Vec::new();
     for (r, fe) in vm.frontends().iter().enumerate() {
@@ -94,8 +94,8 @@ fn per_request_reports_and_payloads_identical_across_dispatch_modes() {
 /// figure-relevant numbers: verification result, checksum value, app/driver
 /// timeline, and the Fig. 16 per-rank completion offsets.
 fn run_checksum(parallel: bool) -> (bool, u32, simkit::Timeline, Vec<(usize, u64)>) {
-    let sys = VpimSystem::start(host(), config(parallel));
-    let vm = sys.launch_vm("det", RANKS).unwrap();
+    let sys = VpimSystem::start(host(), config(parallel), StartOpts::default());
+    let vm = sys.launch(TenantSpec::new("det").devices(RANKS)).unwrap();
     let mut set =
         DpuSet::alloc_vm(vm.frontends(), RANKS * DPUS_PER_RANK, CostModel::default())
             .unwrap();

@@ -8,7 +8,7 @@ use simkit::{AppSegment, CostModel};
 use upmem_driver::UpmemDriver;
 use upmem_sdk::DpuSet;
 use upmem_sim::{PimConfig, PimMachine};
-use vpim::{VpimConfig, VpimSystem};
+use vpim::{StartOpts, TenantSpec, VpimConfig, VpimSystem};
 
 fn testbed() -> Arc<UpmemDriver> {
     let machine = PimMachine::new(PimConfig {
@@ -36,8 +36,8 @@ fn prim_apps_run_unmodified_on_60_dpus_under_vpim() {
             let mut set = DpuSet::alloc_native(&driver, 60, CostModel::default()).unwrap();
             app.run(&mut set, &scale, 9).unwrap()
         };
-        let sys = VpimSystem::start(driver.clone(), VpimConfig::full());
-        let vm = sys.launch_vm("e2e", 1).unwrap();
+        let sys = VpimSystem::start(driver.clone(), VpimConfig::full(), StartOpts::default());
+        let vm = sys.launch(TenantSpec::new("e2e")).unwrap();
         let mut set = DpuSet::alloc_vm(vm.frontends(), 60, CostModel::default()).unwrap();
         let virt = app.run(&mut set, &scale, 9).unwrap();
         assert!(native.verified && virt.verified, "{name} verification");
@@ -102,8 +102,8 @@ fn vpim_overhead_within_paper_regime_for_parallel_apps() {
             app.run(&mut set, &scale, 3).unwrap();
             set.timeline().app_total()
         };
-        let sys = VpimSystem::start(driver.clone(), VpimConfig::full());
-        let vm = sys.launch_vm("e2e", 1).unwrap();
+        let sys = VpimSystem::start(driver.clone(), VpimConfig::full(), StartOpts::default());
+        let vm = sys.launch(TenantSpec::new("e2e")).unwrap();
         let mut set = DpuSet::alloc_vm(vm.frontends(), 60, CostModel::default()).unwrap();
         app.run(&mut set, &scale, 3).unwrap();
         let virt_t = set.timeline().app_total();
@@ -121,8 +121,8 @@ fn checksum_microbenchmark_op_mix_matches_paper() {
     // §5.3.1: one write-to-rank, one read-from-rank per DPU, thousands of
     // CI operations.
     let driver = testbed();
-    let sys = VpimSystem::start(driver, VpimConfig::full());
-    let vm = sys.launch_vm("ck", 1).unwrap();
+    let sys = VpimSystem::start(driver, VpimConfig::full(), StartOpts::default());
+    let vm = sys.launch(TenantSpec::new("ck")).unwrap();
     let mut set = DpuSet::alloc_vm(vm.frontends(), 60, CostModel::default()).unwrap();
     let run = microbench::Checksum::run(&mut set, 1 << 20, 11).unwrap();
     assert!(run.verified);

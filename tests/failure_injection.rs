@@ -15,7 +15,7 @@ use upmem_sdk::{DpuSet, SdkError};
 use upmem_sim::error::DpuFault;
 use upmem_sim::kernel::{DpuKernel, KernelImage, SymbolDef};
 use upmem_sim::{DpuContext, PimConfig, PimMachine};
-use vpim::{FaultSite, VpimConfig, VpimSystem};
+use vpim::{FaultSite, StartOpts, TenantSpec, VpimConfig, VpimSystem};
 
 /// Legacy guard: a kernel that faults on demand (division-by-zero style).
 /// Every other fault scenario goes through the fault plane; this one stays
@@ -94,8 +94,8 @@ fn host() -> Arc<UpmemDriver> {
 }
 
 fn vm_set(driver: &Arc<UpmemDriver>) -> (VpimSystem, vpim::VpimVm) {
-    let sys = VpimSystem::start(driver.clone(), VpimConfig::full());
-    let vm = sys.launch_vm("fi", 1).unwrap();
+    let sys = VpimSystem::start(driver.clone(), VpimConfig::full(), StartOpts::default());
+    let vm = sys.launch(TenantSpec::new("fi")).unwrap();
     (sys, vm)
 }
 
@@ -106,8 +106,8 @@ fn chaos_set(driver: &Arc<UpmemDriver>, seed: u64) -> (VpimSystem, vpim::VpimVm)
         .prefetch(false)
         .inject_seed(seed)
         .build();
-    let sys = VpimSystem::start(driver.clone(), vcfg);
-    let vm = sys.launch_vm("fi-chaos", 1).unwrap();
+    let sys = VpimSystem::start(driver.clone(), vcfg, StartOpts::default());
+    let vm = sys.launch(TenantSpec::new("fi-chaos")).unwrap();
     (sys, vm)
 }
 
@@ -303,9 +303,9 @@ fn guest_memory_exhaustion_is_an_error_not_a_hang() {
     // A tiny VM cannot stage a huge transfer matrix; the frontend must
     // return an allocator error.
     let driver = host();
-    let sys = VpimSystem::start(driver, VpimConfig::full());
+    let sys = VpimSystem::start(driver, VpimConfig::full(), StartOpts::default());
     let vm = sys
-        .launch_vm_with_memory("tiny", 1, 16) // 16 MiB guest
+        .launch(TenantSpec::new("tiny").mem_mib(16)) // 16 MiB guest
         .unwrap();
     let mut set = DpuSet::alloc_vm(vm.frontends(), 8, CostModel::default()).unwrap();
     let too_big = vec![0u8; 4 << 20];

@@ -8,14 +8,14 @@ use simkit::CostModel;
 use upmem_driver::UpmemDriver;
 use upmem_sdk::DpuSet;
 use upmem_sim::{PimConfig, PimMachine};
-use vpim::{VpimConfig, VpimSystem};
+use vpim::{StartOpts, TenantSpec, VpimConfig, VpimSystem};
 
 fn stack() -> (VpimSystem, vpim::VpimVm) {
     let machine = PimMachine::new(PimConfig::small());
     microbench::Checksum::register(&machine);
     let driver = Arc::new(UpmemDriver::new(machine));
-    let sys = VpimSystem::start(driver, VpimConfig::full());
-    let vm = sys.launch_vm("fb", 1).unwrap();
+    let sys = VpimSystem::start(driver, VpimConfig::full(), StartOpts::default());
+    let vm = sys.launch(TenantSpec::new("fb")).unwrap();
     (sys, vm)
 }
 

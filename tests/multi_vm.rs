@@ -9,7 +9,7 @@ use upmem_driver::UpmemDriver;
 use upmem_sdk::DpuSet;
 use upmem_sim::{PimConfig, PimMachine};
 use vpim::manager::RankState;
-use vpim::{VpimConfig, VpimError, VpimSystem};
+use vpim::{StartOpts, TenantSpec, VpimConfig, VpimError, VpimSystem};
 
 fn host(ranks: usize) -> Arc<UpmemDriver> {
     let machine = PimMachine::new(PimConfig {
@@ -33,9 +33,9 @@ fn wait_for_naav(sys: &VpimSystem, rank: usize) {
 #[test]
 fn vms_never_share_a_rank_and_writes_stay_private() {
     let driver = host(2);
-    let sys = VpimSystem::start(driver.clone(), VpimConfig::full());
-    let vm_a = sys.launch_vm("a", 1).unwrap();
-    let vm_b = sys.launch_vm("b", 1).unwrap();
+    let sys = VpimSystem::start(driver.clone(), VpimConfig::full(), StartOpts::default());
+    let vm_a = sys.launch(TenantSpec::new("a")).unwrap();
+    let vm_b = sys.launch(TenantSpec::new("b")).unwrap();
     let rank_a = vm_a.devices()[0].backend().linked_rank().unwrap();
     let rank_b = vm_b.devices()[0].backend().linked_rank().unwrap();
     assert_ne!(rank_a, rank_b);
@@ -53,9 +53,9 @@ fn vms_never_share_a_rank_and_writes_stay_private() {
 #[test]
 fn released_rank_is_erased_before_reuse_by_other_tenant() {
     let driver = host(1);
-    let sys = VpimSystem::start(driver.clone(), VpimConfig::full());
+    let sys = VpimSystem::start(driver.clone(), VpimConfig::full(), StartOpts::default());
     let rank = {
-        let vm = sys.launch_vm("first", 1).unwrap();
+        let vm = sys.launch(TenantSpec::new("first")).unwrap();
         let mut set = DpuSet::alloc_vm(vm.frontends(), 4, CostModel::default()).unwrap();
         set.copy_to_heap(0, 0, b"residual secret").unwrap();
         let rank = vm.devices()[0].backend().linked_rank().unwrap();
@@ -65,7 +65,7 @@ fn released_rank_is_erased_before_reuse_by_other_tenant() {
     wait_for_naav(&sys, rank);
     assert!(sys.manager().stats().resets >= 1);
 
-    let vm = sys.launch_vm("second", 1).unwrap();
+    let vm = sys.launch(TenantSpec::new("second")).unwrap();
     let mut set = DpuSet::alloc_vm(vm.frontends(), 4, CostModel::default()).unwrap();
     assert_eq!(set.copy_from_heap(0, 0, 15).unwrap(), vec![0u8; 15]);
     drop(set);
@@ -76,18 +76,13 @@ fn released_rank_is_erased_before_reuse_by_other_tenant() {
 #[test]
 fn rank_exhaustion_is_reported_then_recovers() {
     let driver = host(1);
-    let sys = VpimSystem::start_with(
-        driver,
-        VpimConfig::full(),
-        CostModel::default(),
-        vpim::manager::ManagerConfig {
+    let sys = VpimSystem::start(driver, VpimConfig::full(), StartOpts::new().cost_model(CostModel::default()).manager(vpim::manager::ManagerConfig {
             retry_timeout: Duration::from_millis(10),
             max_attempts: 2,
             ..Default::default()
-        },
-    );
-    let vm = sys.launch_vm("holder", 1).unwrap();
-    match sys.launch_vm("hopeful", 1) {
+        }));
+    let vm = sys.launch(TenantSpec::new("holder")).unwrap();
+    match sys.launch(TenantSpec::new("hopeful")) {
         Err(VpimError::NotLinked | VpimError::NoRankAvailable) => {}
         other => panic!("expected exhaustion, got {other:?}"),
     }
@@ -95,7 +90,7 @@ fn rank_exhaustion_is_reported_then_recovers() {
     vm.release_all().unwrap();
     drop(vm);
     wait_for_naav(&sys, rank);
-    assert!(sys.launch_vm("hopeful-2", 1).is_ok());
+    assert!(sys.launch(TenantSpec::new("hopeful-2")).is_ok());
     sys.shutdown();
 }
 
@@ -106,10 +101,10 @@ fn native_applications_coexist_with_vms() {
     let native = driver.open_perf(1, "native:ml-training").unwrap();
     native.write_dpu(0, 0, &[42; 16]).unwrap();
 
-    let sys = VpimSystem::start(driver.clone(), VpimConfig::full());
+    let sys = VpimSystem::start(driver.clone(), VpimConfig::full(), StartOpts::default());
     sys.manager().sync_now();
-    let vm_a = sys.launch_vm("a", 1).unwrap();
-    let vm_b = sys.launch_vm("b", 1).unwrap();
+    let vm_a = sys.launch(TenantSpec::new("a")).unwrap();
+    let vm_b = sys.launch(TenantSpec::new("b")).unwrap();
     for vm in [&vm_a, &vm_b] {
         assert_ne!(vm.devices()[0].backend().linked_rank(), Some(1));
     }
@@ -125,7 +120,7 @@ fn native_applications_coexist_with_vms() {
 fn concurrent_allocation_requests_get_distinct_ranks() {
     // Hammer the manager's 8-thread pool from 6 threads at once.
     let driver = host(6);
-    let sys = VpimSystem::start(driver, VpimConfig::full());
+    let sys = VpimSystem::start(driver, VpimConfig::full(), StartOpts::default());
     let client = sys.manager().client();
     let handles: Vec<_> = (0..6)
         .map(|i| {
@@ -150,9 +145,9 @@ fn nana_reuse_keeps_content_for_the_same_tenant() {
     // (reuse won the race, or the reset worker did) are valid — but if the
     // manager claims reuse, the content must still be there.
     let driver = host(1);
-    let sys = VpimSystem::start(driver.clone(), VpimConfig::full());
+    let sys = VpimSystem::start(driver.clone(), VpimConfig::full(), StartOpts::default());
     {
-        let vm = sys.launch_vm("tenant", 1).unwrap();
+        let vm = sys.launch(TenantSpec::new("tenant")).unwrap();
         let mut set = DpuSet::alloc_vm(vm.frontends(), 2, CostModel::default()).unwrap();
         set.copy_to_heap(0, 0, b"mine").unwrap();
         vm.release_all().unwrap();

@@ -15,7 +15,7 @@ use simkit::{CostModel, FaultPlan};
 use upmem_driver::UpmemDriver;
 use upmem_sim::{PimConfig, PimMachine};
 use vpim::manager::ManagerConfig;
-use vpim::{FaultSite, VpimConfig, VpimSystem};
+use vpim::{FaultSite, StartOpts, TenantSpec, VpimConfig, VpimSystem};
 
 const ROUNDS: usize = 4;
 const DPUS: [u32; 2] = [0, 3];
@@ -56,9 +56,9 @@ fn pattern(vm: usize, dpu: u32, round: usize) -> Vec<u8> {
 /// written so far (so restored checkpoints are verified every round, not
 /// just at the end). Returns each tenant's final full read-back.
 fn run_tenants(vcfg: VpimConfig, ranks: usize, vms: usize) -> Vec<Vec<Vec<u8>>> {
-    let sys = VpimSystem::start_with(host(ranks), vcfg, CostModel::default(), snappy());
+    let sys = VpimSystem::start(host(ranks), vcfg, StartOpts::new().cost_model(CostModel::default()).manager(snappy()));
     let tenants: Vec<_> = (0..vms)
-        .map(|v| sys.launch_vm(&format!("vm-{v}"), 1).unwrap())
+        .map(|v| sys.launch(TenantSpec::new(format!("vm-{v}"))).unwrap())
         .collect();
     // Interleave rounds across tenants: with vms > ranks every operation
     // of an unlinked tenant preempts someone else's rank.
@@ -176,9 +176,9 @@ fn scheduler_telemetry_is_published() {
         .oversubscription(true)
         .sched_quantum_ms(0)
         .build();
-    let sys = VpimSystem::start_with(host(1), vcfg, CostModel::default(), snappy());
-    let a = sys.launch_vm("vm-a", 1).unwrap();
-    let b = sys.launch_vm("vm-b", 1).unwrap();
+    let sys = VpimSystem::start(host(1), vcfg, StartOpts::new().cost_model(CostModel::default()).manager(snappy()));
+    let a = sys.launch(TenantSpec::new("vm-a")).unwrap();
+    let b = sys.launch(TenantSpec::new("vm-b")).unwrap();
     // Bounce the rank between the tenants a few times.
     for round in 0..3u8 {
         a.frontend(0).write_rank(&[(0, 0, &[round; 64])]).unwrap();
@@ -222,9 +222,9 @@ fn checkpoint_stall_injection_preserves_bit_identical_time_sharing() {
         if stall {
             builder = builder.inject_fault(FaultSite::CkptStall, FaultPlan::EveryK(1));
         }
-        let sys = VpimSystem::start_with(host(1), builder.build(), CostModel::default(), snappy());
-        let a = sys.launch_vm("vm-a", 1).unwrap();
-        let b = sys.launch_vm("vm-b", 1).unwrap();
+        let sys = VpimSystem::start(host(1), builder.build(), StartOpts::new().cost_model(CostModel::default()).manager(snappy()));
+        let a = sys.launch(TenantSpec::new("vm-a")).unwrap();
+        let b = sys.launch(TenantSpec::new("vm-b")).unwrap();
         for round in 0..3usize {
             for (v, vm) in [(0usize, &a), (1usize, &b)] {
                 let fe = vm.frontend(0);
@@ -276,9 +276,9 @@ fn voluntary_release_evicts_parked_checkpoint_and_unblocks_waiters() {
         .oversubscription(true)
         .sched_quantum_ms(0)
         .build();
-    let sys = VpimSystem::start_with(host(1), vcfg, CostModel::default(), snappy());
-    let a = sys.launch_vm("vm-a", 1).unwrap();
-    let b = sys.launch_vm("vm-b", 1).unwrap();
+    let sys = VpimSystem::start(host(1), vcfg, StartOpts::new().cost_model(CostModel::default()).manager(snappy()));
+    let a = sys.launch(TenantSpec::new("vm-a")).unwrap();
+    let b = sys.launch(TenantSpec::new("vm-b")).unwrap();
     a.frontend(0).write_rank(&[(0, 0, &[0xAA; 128])]).unwrap();
     // vm-b's write preempts vm-a: vm-a's state is parked.
     b.frontend(0).write_rank(&[(0, 0, &[0xBB; 128])]).unwrap();

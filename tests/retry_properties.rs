@@ -14,7 +14,7 @@ use proptest::prelude::*;
 use simkit::{FaultPlan, FaultPlane, RetryPolicy, VirtualNanos};
 use upmem_driver::UpmemDriver;
 use upmem_sim::{PimConfig, PimMachine};
-use vpim::{FaultSite, VpimConfig, VpimSystem};
+use vpim::{FaultSite, StartOpts, TenantSpec, VpimConfig, VpimSystem};
 
 const POINT: &str = "prop.point";
 
@@ -176,8 +176,8 @@ fn recovered_kick_never_double_applies_a_write() {
                 .parallel(parallel)
                 .inject_seed(seed)
                 .build();
-            let sys = VpimSystem::start(host(), vcfg);
-            let vm = sys.launch_vm("prop", 1).unwrap();
+            let sys = VpimSystem::start(host(), vcfg, StartOpts::default());
+            let vm = sys.launch(TenantSpec::new("prop")).unwrap();
             let plane = sys.fault_plane().unwrap().clone();
             plane.arm(FaultSite::KickDrop.name(), FaultPlan::Nth(1));
             let fe = vm.frontend(0);

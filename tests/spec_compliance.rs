@@ -7,7 +7,7 @@ use simkit::CostModel;
 use upmem_driver::UpmemDriver;
 use upmem_sdk::DpuSet;
 use upmem_sim::{PimConfig, PimMachine};
-use vpim::{spec, VpimConfig, VpimSystem};
+use vpim::{spec, StartOpts, TenantSpec, VpimConfig, VpimSystem};
 
 fn host() -> Arc<UpmemDriver> {
     let machine = PimMachine::new(PimConfig::small());
@@ -21,8 +21,8 @@ fn device_id_is_42_with_two_queues() {
     assert_eq!(spec::DEVICE_ID, 42);
     assert_eq!(spec::TRANSFERQ_SIZE, 512);
     let driver = host();
-    let sys = VpimSystem::start(driver, VpimConfig::full());
-    let vm = sys.launch_vm("spec", 1).unwrap();
+    let sys = VpimSystem::start(driver, VpimConfig::full(), StartOpts::default());
+    let vm = sys.launch(TenantSpec::new("spec")).unwrap();
     let dev = &vm.devices()[0];
     use pim_vmm::VirtioDevice;
     assert_eq!(dev.device_id(), 42);
@@ -43,8 +43,8 @@ fn boot_cmdline_advertises_each_vupmem_device() {
     // §3.2: Firecracker passes the MMIO region and IRQ per device on the
     // kernel command line; each device adds ≤2 ms of boot time.
     let driver = host();
-    let sys = VpimSystem::start(driver, VpimConfig::full());
-    let vm = sys.launch_vm("boot", 2).unwrap();
+    let sys = VpimSystem::start(driver, VpimConfig::full(), StartOpts::default());
+    let vm = sys.launch(TenantSpec::new("boot").devices(2)).unwrap();
     let report = vm.boot_report();
     let clauses = report
         .cmdline
@@ -79,8 +79,8 @@ fn config_space_carries_the_hardware_description() {
     // Appendix A.1 "Device configuration layout": frequency, memory region
     // size, number of CIs — re-exposed identically to guest userspace.
     let driver = host();
-    let sys = VpimSystem::start(driver.clone(), VpimConfig::full());
-    let vm = sys.launch_vm("cfg", 1).unwrap();
+    let sys = VpimSystem::start(driver.clone(), VpimConfig::full(), StartOpts::default());
+    let vm = sys.launch(TenantSpec::new("cfg")).unwrap();
     let fe = vm.frontend(0);
     assert_eq!(fe.nr_dpus() as usize, driver.machine().config().dpus_in_rank(0));
     assert_eq!(fe.mram_size(), driver.machine().config().mram_size);
@@ -94,8 +94,8 @@ fn requests_to_an_unlinked_device_relink_or_fail_typed() {
     // linked; after an explicit release, the next request re-links
     // (dynamic rank allocation, §3.3).
     let driver = host();
-    let sys = VpimSystem::start(driver, VpimConfig::full());
-    let vm = sys.launch_vm("relink", 1).unwrap();
+    let sys = VpimSystem::start(driver, VpimConfig::full(), StartOpts::default());
+    let vm = sys.launch(TenantSpec::new("relink")).unwrap();
     let mut set = DpuSet::alloc_vm(vm.frontends(), 4, CostModel::default()).unwrap();
     set.copy_to_heap(0, 0, b"before").unwrap();
     let first = vm.devices()[0].backend().linked_rank().unwrap();

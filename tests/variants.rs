@@ -8,7 +8,7 @@ use simkit::{CostModel, VirtualNanos};
 use upmem_driver::UpmemDriver;
 use upmem_sdk::DpuSet;
 use upmem_sim::{PimConfig, PimMachine};
-use vpim::{Variant, VpimConfig, VpimSystem};
+use vpim::{Variant, StartOpts, TenantSpec, VpimConfig, VpimSystem};
 
 fn host() -> Arc<UpmemDriver> {
     let machine = PimMachine::new(PimConfig {
@@ -28,8 +28,8 @@ fn checksum_under(
     variant: Variant,
     dpus: usize,
 ) -> (u32, VirtualNanos, u64) {
-    let sys = VpimSystem::start(driver.clone(), VpimConfig::variant_config(variant));
-    let vm = sys.launch_vm("vt", dpus.div_ceil(16)).unwrap();
+    let sys = VpimSystem::start(driver.clone(), VpimConfig::variant_config(variant), StartOpts::default());
+    let vm = sys.launch(TenantSpec::new("vt").devices(dpus.div_ceil(16))).unwrap();
     let mut set = DpuSet::alloc_vm(vm.frontends(), dpus, CostModel::default()).unwrap();
     let run = microbench::Checksum::run(&mut set, 256 << 10, 21).unwrap();
     assert!(run.verified, "{variant}: verification failed");
@@ -72,8 +72,8 @@ fn batching_cuts_messages_on_small_write_workloads() {
     let scale = prim::ScaleParams::of(4096);
     let mut messages = std::collections::HashMap::new();
     for v in [Variant::VpimC, Variant::VpimB] {
-        let sys = VpimSystem::start(driver.clone(), VpimConfig::variant_config(v));
-        let vm = sys.launch_vm("vt", 1).unwrap();
+        let sys = VpimSystem::start(driver.clone(), VpimConfig::variant_config(v), StartOpts::default());
+        let vm = sys.launch(TenantSpec::new("vt")).unwrap();
         let mut set = DpuSet::alloc_vm(vm.frontends(), 16, CostModel::default()).unwrap();
         let run = nw.run(&mut set, &scale, 5).unwrap();
         assert!(run.verified);
@@ -95,8 +95,8 @@ fn prefetch_cuts_messages_on_small_read_workloads() {
     let driver = host();
     let mut messages = std::collections::HashMap::new();
     for v in [Variant::VpimC, Variant::VpimP] {
-        let sys = VpimSystem::start(driver.clone(), VpimConfig::variant_config(v));
-        let vm = sys.launch_vm("vt", 1).unwrap();
+        let sys = VpimSystem::start(driver.clone(), VpimConfig::variant_config(v), StartOpts::default());
+        let vm = sys.launch(TenantSpec::new("vt")).unwrap();
         let mut set = DpuSet::alloc_vm(vm.frontends(), 4, CostModel::default()).unwrap();
         set.copy_to_heap(0, 0, &vec![7u8; 32 << 10]).unwrap();
         let before = set.timeline().messages();
@@ -138,8 +138,8 @@ fn full_vpim_beats_unoptimized_on_the_nw_worst_case() {
     let scale = prim::ScaleParams::of(4096);
     let mut totals = std::collections::HashMap::new();
     for v in [Variant::VpimC, Variant::VpimPB] {
-        let sys = VpimSystem::start(driver.clone(), VpimConfig::variant_config(v));
-        let vm = sys.launch_vm("vt", 1).unwrap();
+        let sys = VpimSystem::start(driver.clone(), VpimConfig::variant_config(v), StartOpts::default());
+        let vm = sys.launch(TenantSpec::new("vt")).unwrap();
         let mut set = DpuSet::alloc_vm(vm.frontends(), 16, CostModel::default()).unwrap();
         let run = nw.run(&mut set, &scale, 5).unwrap();
         assert!(run.verified);
