@@ -7,14 +7,18 @@
 # then the concurrency stress/determinism and scheduler oversubscription
 # suites under varied harness parallelism, the zero-copy data-path
 # integrity/leak gate, the fault-injection chaos gate with its seed
-# matrix, and the load gate (1k-session service-level smoke, bit-identical
-# LoadReport across thread counts, refreshes BENCH_load.json).
+# matrix, the sharded-control-plane gate (oracle differential + exact
+# end-state churn accounting + the contention bench, refreshes
+# BENCH_control_plane.json), and the load gate (1k-session service-level
+# smoke, bit-identical LoadReport across thread counts, refreshes
+# BENCH_load.json).
 tier1:
 	sh ci/offline-gate.sh
 	sh ci/stress-gate.sh
 	sh ci/sched-gate.sh
 	sh ci/perf-gate.sh
 	sh ci/chaos-gate.sh
+	sh ci/shard-gate.sh
 	sh ci/load-gate.sh
 
 build:

@@ -1,0 +1,46 @@
+#!/usr/bin/env sh
+# Shard gate: proves the sharded control plane (ISSUE 7) behaves exactly
+# like its single-lock oracles and publishes the contention benchmark.
+#
+#   1. The oracle-backed differential suite (`control_plane_equivalence`)
+#      and the exact-accounting churn suite (`shard_stress`), run under
+#      serialized and highly parallel test harnesses;
+#   2. a SHARD_SEED sweep of the stress suite (the seed varies every
+#      per-thread op mix, so each value exercises different interleavings);
+#   3. the `control_plane` criterion bench comparing the sharded table and
+#      admission queue against the retained single-lock baselines at 8-64
+#      threads; its JSON summary is published as BENCH_control_plane.json
+#      at the repo root.
+#
+# The bench records wall-clock ratios on whatever machine runs the gate
+# (single-CPU CI shows the lock-traffic win, not a parallelism win), so
+# step 3 publishes the numbers instead of hard-failing on a threshold:
+# the benchmark itself only rejects pathological slowdowns.
+#
+# Usage: ci/shard-gate.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+for threads in 1 8; do
+    echo "== shard gate: RUST_TEST_THREADS=$threads =="
+    RUST_TEST_THREADS=$threads cargo test --release --offline -q \
+        --test control_plane_equivalence --test shard_stress
+done
+
+echo "== shard gate: SHARD_SEED sweep =="
+for seed in 1 2 3 5 8 13 21 34; do
+    echo "== shard gate: SHARD_SEED=$seed =="
+    SHARD_SEED=$seed RUST_TEST_THREADS=8 cargo test --release --offline -q \
+        --test shard_stress
+done
+
+echo "== shard gate: control-plane contention bench =="
+OUT_DIR="${TMPDIR:-/tmp}"
+BENCH_OUT="$OUT_DIR/vpim-control-plane-bench.json"
+rm -f "$BENCH_OUT"
+CONTROL_PLANE_BENCH_OUT="$BENCH_OUT" \
+    cargo bench --offline -p vpim-bench --bench control_plane
+
+cp "$BENCH_OUT" BENCH_control_plane.json
+echo "== shard gate: OK (BENCH_control_plane.json refreshed) =="

@@ -1,0 +1,240 @@
+//! Criterion: the sharded control plane against its single-lock baseline
+//! under thread churn (ISSUE 7's tentpole acceptance bench).
+//!
+//! Two legs, each measured at 8–64 threads:
+//!
+//! * **table** — rank-table churn in the manager's real mix: mostly state
+//!   reads (the observer sweep / stats-poll shape) plus alloc → recycle
+//!   write bursts. The baseline is [`ReferenceTable`] (the seed's one
+//!   table-wide mutex, retained verbatim); the contender is the sharded
+//!   [`TableState`], whose reads ride the seqlock publish path without
+//!   taking any lock.
+//! * **queue** — admission push/pop churn. The baseline is the retained
+//!   [`AdmissionQueue`] behind one mutex; the contender is the
+//!   [`ShardedAdmissionQueue`] with per-shard locks and lock-free depth.
+//!
+//! Wall-clock results are printed per thread count and, when
+//! `CONTROL_PLANE_BENCH_OUT` is set, published as a JSON document (the
+//! shard gate copies it to `BENCH_control_plane.json` at the repo root).
+//! The numbers are honest wall clock on whatever machine runs the gate —
+//! on a single-CPU container the win comes from eliminating lock traffic,
+//! not from parallelism, so the gate records the ratios rather than
+//! hard-failing on them.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parking_lot::Mutex;
+use simkit::CostModel;
+use upmem_driver::UpmemDriver;
+use upmem_sim::{PimConfig, PimMachine};
+use vpim::manager::reference::ReferenceTable;
+use vpim::manager::table::TableState;
+use vpim::sched::{AdmissionQueue, SchedPolicy, ShardedAdmissionQueue};
+
+const RANKS: usize = 8;
+/// Reads per round: the control plane is read-dominated (observer sweeps,
+/// stats polls, admission head probes), so the mix leans the same way.
+const READS_PER_ROUND: usize = 16;
+const ROUNDS: usize = 250;
+const THREAD_COUNTS: [usize; 4] = [8, 16, 32, 64];
+
+fn driver() -> Arc<UpmemDriver> {
+    let machine = PimMachine::new(PimConfig {
+        ranks: RANKS,
+        functional_dpus: vec![2; RANKS],
+        mram_size: 1 << 14,
+        ..PimConfig::small()
+    });
+    Arc::new(UpmemDriver::new(machine))
+}
+
+/// Spawns `threads` workers running `work(thread_idx)` and returns the
+/// wall time from first spawn to last join, minimized over 3 repetitions.
+fn timed<F>(threads: usize, work: F) -> Duration
+where
+    F: Fn(usize) + Send + Sync + 'static,
+{
+    let work = Arc::new(work);
+    let mut best = Duration::MAX;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        let handles: Vec<_> = (0..threads)
+            .map(|i| {
+                let work = work.clone();
+                std::thread::spawn(move || work(i))
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        best = best.min(t0.elapsed());
+    }
+    best
+}
+
+fn table_round_single(table: &ReferenceTable, t: usize) {
+    for i in 0..READS_PER_ROUND {
+        let _ = table.state_of((t + i) % RANKS);
+    }
+    if let Ok(o) = table.alloc("bench", Duration::from_micros(50), 1) {
+        table.recycle(o.rank);
+    }
+    let _ = table.states();
+}
+
+fn table_round_sharded(table: &TableState, t: usize) {
+    for i in 0..READS_PER_ROUND {
+        let _ = table.state_of((t + i) % RANKS);
+    }
+    if let Ok(o) = table.alloc("bench", Duration::from_micros(50), 1) {
+        table.recycle(o.rank);
+    }
+    let _ = table.states();
+}
+
+fn table_single_run(threads: usize) -> Duration {
+    let table = Arc::new(ReferenceTable::new(driver(), CostModel::default()));
+    timed(threads, move |t| {
+        for _ in 0..ROUNDS {
+            table_round_single(&table, t);
+        }
+    })
+}
+
+fn table_sharded_run(threads: usize) -> Duration {
+    let table = Arc::new(TableState::new(driver(), CostModel::default()));
+    timed(threads, move |t| {
+        for _ in 0..ROUNDS {
+            table_round_sharded(&table, t);
+        }
+    })
+}
+
+/// Depth polls per admission round — `queue_depth()` feeds the stats
+/// surface and the `sched.queue.depth` mirror, so reads outnumber
+/// structural ops in the live scheduler.
+const DEPTH_POLLS_PER_ROUND: usize = 4;
+/// One in this many rounds probes the merged head (the wake-path probe;
+/// the grant path itself removes the waiter's *own* ticket).
+const HEAD_PROBE_PERIOD: usize = 8;
+
+fn queue_single_run(threads: usize) -> Duration {
+    let queue = Arc::new(Mutex::new(AdmissionQueue::new(SchedPolicy::Fifo)));
+    let tickets = Arc::new(AtomicU64::new(0));
+    timed(threads, move |t| {
+        let tenant = format!("vm-{t}");
+        for i in 0..ROUNDS {
+            let ticket = {
+                let mut q = queue.lock();
+                let ticket = tickets.fetch_add(1, Ordering::Relaxed);
+                q.push(&tenant, ticket, i as u64);
+                ticket
+            };
+            for _ in 0..DEPTH_POLLS_PER_ROUND {
+                let _ = queue.lock().len();
+            }
+            if i % HEAD_PROBE_PERIOD == 0 {
+                let _ = queue.lock().head().map(|w| w.ticket);
+            }
+            queue.lock().remove(ticket);
+        }
+    })
+}
+
+fn queue_sharded_run(threads: usize) -> Duration {
+    let queue = Arc::new(ShardedAdmissionQueue::new(SchedPolicy::Fifo));
+    timed(threads, move |t| {
+        let tenant = format!("vm-{t}");
+        for i in 0..ROUNDS {
+            let ticket = queue.push(&tenant, i as u64);
+            for _ in 0..DEPTH_POLLS_PER_ROUND {
+                let _ = queue.len();
+            }
+            if i % HEAD_PROBE_PERIOD == 0 {
+                let _ = queue.head().map(|w| w.ticket);
+            }
+            queue.remove_of(&tenant, ticket);
+        }
+    })
+}
+
+struct Row {
+    threads: usize,
+    single: Duration,
+    sharded: Duration,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.single.as_secs_f64() / self.sharded.as_secs_f64()
+    }
+}
+
+fn sweep(name: &str, single: fn(usize) -> Duration, sharded: fn(usize) -> Duration) -> Vec<Row> {
+    THREAD_COUNTS
+        .iter()
+        .map(|&threads| {
+            let row = Row { threads, single: single(threads), sharded: sharded(threads) };
+            println!(
+                "control_plane/{name}/{threads}t: single-lock {:?}, sharded {:?} -> {:.2}x",
+                row.single,
+                row.sharded,
+                row.speedup()
+            );
+            row
+        })
+        .collect()
+}
+
+fn json_leg(rows: &[Row]) -> String {
+    let cells: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "\"{}\":{{\"single_ns\":{},\"sharded_ns\":{},\"speedup\":{:.3}}}",
+                r.threads,
+                r.single.as_nanos(),
+                r.sharded.as_nanos(),
+                r.speedup()
+            )
+        })
+        .collect();
+    format!("{{{}}}", cells.join(","))
+}
+
+fn bench_control_plane(c: &mut Criterion) {
+    // The criterion-visible pair at the acceptance thread count.
+    let mut group = c.benchmark_group("control_plane_16t");
+    group.bench_function("table_single_lock", |b| b.iter(|| table_single_run(16)));
+    group.bench_function("table_sharded", |b| b.iter(|| table_sharded_run(16)));
+    group.finish();
+
+    // The full sweep the gate publishes.
+    let table = sweep("table", table_single_run, table_sharded_run);
+    let queue = sweep("queue", queue_single_run, queue_sharded_run);
+    for rows in [&table, &queue] {
+        for r in rows {
+            assert!(
+                r.speedup() > 0.5,
+                "sharded control plane pathologically slower at {} threads: {:.2}x",
+                r.threads,
+                r.speedup()
+            );
+        }
+    }
+    let json = format!(
+        "{{\"bench\":\"control_plane\",\"ranks\":{RANKS},\"rounds\":{ROUNDS},\"table\":{},\"queue\":{}}}",
+        json_leg(&table),
+        json_leg(&queue)
+    );
+    println!("{json}");
+    if let Ok(path) = std::env::var("CONTROL_PLANE_BENCH_OUT") {
+        std::fs::write(&path, &json).expect("write CONTROL_PLANE_BENCH_OUT");
+    }
+}
+
+criterion_group!(benches, bench_control_plane);
+criterion_main!(benches);

@@ -229,6 +229,7 @@ impl Backend {
     /// The rank currently linked, if any.
     #[must_use]
     pub fn linked_rank(&self) -> Option<usize> {
+        let _order = simkit::ordered(simkit::LockLevel::RankSlot, 0);
         self.perf.lock().as_ref().map(PerfMapping::rank_id)
     }
 
@@ -250,6 +251,12 @@ impl Backend {
     /// Manager exhaustion (dedicated mode), admission timeout
     /// (oversubscribed mode) or a driver claim conflict.
     pub fn ensure_linked(&self) -> Result<MutexGuard<'_, Option<PerfMapping>>, VpimError> {
+        // Rank slots sit at `LockLevel::RankSlot`, below the scheduler and
+        // manager locks `acquire` takes while we hold the slot — the
+        // canonical descending chain of the lock hierarchy. The token only
+        // brackets acquisition (the guard legitimately outlives it and is
+        // released by the caller).
+        let _order = simkit::ordered(simkit::LockLevel::RankSlot, 0);
         let mut guard = self.perf.lock();
         if guard.is_none() {
             let grant = self.sched.acquire(&self.owner, &self.perf)?;
@@ -262,7 +269,10 @@ impl Backend {
     /// the manager's observer takes over) and tells the scheduler the
     /// lease ended voluntarily.
     pub fn unlink(&self) {
-        *self.perf.lock() = None;
+        {
+            let _order = simkit::ordered(simkit::LockLevel::RankSlot, 0);
+            *self.perf.lock() = None;
+        }
         self.sched.notify_release(&self.owner);
     }
 

@@ -14,6 +14,17 @@ use pim_vmm::{VirtioDevice, VmmError};
 use crate::backend::Backend;
 use crate::spec;
 
+/// Lock-order indices for the device's mutexes, both at
+/// [`simkit::LockLevel::DeviceQueue`] (below the frontend, above the
+/// backend's rank slot — see `simkit::lockorder`). Neither is held while
+/// the backend processes a chain, so the descent into
+/// `RankSlot`/`SchedState`/`ManagerTable` always starts from a clean
+/// device layer.
+mod dev_lock {
+    pub const MEM: usize = 0;
+    pub const TRANSFERQ: usize = 1;
+}
+
 /// The vUPMEM device (one per virtual rank).
 #[derive(Debug)]
 pub struct VupmemDevice {
@@ -65,11 +76,13 @@ impl VupmemDevice {
     }
 
     fn process_chain(&self, chain: &DescChain) -> Result<(), VmmError> {
-        let mem = self
-            .mem
-            .lock()
-            .clone()
-            .ok_or_else(|| VmmError::BadState("device not activated".to_string()))?;
+        let mem = {
+            let _order = simkit::ordered(simkit::LockLevel::DeviceQueue, dev_lock::MEM);
+            self.mem
+                .lock()
+                .clone()
+                .ok_or_else(|| VmmError::BadState("device not activated".to_string()))?
+        };
         let response = self.backend.process(&mem, chain);
         // Write the response into the chain's final (device-writable)
         // descriptor.
@@ -90,12 +103,16 @@ impl VupmemDevice {
         }
         mem.write(status.addr, &encoded).map_err(VmmError::Virtio)?;
         let written = encoded.len() as u32;
-        self.transferq
-            .lock()
-            .as_mut()
-            .expect("activated")
-            .push_used(chain.head, written)
-            .map_err(VmmError::Virtio)?;
+        {
+            let _order =
+                simkit::ordered(simkit::LockLevel::DeviceQueue, dev_lock::TRANSFERQ);
+            self.transferq
+                .lock()
+                .as_mut()
+                .expect("activated")
+                .push_used(chain.head, written)
+                .map_err(VmmError::Virtio)?;
+        }
         self.mmio.raise_interrupt();
         self.irq.assert_irq();
         Ok(())
@@ -146,6 +163,8 @@ impl VirtioDevice for VupmemDevice {
         }
         loop {
             let popped = {
+                let _order =
+                    simkit::ordered(simkit::LockLevel::DeviceQueue, dev_lock::TRANSFERQ);
                 let mut q = self.transferq.lock();
                 let q = q
                     .as_mut()

@@ -228,6 +228,23 @@ impl ProbeOpts {
     }
 }
 
+/// Lock-order indices for the frontend's three mutexes, all at
+/// [`simkit::LockLevel::Frontend`] (the top of the cross-layer hierarchy —
+/// see `simkit::lockorder`). A thread holding one of these may only take a
+/// same-level lock of equal-or-higher index, or drop into lower layers
+/// (device queue → rank slot → sched → manager → sysfs → notify):
+///
+/// * `STATE` (0) — batching/prefetch state; a leaf in practice: never held
+///   across the transport path or another frontend lock.
+/// * `QUEUE` (1) — the driver-side virtqueue.
+/// * `CLOCKS` (2) — submission/drain clocks; taken after `QUEUE` in the
+///   drain path, never before it.
+mod front_lock {
+    pub const STATE: usize = 0;
+    pub const QUEUE: usize = 1;
+    pub const CLOCKS: usize = 2;
+}
+
 /// The guest-side driver for one vUPMEM device.
 #[derive(Debug)]
 pub struct Frontend {
@@ -471,7 +488,11 @@ impl Frontend {
         bufs.push((req_page, enc.len() as u32, false));
         bufs.extend_from_slice(extra);
         bufs.push((status_page, 4096, true));
-        let head = match self.queue.lock().add_chain(&bufs) {
+        let added = {
+            let _order = simkit::ordered(simkit::LockLevel::Frontend, front_lock::QUEUE);
+            self.queue.lock().add_chain(&bufs)
+        };
+        let head = match added {
             Ok(h) => h,
             Err(e) => {
                 // Give the pages back so a backpressure retry starts clean.
@@ -483,6 +504,7 @@ impl Frontend {
         // another submitter until our chain drains, and its previous
         // user's drain was clocked before `add_chain` could recycle it.
         let gen = {
+            let _order = simkit::ordered(simkit::LockLevel::Frontend, front_lock::CLOCKS);
             let mut clk = self.clocks.lock();
             let c = clk.submitted.entry(head).or_insert(0);
             let g = *c;
@@ -512,8 +534,11 @@ impl Frontend {
     fn wait_used(&self, head: u16, gen: u64) -> Result<(), VpimError> {
         let deadline = std::time::Instant::now() + Duration::from_secs(30);
         loop {
-            let drained =
-                self.clocks.lock().drained.get(&head).copied().unwrap_or(0);
+            let drained = {
+                let _order =
+                    simkit::ordered(simkit::LockLevel::Frontend, front_lock::CLOCKS);
+                self.clocks.lock().drained.get(&head).copied().unwrap_or(0)
+            };
             if drained > gen {
                 self.metrics.queue_depth.sub(1);
                 return Ok(());
@@ -527,18 +552,25 @@ impl Frontend {
                 continue;
             }
             self.device.mmio().write(reg::INTERRUPT_ACK, 1)?;
-            let mut q = self.queue.lock();
-            let mut found = Vec::new();
-            while let Some((h, len)) = q.poll_used()? {
-                found.push((h, len));
-            }
-            drop(q);
-            if !found.is_empty() {
-                let mut clk = self.clocks.lock();
-                for (h, _len) in found {
-                    *clk.drained.entry(h).or_insert(0) += 1;
+            let found = {
+                let _order =
+                    simkit::ordered(simkit::LockLevel::Frontend, front_lock::QUEUE);
+                let mut q = self.queue.lock();
+                let mut found = Vec::new();
+                while let Some((h, len)) = q.poll_used()? {
+                    found.push((h, len));
                 }
-                drop(clk);
+                found
+            };
+            if !found.is_empty() {
+                {
+                    let _order =
+                        simkit::ordered(simkit::LockLevel::Frontend, front_lock::CLOCKS);
+                    let mut clk = self.clocks.lock();
+                    for (h, _len) in found {
+                        *clk.drained.entry(h).or_insert(0) += 1;
+                    }
+                }
                 self.device.irq().nudge();
             }
         }
@@ -690,7 +722,13 @@ impl Frontend {
     ///
     /// Transport or hardware failures.
     pub fn flush_batch(&self) -> Result<OpReport, VpimError> {
-        let drained = self.state.lock().batch.drain();
+        // The state lock is dropped before the transport descent below —
+        // the ordered token documents (and in debug builds checks) that
+        // `STATE` stays a leaf relative to the lower layers.
+        let drained = {
+            let _order = simkit::ordered(simkit::LockLevel::Frontend, front_lock::STATE);
+            self.state.lock().batch.drain()
+        };
         if drained.is_empty() {
             return Ok(OpReport::default());
         }

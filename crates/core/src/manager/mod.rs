@@ -19,9 +19,10 @@
 //!   directly through the driver shows up in sysfs and is marked `ALLO` by
 //!   the observer, so the manager never double-allocates it.
 
-mod table;
+pub mod reference;
+pub mod table;
 
-pub use table::{AllocOutcome, ManagerStats, RankState};
+pub use table::{AllocOutcome, ManagerStats, RankState, RANK_SHARDS};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -51,6 +52,10 @@ pub struct ManagerConfig {
     pub retry_timeout: Duration,
     /// Attempts before a request is abandoned.
     pub max_attempts: usize,
+    /// Rank groups the rank table is split into (clamped to the rank
+    /// count). `1` degenerates to the pre-sharding single-lock layout —
+    /// the configuration the load harness byte-compares against.
+    pub rank_shards: usize,
 }
 
 impl Default for ManagerConfig {
@@ -59,6 +64,7 @@ impl Default for ManagerConfig {
             pool_threads: 8,
             retry_timeout: Duration::from_millis(200),
             max_attempts: 5,
+            rank_shards: RANK_SHARDS,
         }
     }
 }
@@ -174,7 +180,7 @@ impl Manager {
         registry: &simkit::MetricsRegistry,
     ) -> Self {
         let state = Arc::new(
-            TableState::new(driver.clone(), cm)
+            TableState::new_with_shards(driver.clone(), cm, cfg.rank_shards)
                 .with_transition_counter(registry.counter("manager.rank_state.transitions")),
         );
         let stop = Arc::new(AtomicBool::new(false));
@@ -205,6 +211,9 @@ impl Manager {
             }));
         }
         // Observer thread: detect releases via sysfs and external claims.
+        // The sweep is sharded — each board rank group is snapshotted and
+        // reconciled independently, so a sweep never holds more than one
+        // board shard and one table shard at a time.
         {
             let state = Arc::clone(&state);
             let stop = Arc::clone(&stop);
@@ -216,9 +225,14 @@ impl Manager {
                     seen = driver
                         .sysfs()
                         .wait_for_change(seen, Duration::from_millis(50));
-                    let snapshot = driver.sysfs().snapshot_with_claims();
-                    for rank in state.sync_with_sysfs(&snapshot) {
-                        let _ = reset_tx.send(rank);
+                    let board = driver.sysfs();
+                    for group in 0..board.shard_count() {
+                        let Some((base, entries)) = board.snapshot_group(group) else {
+                            continue;
+                        };
+                        for rank in state.sync_group_sweep(base, &entries) {
+                            let _ = reset_tx.send(rank);
+                        }
                     }
                 }
             }));

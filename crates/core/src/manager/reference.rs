@@ -1,0 +1,328 @@
+//! The retained single-lock rank table — the differential-testing oracle.
+//!
+//! This is the pre-sharding `TableState` implementation, kept verbatim
+//! (one mutex around the whole table, a condvar for waiters) as the
+//! behavioral reference for the sharded table in [`super::table`].
+//! `tests/control_plane_equivalence.rs` drives both implementations with
+//! identical op sequences over identically-configured drivers and asserts
+//! identical grant orders, rank states and statistics; the
+//! `control_plane` criterion bench uses it as the contended baseline the
+//! sharded table must beat.
+//!
+//! Do not "improve" this type: its value is that it stays exactly what
+//! the seed shipped.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+use simkit::{CostModel, Counter, VirtualNanos};
+use upmem_driver::{RankStatus, UpmemDriver};
+
+use super::table::{AllocOutcome, ManagerStats, RankState};
+use crate::error::VpimError;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum State {
+    Naav,
+    Allo { owner: String },
+    Ckpt { owner: String },
+    Nana,
+}
+
+#[derive(Debug)]
+struct Entry {
+    state: State,
+    last_owner: Option<String>,
+    claims_at_alloc: u64,
+    resetting: bool,
+}
+
+#[derive(Debug)]
+struct Table {
+    entries: Vec<Entry>,
+    rr_cursor: usize,
+}
+
+#[derive(Debug, Default)]
+struct Stats {
+    allocations: AtomicU64,
+    reuses: AtomicU64,
+    resets: AtomicU64,
+    abandoned: AtomicU64,
+    reset_virtual_ns: AtomicU64,
+}
+
+/// The single-lock rank table the seed shipped, preserved as an oracle.
+#[derive(Debug)]
+pub struct ReferenceTable {
+    driver: Arc<UpmemDriver>,
+    cm: CostModel,
+    table: Mutex<Table>,
+    changed: Condvar,
+    stats: Stats,
+    transitions: Counter,
+}
+
+impl ReferenceTable {
+    /// A fresh single-lock table over `driver`'s ranks.
+    #[must_use]
+    pub fn new(driver: Arc<UpmemDriver>, cm: CostModel) -> Self {
+        let n = driver.rank_count();
+        ReferenceTable {
+            driver,
+            cm,
+            table: Mutex::new(Table {
+                entries: (0..n)
+                    .map(|_| Entry {
+                        state: State::Naav,
+                        last_owner: None,
+                        claims_at_alloc: 0,
+                        resetting: false,
+                    })
+                    .collect(),
+                rr_cursor: 0,
+            }),
+            changed: Condvar::new(),
+            stats: Stats::default(),
+            transitions: Counter::new(),
+        }
+    }
+
+    /// State-machine edges walked so far.
+    #[must_use]
+    pub fn transitions(&self) -> u64 {
+        self.transitions.get()
+    }
+
+    /// The allocation strategy of §3.5 under one table-wide lock.
+    ///
+    /// # Errors
+    ///
+    /// [`VpimError::NoRankAvailable`] once `max_attempts` scans found
+    /// nothing claimable.
+    pub fn alloc(
+        &self,
+        owner: &str,
+        retry_timeout: Duration,
+        max_attempts: usize,
+    ) -> Result<AllocOutcome, VpimError> {
+        for _attempt in 0..max_attempts.max(1) {
+            let mut t = self.table.lock();
+            // 1. A NANA rank previously used by this owner: no reset needed.
+            if let Some(i) = t.entries.iter().position(|e| {
+                e.state == State::Nana
+                    && !e.resetting
+                    && e.last_owner.as_deref() == Some(owner)
+            }) {
+                t.entries[i].state = State::Allo { owner: owner.to_string() };
+                t.entries[i].claims_at_alloc = self.driver.sysfs().claim_count(i);
+                t.entries[i].last_owner = Some(owner.to_string());
+                self.transitions.inc(); // NANA -> ALLO
+                self.stats.allocations.fetch_add(1, Ordering::Relaxed);
+                self.stats.reuses.fetch_add(1, Ordering::Relaxed);
+                drop(t);
+                self.changed.notify_all();
+                return Ok(AllocOutcome { rank: i, reused: true });
+            }
+            // 2. A NAAV rank by round-robin.
+            let n = t.entries.len();
+            for k in 0..n {
+                let i = (t.rr_cursor + k) % n;
+                if t.entries[i].state == State::Naav && !t.entries[i].resetting {
+                    t.rr_cursor = (i + 1) % n;
+                    t.entries[i].state = State::Allo { owner: owner.to_string() };
+                    t.entries[i].claims_at_alloc = self.driver.sysfs().claim_count(i);
+                    t.entries[i].last_owner = Some(owner.to_string());
+                    self.transitions.inc(); // NAAV -> ALLO
+                    self.stats.allocations.fetch_add(1, Ordering::Relaxed);
+                    drop(t);
+                    self.changed.notify_all();
+                    return Ok(AllocOutcome { rank: i, reused: false });
+                }
+            }
+            // 3. Wait, then retry.
+            let _ = self.changed.wait_for(&mut t, retry_timeout);
+        }
+        self.stats.abandoned.fetch_add(1, Ordering::Relaxed);
+        Err(VpimError::NoRankAvailable)
+    }
+
+    /// Reconciles the table with a sysfs snapshot; returns ranks that
+    /// were just released and need a content reset.
+    pub fn sync_with_sysfs(&self, snapshot: &[(RankStatus, u64)]) -> Vec<usize> {
+        let mut to_reset = Vec::new();
+        let mut changed_any = false;
+        let mut t = self.table.lock();
+        for (i, (status, claims)) in snapshot.iter().enumerate() {
+            let Some(e) = t.entries.get_mut(i) else { continue };
+            match (status, &e.state) {
+                (RankStatus::InUse { owner }, State::Naav) => {
+                    e.state = State::Allo { owner: owner.clone() };
+                    e.last_owner = Some(owner.clone());
+                    e.claims_at_alloc = claims.saturating_sub(1);
+                    self.transitions.inc(); // NAAV -> ALLO (external claim)
+                    changed_any = true;
+                }
+                (RankStatus::Free, State::Allo { .. } | State::Ckpt { .. })
+                    if *claims > e.claims_at_alloc =>
+                {
+                    e.state = State::Nana;
+                    self.transitions.inc(); // ALLO/CKPT -> NANA (release observed)
+                    to_reset.push(i);
+                    changed_any = true;
+                }
+                _ => {}
+            }
+        }
+        drop(t);
+        if changed_any {
+            self.changed.notify_all();
+        }
+        to_reset
+    }
+
+    /// Flips an `ALLO` rank to `CKPT`; returns whether the transition
+    /// happened.
+    pub fn mark_ckpt(&self, rank: usize) -> bool {
+        let mut t = self.table.lock();
+        let Some(e) = t.entries.get_mut(rank) else { return false };
+        let State::Allo { owner } = &e.state else { return false };
+        e.state = State::Ckpt { owner: owner.clone() };
+        self.transitions.inc(); // ALLO -> CKPT (preemption)
+        drop(t);
+        self.changed.notify_all();
+        true
+    }
+
+    /// Erases a NANA rank's content and promotes it to NAAV. Skips ranks
+    /// that were re-allocated meanwhile.
+    pub fn reset_rank(&self, rank: usize) {
+        {
+            let mut t = self.table.lock();
+            let Some(e) = t.entries.get_mut(rank) else { return };
+            if e.state != State::Nana || e.resetting {
+                return;
+            }
+            e.resetting = true;
+        }
+        let claim = self.driver.open_perf(rank, "manager-reset");
+        match claim {
+            Ok(handle) => {
+                if let Ok(r) = self.driver.machine().rank(rank) {
+                    r.reset_content();
+                }
+                drop(handle);
+                let reset_ns = self
+                    .cm
+                    .rank_reset(self.driver.machine().config().rank_mapped_bytes());
+                self.stats.resets.fetch_add(1, Ordering::Relaxed);
+                self.stats
+                    .reset_virtual_ns
+                    .fetch_add(reset_ns.as_nanos(), Ordering::Relaxed);
+                let mut t = self.table.lock();
+                if let Some(e) = t.entries.get_mut(rank) {
+                    e.resetting = false;
+                    if e.state == State::Nana {
+                        e.state = State::Naav;
+                        self.transitions.inc(); // NANA -> NAAV (reset done)
+                    }
+                }
+            }
+            Err(_) => {
+                let mut t = self.table.lock();
+                if let Some(e) = t.entries.get_mut(rank) {
+                    e.resetting = false;
+                }
+            }
+        }
+        self.changed.notify_all();
+    }
+
+    /// Directly returns an `ALLO`/`CKPT` rank to `NAAV` — the oracle's
+    /// counterpart of the sharded table's churn hook, with identical
+    /// transition accounting. Returns whether the rank changed state.
+    pub fn recycle(&self, rank: usize) -> bool {
+        let changed = {
+            let mut t = self.table.lock();
+            let Some(e) = t.entries.get_mut(rank) else { return false };
+            match e.state {
+                State::Allo { .. } | State::Ckpt { .. } => {
+                    e.state = State::Naav;
+                    self.transitions.inc(); // ALLO/CKPT -> NAAV (direct recycle)
+                    true
+                }
+                _ => false,
+            }
+        };
+        if changed {
+            self.changed.notify_all();
+        }
+        changed
+    }
+
+    /// One rank's state (takes the table-wide lock — the contrast to the
+    /// sharded table's lock-free `state_of`).
+    #[must_use]
+    pub fn state_of(&self, rank: usize) -> Option<RankState> {
+        self.table.lock().entries.get(rank).map(|e| match e.state {
+            State::Naav => RankState::Naav,
+            State::Allo { .. } => RankState::Allo,
+            State::Ckpt { .. } => RankState::Ckpt,
+            State::Nana => RankState::Nana,
+        })
+    }
+
+    /// Current state of every rank.
+    #[must_use]
+    pub fn states(&self) -> Vec<RankState> {
+        self.table
+            .lock()
+            .entries
+            .iter()
+            .map(|e| match e.state {
+                State::Naav => RankState::Naav,
+                State::Allo { .. } => RankState::Allo,
+                State::Ckpt { .. } => RankState::Ckpt,
+                State::Nana => RankState::Nana,
+            })
+            .collect()
+    }
+
+    /// Aggregate statistics.
+    #[must_use]
+    pub fn stats(&self) -> ManagerStats {
+        ManagerStats {
+            allocations: self.stats.allocations.load(Ordering::Relaxed),
+            reuses: self.stats.reuses.load(Ordering::Relaxed),
+            resets: self.stats.resets.load(Ordering::Relaxed),
+            abandoned: self.stats.abandoned.load(Ordering::Relaxed),
+            reset_virtual: VirtualNanos::from_nanos(
+                self.stats.reset_virtual_ns.load(Ordering::Relaxed),
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use upmem_sim::{PimConfig, PimMachine};
+
+    #[test]
+    fn oracle_matches_seed_semantics() {
+        let driver = Arc::new(UpmemDriver::new(PimMachine::new(PimConfig::small())));
+        let s = ReferenceTable::new(driver, CostModel::default());
+        let q = Duration::from_millis(2);
+        let a = s.alloc("x", q, 1).unwrap();
+        let b = s.alloc("y", q, 1).unwrap();
+        assert_eq!((a.rank, b.rank), (0, 1));
+        assert!(s.alloc("z", q, 1).is_err());
+        assert_eq!(s.stats().abandoned, 1);
+        let to_reset = s.sync_with_sysfs(&[(RankStatus::Free, 1), (RankStatus::Free, 0)]);
+        assert_eq!(to_reset, vec![0]);
+        assert_eq!(s.states()[0], RankState::Nana);
+        assert_eq!(s.state_of(1), Some(RankState::Allo));
+    }
+}

@@ -10,8 +10,8 @@
 //!   [`Scheduler::acquire`] is a thin pass-through to the manager, so the
 //!   exhaustion semantics of the paper are unchanged — the Nth+1 tenant's
 //!   request is abandoned with [`VpimError::NoRankAvailable`].
-//! * **Oversubscribed mode**: acquire enqueues the tenant in an
-//!   [`AdmissionQueue`] (FIFO or weighted-fair) and blocks. The queue head
+//! * **Oversubscribed mode**: acquire enqueues the tenant in a
+//!   [`ShardedAdmissionQueue`] (FIFO or weighted-fair) and blocks. The queue head
 //!   probes the manager; when the machine is exhausted it *preempts* a
 //!   running tenant: wait for the victim's **safe point** (its per-device
 //!   rank slot unlocked, i.e. no in-flight operation, and every DPU idle),
@@ -33,23 +33,28 @@
 pub mod queue;
 pub mod store;
 
-pub use queue::{AdmissionQueue, SchedPolicy, Waiter};
+pub use queue::{AdmissionQueue, SchedPolicy, ShardedAdmissionQueue, Waiter, QUEUE_SHARDS};
 pub use store::{SnapshotStore, StoreError};
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
 
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, MutexGuard};
 use simkit::{
-    CostModel, Counter, FaultPlane, Gauge, InjectCell, MetricsRegistry, RetryMetrics,
-    RetryPolicy, TimeoutClass, VirtualNanos,
+    ordered, CostModel, Counter, FaultPlane, Gauge, InjectCell, LockLevel, LockToken,
+    MetricsRegistry, RetryMetrics, RetryPolicy, TimeoutClass, VirtualNanos,
 };
 use upmem_driver::{PerfMapping, UpmemDriver};
 
 use crate::config::SchedSection;
 use crate::error::VpimError;
 use crate::manager::ManagerClient;
+
+/// Default shard count for the scheduler's control-plane state (tenant
+/// accounts/leases and the admission queue alike).
+pub const CONTROL_SHARDS: usize = 8;
 
 /// Fault point for the scheduler's checkpoint path: firing stalls the
 /// preempter ~2 ms of wall-clock time at the safe point (slot locked,
@@ -141,15 +146,14 @@ impl Default for Account {
     }
 }
 
-#[derive(Debug)]
-struct SchedState {
-    queue: AdmissionQueue,
+/// One tenant-hash shard of the scheduler's mutable state: the leases and
+/// fair-share accounts of the tenants that hash here. Keeping both maps
+/// under one lock means `charge` — the hottest control-plane call, issued
+/// once per completed operation — takes exactly one shard lock.
+#[derive(Debug, Default)]
+struct TenantShard {
     running: HashMap<String, Lease>,
     accounts: HashMap<String, Account>,
-    next_ticket: u64,
-    grant_seq: u64,
-    /// Total charged virtual nanoseconds (the scheduler's virtual clock).
-    vclock: u64,
 }
 
 #[derive(Debug)]
@@ -176,7 +180,25 @@ struct Inner {
     manager: ManagerClient,
     cfg: SchedSection,
     cm: CostModel,
-    state: Mutex<SchedState>,
+    /// Tenant-hash shards of leases + accounts. Locked at
+    /// [`LockLevel::SchedState`] with the shard index, so multi-shard
+    /// holders (preemption's victim scan) must lock in ascending order.
+    tenants: Vec<Mutex<TenantShard>>,
+    /// The sharded admission queue (its shard locks sit at the same
+    /// lock level, index-offset above the tenant shards).
+    queue: ShardedAdmissionQueue,
+    /// Grant-order sequence; atomically drawn, no lock.
+    grant_seq: AtomicU64,
+    /// Total charged virtual nanoseconds (the scheduler's virtual clock).
+    vclock: AtomicU64,
+    /// Change generation for waiters: bumped by [`Scheduler::wake`]
+    /// before notifying, re-checked under `notify` before blocking — the
+    /// lost-wakeup guard now that state updates are not serialized by one
+    /// mutex.
+    generation: AtomicU64,
+    /// The dedicated condvar mutex ([`LockLevel::Notify`], the hierarchy
+    /// leaf). Waiters hold *only* this while blocked.
+    notify: Mutex<()>,
     changed: Condvar,
     store: SnapshotStore,
     metrics: SchedMetrics,
@@ -209,7 +231,8 @@ impl std::fmt::Debug for Scheduler {
 
 impl Scheduler {
     /// A scheduler driving `manager` under the policy in `cfg`, publishing
-    /// `sched.*` metrics into `registry`.
+    /// `sched.*` metrics into `registry`, with [`CONTROL_SHARDS`] state
+    /// shards.
     #[must_use]
     pub fn new(
         driver: Arc<UpmemDriver>,
@@ -218,19 +241,35 @@ impl Scheduler {
         cm: CostModel,
         registry: &MetricsRegistry,
     ) -> Self {
+        Self::new_with_shards(driver, manager, cfg, cm, registry, CONTROL_SHARDS)
+    }
+
+    /// [`new`](Self::new) with an explicit control-plane shard count
+    /// (clamped to ≥ 1), applied to both the tenant-state shards and the
+    /// admission queue. `1` reproduces the pre-sharding single-lock
+    /// serialization order exactly — the load harness byte-compares the
+    /// two configurations.
+    #[must_use]
+    pub fn new_with_shards(
+        driver: Arc<UpmemDriver>,
+        manager: ManagerClient,
+        cfg: SchedSection,
+        cm: CostModel,
+        registry: &MetricsRegistry,
+        shards: usize,
+    ) -> Self {
+        let n = shards.max(1);
         Scheduler {
             inner: Arc::new(Inner {
                 driver,
                 manager,
                 cm,
-                state: Mutex::new(SchedState {
-                    queue: AdmissionQueue::new(cfg.policy),
-                    running: HashMap::new(),
-                    accounts: HashMap::new(),
-                    next_ticket: 0,
-                    grant_seq: 0,
-                    vclock: 0,
-                }),
+                tenants: (0..n).map(|_| Mutex::new(TenantShard::default())).collect(),
+                queue: ShardedAdmissionQueue::new_with_shards(cfg.policy, n),
+                grant_seq: AtomicU64::new(0),
+                vclock: AtomicU64::new(0),
+                generation: AtomicU64::new(0),
+                notify: Mutex::new(()),
                 changed: Condvar::new(),
                 store: SnapshotStore::new(cfg.park_budget_mib.saturating_mul(1 << 20)),
                 metrics: SchedMetrics::from_registry(registry),
@@ -240,6 +279,34 @@ impl Scheduler {
                 cfg,
             }),
         }
+    }
+
+    /// Locks tenant-state shard `i` (ordered at [`LockLevel::SchedState`]).
+    fn lock_shard(&self, i: usize) -> (LockToken, MutexGuard<'_, TenantShard>) {
+        let token = ordered(LockLevel::SchedState, i);
+        (token, self.inner.tenants[i].lock())
+    }
+
+    /// Locks the shard owning `tenant`'s lease and account.
+    fn lock_tenant(&self, tenant: &str) -> (LockToken, MutexGuard<'_, TenantShard>) {
+        let i = (queue::fnv1a(tenant) % self.inner.tenants.len() as u64) as usize;
+        self.lock_shard(i)
+    }
+
+    /// Bumps the change generation and pokes every blocked waiter. The
+    /// notify mutex is taken (briefly, at the hierarchy leaf) and dropped
+    /// before notifying: a waiter that read the old generation is either
+    /// already inside its re-check — where it sees the new value or holds
+    /// the mutex we must wait for — or has yet to block, and will observe
+    /// the bump. Either way the wakeup cannot be lost.
+    fn wake(&self) {
+        let inner = &*self.inner;
+        inner.generation.fetch_add(1, Ordering::Release);
+        {
+            let _t = ordered(LockLevel::Notify, 0);
+            drop(inner.notify.lock());
+        }
+        inner.changed.notify_all();
     }
 
     /// Installs the fault-injection plane consulted by the checkpoint path
@@ -267,33 +334,43 @@ impl Scheduler {
         &self.inner.store
     }
 
-    /// Tenants currently waiting for a rank.
+    /// Tenants currently waiting for a rank (lock-free: folded per-shard
+    /// depth counters).
     #[must_use]
     pub fn queue_depth(&self) -> usize {
-        self.inner.state.lock().queue.len()
+        self.inner.queue.len()
     }
 
     /// Point-in-time statistics.
     #[must_use]
     pub fn stats(&self) -> SchedStats {
-        let st = self.inner.state.lock();
+        let running = (0..self.inner.tenants.len())
+            .map(|i| self.lock_shard(i).1.running.len())
+            .sum();
         SchedStats {
             grants: self.inner.metrics.grants.get(),
             preemptions: self.inner.metrics.preemptions.get(),
             restores: self.inner.metrics.restores.get(),
-            queued: st.queue.len(),
-            running: st.running.len(),
+            queued: self.inner.queue.len(),
+            running,
             parked_bytes: self.inner.store.used_bytes(),
-            vclock_ns: st.vclock,
+            vclock_ns: self.inner.vclock.load(Ordering::Relaxed),
         }
+    }
+
+    /// `tenant`'s weighted virtual runtime so far, if it has an account.
+    /// (Exposed for the equivalence and stress suites.)
+    #[must_use]
+    pub fn vruntime_of(&self, tenant: &str) -> Option<u64> {
+        self.lock_tenant(tenant).1.accounts.get(tenant).map(|a| a.vruntime)
     }
 
     /// Sets `tenant`'s weighted-fair share weight (clamped to ≥ 1; the
     /// default is 1). Twice the weight means vruntime grows half as fast,
     /// i.e. twice the rank time under contention.
     pub fn set_weight(&self, tenant: &str, weight: u64) {
-        let mut st = self.inner.state.lock();
-        st.accounts.entry(tenant.to_string()).or_default().weight = weight.max(1);
+        let (_t, mut sh) = self.lock_tenant(tenant);
+        sh.accounts.entry(tenant.to_string()).or_default().weight = weight.max(1);
     }
 
     /// Acquires a rank for `tenant`, whose (empty) slot the caller must
@@ -347,26 +424,27 @@ impl Scheduler {
         let deadline = Instant::now() + Duration::from_millis(inner.cfg.admission_timeout_ms);
         let mut wait_vt = VirtualNanos::ZERO;
         let ticket = {
-            let mut st = inner.state.lock();
-            let ticket = st.next_ticket;
-            st.next_ticket += 1;
-            let vruntime = st.accounts.entry(tenant.to_string()).or_default().vruntime;
-            st.queue.push(tenant, ticket, vruntime);
-            inner.metrics.queue_depth.set(st.queue.len() as i64);
+            let vruntime = {
+                let (_t, mut sh) = self.lock_tenant(tenant);
+                sh.accounts.entry(tenant.to_string()).or_default().vruntime
+            };
+            let ticket = inner.queue.push(tenant, vruntime);
+            inner.metrics.queue_depth.add(1);
             ticket
         };
-        inner.changed.notify_all();
+        self.wake();
         let policy = RetryPolicy::for_class(&inner.cm, TimeoutClass::ManagerAlloc);
         let mut transient_left = policy.max_attempts.max(1);
         let mut transient_n = 0u32;
         loop {
+            // Read the generation *before* probing: any state change after
+            // the probe bumps it, so the blocked re-check below cannot
+            // sleep through the wakeup that would have changed the answer.
+            let generation = inner.generation.load(Ordering::Acquire);
             // Only the policy's head probes the manager: at most one
             // admission request occupies the manager pool at a time, and
             // grants leave in policy order.
-            let is_head = {
-                let st = inner.state.lock();
-                st.queue.head().map(|w| w.ticket) == Some(ticket)
-            };
+            let is_head = inner.queue.head().map(|w| w.ticket) == Some(ticket);
             if is_head {
                 match inner.manager.alloc(tenant) {
                     Ok(outcome) => {
@@ -377,7 +455,7 @@ impl Scheduler {
                             Ok(true) => continue, // a rank is being recycled; re-probe
                             Ok(false) => {}       // nothing preemptable right now
                             Err(e) => {
-                                self.dequeue(ticket);
+                                self.dequeue(tenant, ticket);
                                 return Err(e);
                             }
                         }
@@ -397,20 +475,23 @@ impl Scheduler {
                         if e.is_transient() {
                             inner.retry.giveups.inc();
                         }
-                        self.dequeue(ticket);
+                        self.dequeue(tenant, ticket);
                         return Err(e);
                     }
                 }
             }
-            let mut st = inner.state.lock();
             if Instant::now() >= deadline {
-                st.queue.remove(ticket);
-                inner.metrics.queue_depth.set(st.queue.len() as i64);
-                drop(st);
-                inner.changed.notify_all();
+                self.dequeue(tenant, ticket);
                 return Err(VpimError::AdmissionTimeout(tenant.to_string()));
             }
-            let _ = inner.changed.wait_for(&mut st, WAIT_TICK);
+            // Block on the notify mutex only (the hierarchy leaf); the
+            // generation re-check under the mutex closes the window
+            // between the probe above and the wait.
+            let _t = ordered(LockLevel::Notify, 0);
+            let mut g = inner.notify.lock();
+            if inner.generation.load(Ordering::Acquire) == generation {
+                let _ = inner.changed.wait_for(&mut g, WAIT_TICK);
+            }
         }
     }
 
@@ -426,7 +507,7 @@ impl Scheduler {
         let mapping = match inner.driver.open_perf(outcome.rank, tenant) {
             Ok(m) => m,
             Err(e) => {
-                self.dequeue(ticket);
+                self.dequeue(tenant, ticket);
                 return Err(e.into());
             }
         };
@@ -444,42 +525,28 @@ impl Scheduler {
                     // back (same-tenant park cannot exceed the budget) and
                     // fail the grant rather than resume from a torn rank.
                     let _ = inner.store.park(tenant, snap);
-                    self.dequeue(ticket);
+                    self.dequeue(tenant, ticket);
                     return Err(e.into());
                 }
             }
         }
-        {
-            let mut st = inner.state.lock();
-            st.queue.remove(ticket);
-            inner.metrics.queue_depth.set(st.queue.len() as i64);
-            let seq = st.grant_seq;
-            st.grant_seq += 1;
-            st.running.insert(
-                tenant.to_string(),
-                Lease {
-                    slot: Arc::downgrade(slot),
-                    rank: outcome.rank,
-                    grant_seq: seq,
-                    used_vt: 0,
-                    preempting: false,
-                },
-            );
+        if inner.queue.remove_of(tenant, ticket) {
+            inner.metrics.queue_depth.sub(1);
         }
+        self.register_grant(tenant, outcome.rank, slot);
         inner.metrics.grants.inc();
         if restored {
             inner.metrics.restores.inc();
         }
         inner.registry.histogram(&format!("sched.wait.{tenant}")).record(wait_vt);
-        inner.changed.notify_all();
+        self.wake();
         Ok(RankGrant { rank: outcome.rank, reused: outcome.reused, restored, wait_vt, mapping })
     }
 
     fn register_grant(&self, tenant: &str, rank: usize, slot: &RankSlot) {
-        let mut st = self.inner.state.lock();
-        let seq = st.grant_seq;
-        st.grant_seq += 1;
-        st.running.insert(
+        let seq = self.inner.grant_seq.fetch_add(1, Ordering::Relaxed);
+        let (_t, mut sh) = self.lock_tenant(tenant);
+        sh.running.insert(
             tenant.to_string(),
             Lease {
                 slot: Arc::downgrade(slot),
@@ -491,13 +558,12 @@ impl Scheduler {
         );
     }
 
-    fn dequeue(&self, ticket: u64) {
+    fn dequeue(&self, tenant: &str, ticket: u64) {
         let inner = &*self.inner;
-        let mut st = inner.state.lock();
-        st.queue.remove(ticket);
-        inner.metrics.queue_depth.set(st.queue.len() as i64);
-        drop(st);
-        inner.changed.notify_all();
+        if inner.queue.remove_of(tenant, ticket) {
+            inner.metrics.queue_depth.sub(1);
+        }
+        self.wake();
     }
 
     /// Picks a victim and checkpoints it. `Ok(true)` means a rank was (or
@@ -513,16 +579,29 @@ impl Scheduler {
         let inner = &*self.inner;
         let quantum_ns = inner.cfg.quantum_ms.saturating_mul(1_000_000);
         let picked = {
-            let mut st = inner.state.lock();
-            let pick = st
-                .running
+            // Victim selection needs a consistent view of *every* lease:
+            // lock all tenant shards, in ascending index order per the
+            // lock hierarchy. This is the one cold multi-shard path; the
+            // hot paths (charge, grant) stay single-shard.
+            let mut guards: Vec<_> =
+                (0..inner.tenants.len()).map(|i| self.lock_shard(i)).collect();
+            let pick = guards
                 .iter()
-                .filter(|(t, l)| t.as_str() != me && !l.preempting)
-                .min_by_key(|(_, l)| (u64::from(l.used_vt < quantum_ns), l.grant_seq))
-                .map(|(t, _)| t.clone());
+                .enumerate()
+                .flat_map(|(si, (_t, sh))| {
+                    sh.running
+                        .iter()
+                        .filter(|(t, l)| t.as_str() != me && !l.preempting)
+                        .map(move |(t, l)| {
+                            ((u64::from(l.used_vt < quantum_ns), l.grant_seq), si, t.clone())
+                        })
+                })
+                .min_by_key(|(key, _, _)| *key)
+                .map(|(_, si, t)| (si, t));
             match pick {
-                Some(t) => {
-                    let lease = st.running.get_mut(&t).expect("picked from running");
+                Some((si, t)) => {
+                    let lease =
+                        guards[si].1.running.get_mut(&t).expect("picked from running");
                     lease.preempting = true;
                     Some((t, lease.slot.clone(), lease.rank))
                 }
@@ -539,6 +618,9 @@ impl Scheduler {
         };
         // Safe point: taking the slot lock waits out any in-flight
         // operation (operations hold the lock for their full duration).
+        // All tenant-shard locks were dropped above — RankSlot sits below
+        // SchedState in the hierarchy.
+        let _slot_order = ordered(LockLevel::RankSlot, 0);
         let mut guard = slot.lock();
         if inner.inject.hit(CKPT_STALL_POINT) {
             // Wall-clock stall only: the slot stays locked (no operation can
@@ -576,8 +658,8 @@ impl Scheduler {
         *guard = None;
         drop(guard);
         {
-            let mut st = inner.state.lock();
-            st.running.remove(&victim);
+            let (_t, mut sh) = self.lock_tenant(&victim);
+            sh.running.remove(&victim);
         }
         inner.metrics.preemptions.inc();
         *wait_vt = *wait_vt
@@ -586,20 +668,23 @@ impl Scheduler {
         // Expedite observe + reset instead of waiting for the 50 ms
         // observer sweep.
         inner.manager.sync();
-        inner.changed.notify_all();
+        self.wake();
         Ok(true)
     }
 
     fn reap(&self, tenant: &str) {
         let inner = &*self.inner;
-        inner.state.lock().running.remove(tenant);
+        {
+            let (_t, mut sh) = self.lock_tenant(tenant);
+            sh.running.remove(tenant);
+        }
         inner.manager.sync();
-        inner.changed.notify_all();
+        self.wake();
     }
 
     fn clear_preempting(&self, tenant: &str) {
-        let mut st = self.inner.state.lock();
-        if let Some(l) = st.running.get_mut(tenant) {
+        let (_t, mut sh) = self.lock_tenant(tenant);
+        if let Some(l) = sh.running.get_mut(tenant) {
             l.preempting = false;
         }
     }
@@ -608,20 +693,24 @@ impl Scheduler {
     /// The backend calls this once per successfully completed operation
     /// with the operation's modeled duration, so scheduling accounts are
     /// identical under Sequential and Parallel dispatch.
+    ///
+    /// This is the control plane's hottest call (once per operation): it
+    /// takes exactly one tenant-shard lock plus one atomic add, so charges
+    /// by tenants on different shards never serialize.
     pub fn charge(&self, tenant: &str, vt: VirtualNanos) {
         let inner = &*self.inner;
         let ns = vt.as_nanos();
-        let mut st = inner.state.lock();
-        let acct = st.accounts.entry(tenant.to_string()).or_default();
-        acct.vruntime = acct.vruntime.saturating_add(ns / acct.weight.max(1));
-        if let Some(l) = st.running.get_mut(tenant) {
-            l.used_vt = l.used_vt.saturating_add(ns);
+        {
+            let (_t, mut sh) = self.lock_tenant(tenant);
+            let acct = sh.accounts.entry(tenant.to_string()).or_default();
+            acct.vruntime = acct.vruntime.saturating_add(ns / acct.weight.max(1));
+            if let Some(l) = sh.running.get_mut(tenant) {
+                l.used_vt = l.used_vt.saturating_add(ns);
+            }
         }
-        st.vclock = st.vclock.saturating_add(ns);
-        let notify = !st.queue.is_empty();
-        drop(st);
-        if notify {
-            inner.changed.notify_all();
+        inner.vclock.fetch_add(ns, Ordering::Relaxed);
+        if !inner.queue.is_empty() {
+            self.wake();
         }
     }
 
@@ -630,13 +719,16 @@ impl Scheduler {
     /// discarded, and waiters are woken.
     pub fn notify_release(&self, tenant: &str) {
         let inner = &*self.inner;
-        inner.state.lock().running.remove(tenant);
+        {
+            let (_t, mut sh) = self.lock_tenant(tenant);
+            sh.running.remove(tenant);
+        }
         inner.store.evict(tenant);
         if inner.cfg.oversubscription {
             // Expedite rank recycling for the waiters we are about to wake.
             inner.manager.sync();
         }
-        inner.changed.notify_all();
+        self.wake();
     }
 }
 
@@ -763,8 +855,8 @@ mod tests {
         // it): vm-b can then neither allocate nor preempt, and must time
         // out cleanly.
         {
-            let mut st = s.inner.state.lock();
-            st.running.get_mut("vm-a").unwrap().preempting = true;
+            let (_t, mut sh) = s.lock_tenant("vm-a");
+            sh.running.get_mut("vm-a").unwrap().preempting = true;
         }
         let slot_b: RankSlot = Arc::new(Mutex::new(None));
         let _g = slot_b.lock();
@@ -793,7 +885,7 @@ mod tests {
             let grant = s.acquire("greedy", &slot).unwrap();
             *g = Some(grant.mapping);
         }
-        assert!(s.inner.state.lock().accounts["greedy"].vruntime >= 1_000_000);
+        assert!(s.vruntime_of("greedy").unwrap() >= 1_000_000);
         mgr.shutdown();
     }
 }

@@ -40,10 +40,12 @@ pub mod cost;
 pub mod error;
 pub mod executor;
 pub mod inject;
+pub mod lockorder;
 pub mod pool;
 pub mod retry;
 pub mod rng;
 pub mod stats;
+pub mod stripe;
 pub mod telemetry;
 pub mod time;
 pub mod timeline;
@@ -53,6 +55,7 @@ pub use cost::CostModel;
 pub use error::{ErrorKind, HasErrorKind};
 pub use executor::{JobHandle, WorkerPool};
 pub use inject::{FaultPlan, FaultPlane, InjectCell, PointStats};
+pub use lockorder::{ordered, LockLevel, LockToken};
 pub use pool::{BytePool, PoolGuard};
 pub use retry::{RetryMetrics, RetryPolicy, TimeoutClass};
 pub use rng::SimRng;

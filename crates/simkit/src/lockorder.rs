@@ -1,0 +1,197 @@
+//! The system-wide lock hierarchy, enforced in debug builds.
+//!
+//! The sharded control plane multiplies the number of locks in flight:
+//! per-group rank-table shards, per-group sysfs board shards, per-tenant
+//! scheduler shards, plus the pre-existing frontend, device-queue and
+//! rank-slot mutexes. A silent deadlock between any two of them would be
+//! the worst kind of regression — rare, timing-dependent, invisible to
+//! the differential suites. This module pins the **one legal acquisition
+//! order** and, under `cfg(debug_assertions)`, panics the moment any
+//! thread acquires out of order, so every debug test run doubles as a
+//! lock-order audit.
+//!
+//! # The hierarchy
+//!
+//! Locks may only be acquired in **ascending level order** on one thread
+//! (holding a higher level while taking a lower one panics in debug):
+//!
+//! | level | [`LockLevel`]  | guards                                              |
+//! |------:|----------------|-----------------------------------------------------|
+//! | 1     | `Frontend`     | frontend batch/prefetch/session state               |
+//! | 2     | `DeviceQueue`  | virtio device queue + guest-memory cell             |
+//! | 3     | `RankSlot`     | a backend's rank mapping slot (sched safe point)    |
+//! | 4     | `SchedState`   | scheduler tenant shards (accounts/leases)           |
+//! | 5     | `ManagerTable` | manager rank-table shards                           |
+//! | 6     | `SysfsBoard`   | sysfs status-board shards                           |
+//! | 7     | `Notify`       | condvar pairing mutexes (always leaf)               |
+//!
+//! This mirrors the real call chains: a frontend op holds its own lock
+//! while kicking the device (1→2), device processing holds the queue
+//! while entering a backend rank slot (2→3), a backend charges the
+//! scheduler from inside its slot (3→4), the manager probes the sysfs
+//! claim counters while holding a table shard (5→6), and every condvar
+//! wait parks on a dedicated notify mutex holding nothing else (→7).
+//!
+//! **Same-level rule:** shards of one structure are ordered by shard
+//! index; acquiring the same level again is legal only with a
+//! non-decreasing index (how `lock_all`-style sweeps take every shard
+//! in ascending order).
+//!
+//! # Usage
+//!
+//! Acquire the token *immediately before* the lock and keep it alive for
+//! the critical section:
+//!
+//! ```
+//! use simkit::lockorder::{ordered, LockLevel};
+//! let _ord = ordered(LockLevel::ManagerTable, 3);
+//! // ... shard 3's mutex is locked here ...
+//! // token drop ends the tracked hold
+//! ```
+//!
+//! In release builds `ordered` compiles to a unit token — zero cost on
+//! the hot paths the sharding exists to speed up.
+
+/// A level in the system-wide lock hierarchy (ascending acquisition
+/// order; see the module docs for the full table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum LockLevel {
+    /// Frontend batch/prefetch/session state.
+    Frontend = 1,
+    /// Virtio device queue and guest-memory cell.
+    DeviceQueue = 2,
+    /// A backend's rank mapping slot (the sched safe point).
+    RankSlot = 3,
+    /// Scheduler tenant shards (accounts and leases).
+    SchedState = 4,
+    /// Manager rank-table shards.
+    ManagerTable = 5,
+    /// Sysfs status-board shards.
+    SysfsBoard = 6,
+    /// Condvar pairing mutexes — always the innermost lock.
+    Notify = 7,
+}
+
+#[cfg(debug_assertions)]
+mod imp {
+    use super::LockLevel;
+    use std::cell::RefCell;
+
+    thread_local! {
+        static HELD: RefCell<Vec<(LockLevel, usize)>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// Debug-build token: registered on the per-thread hold stack while
+    /// alive.
+    #[derive(Debug)]
+    pub struct LockToken {
+        level: LockLevel,
+        index: usize,
+    }
+
+    pub fn ordered(level: LockLevel, index: usize) -> LockToken {
+        HELD.with(|h| {
+            let mut held = h.borrow_mut();
+            if let Some(&(top_level, top_index)) = held.last() {
+                let ok = level > top_level || (level == top_level && index >= top_index);
+                assert!(
+                    ok,
+                    "lock-order violation: acquiring {level:?}[{index}] while holding \
+                     {top_level:?}[{top_index}] (full stack: {held:?}) — see \
+                     simkit::lockorder for the legal hierarchy"
+                );
+            }
+            held.push((level, index));
+        });
+        LockToken { level, index }
+    }
+
+    impl Drop for LockToken {
+        fn drop(&mut self) {
+            HELD.with(|h| {
+                let mut held = h.borrow_mut();
+                // Drops are usually LIFO, but guards may legally outlive
+                // one another in either order — remove the matching entry
+                // closest to the top.
+                if let Some(pos) =
+                    held.iter().rposition(|&(l, i)| l == self.level && i == self.index)
+                {
+                    held.remove(pos);
+                }
+            });
+        }
+    }
+}
+
+#[cfg(not(debug_assertions))]
+mod imp {
+    use super::LockLevel;
+
+    /// Release-build token: a zero-sized no-op.
+    #[derive(Debug)]
+    pub struct LockToken;
+
+    #[inline(always)]
+    pub fn ordered(_level: LockLevel, _index: usize) -> LockToken {
+        LockToken
+    }
+}
+
+pub use imp::LockToken;
+
+/// Registers an intent to acquire a lock at `level` (shard `index`) and
+/// returns a token that must live for the duration of the hold. Panics in
+/// debug builds when the acquisition violates the hierarchy; free in
+/// release builds.
+#[must_use]
+pub fn ordered(level: LockLevel, index: usize) -> LockToken {
+    imp::ordered(level, index)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascending_acquisition_is_legal() {
+        let a = ordered(LockLevel::Frontend, 0);
+        let b = ordered(LockLevel::DeviceQueue, 0);
+        let c = ordered(LockLevel::SchedState, 2);
+        drop(a);
+        drop(b);
+        drop(c);
+        // Fresh sequence after release.
+        let _x = ordered(LockLevel::Notify, 0);
+    }
+
+    #[test]
+    fn same_level_ascending_index_is_legal() {
+        let _g: Vec<_> = (0..4).map(|i| ordered(LockLevel::ManagerTable, i)).collect();
+    }
+
+    #[test]
+    fn out_of_order_drop_keeps_the_stack_sane() {
+        let a = ordered(LockLevel::RankSlot, 0);
+        let b = ordered(LockLevel::SchedState, 0);
+        drop(a); // dropped before b — must not confuse tracking
+        drop(b);
+        let _c = ordered(LockLevel::Frontend, 0);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "lock-order violation")]
+    fn descending_level_panics_in_debug() {
+        let _board = ordered(LockLevel::SysfsBoard, 0);
+        let _table = ordered(LockLevel::ManagerTable, 0);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "lock-order violation")]
+    fn same_level_descending_index_panics_in_debug() {
+        let _three = ordered(LockLevel::ManagerTable, 3);
+        let _one = ordered(LockLevel::ManagerTable, 1);
+    }
+}

@@ -33,13 +33,12 @@
 //!   `hits + misses` (total takes), `bytes`, and the drained `outstanding`
 //!   level are deterministic quantities.
 
-use std::cell::Cell;
 use std::ops::{Deref, DerefMut};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use crate::stripe;
 use crate::telemetry::{Counter, Gauge, MetricsRegistry};
 
 /// Smallest size class, log2 (64 B — one DDR burst line).
@@ -69,18 +68,12 @@ fn class_size(class: usize) -> usize {
 }
 
 /// The shard the calling thread parks buffers on (assigned round-robin on
-/// first use, so worker pools spread evenly over the shards).
+/// first use, so worker pools spread evenly over the shards). The
+/// assignment is the process-wide [`stripe::thread_slot`] — the same
+/// placement the striped telemetry cells and the sharded control plane
+/// use, so one thread's hot structures stay co-located.
 fn shard_index() -> usize {
-    static NEXT: AtomicUsize = AtomicUsize::new(0);
-    thread_local! {
-        static SHARD: Cell<usize> = const { Cell::new(usize::MAX) };
-    }
-    SHARD.with(|s| {
-        if s.get() == usize::MAX {
-            s.set(NEXT.fetch_add(1, Ordering::Relaxed) % SHARDS);
-        }
-        s.get()
-    })
+    stripe::thread_slot(SHARDS)
 }
 
 #[derive(Debug)]

@@ -1,0 +1,88 @@
+//! Thread-to-stripe assignment shared by every sharded structure.
+//!
+//! [`BytePool`](crate::pool::BytePool) introduced the idiom: split a hot
+//! structure into a small fixed number of independently-locked (or
+//! independently-written) stripes and bind each thread to one stripe
+//! round-robin on first use, so steady-state worker pools spread evenly
+//! and rarely contend. The sharded control plane (manager rank table,
+//! sched admission queue, striped telemetry cells) reuses the same
+//! assignment so one thread consistently lands on the same stripe across
+//! *all* striped structures — good for cache locality and for reasoning
+//! about contention.
+//!
+//! The assignment is process-global: the first `n` distinct threads get
+//! distinct stripes (for any stripe count dividing the global counter the
+//! spread stays round-robin). The raw per-thread ticket is stable for the
+//! thread's lifetime; [`thread_slot`] reduces it modulo the caller's
+//! stripe count, so structures with different stripe counts still agree
+//! on relative thread placement.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Default stripe count for striped structures (matches
+/// [`crate::pool::SHARDS`] — one stripe per steady-state worker of the
+/// default 8-thread pool).
+pub const STRIPES: usize = 8;
+
+/// The calling thread's stable ticket (assigned round-robin on first use).
+fn thread_ticket() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static TICKET: Cell<usize> = const { Cell::new(usize::MAX) };
+    }
+    TICKET.with(|t| {
+        if t.get() == usize::MAX {
+            t.set(NEXT.fetch_add(1, Ordering::Relaxed));
+        }
+        t.get()
+    })
+}
+
+/// The calling thread's stripe in `[0, n)` — stable for the thread's
+/// lifetime, spread round-robin over threads in creation order.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn thread_slot(n: usize) -> usize {
+    assert!(n > 0, "stripe count must be nonzero");
+    thread_ticket() % n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_is_stable_within_a_thread() {
+        let a = thread_slot(STRIPES);
+        let b = thread_slot(STRIPES);
+        assert_eq!(a, b);
+        assert!(a < STRIPES);
+    }
+
+    #[test]
+    fn different_counts_agree_on_the_same_ticket() {
+        let wide = thread_slot(64);
+        let narrow = thread_slot(8);
+        assert_eq!(wide % 8, narrow);
+    }
+
+    #[test]
+    fn threads_spread_over_slots() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let seen = Mutex::new(HashSet::new());
+        std::thread::scope(|s| {
+            for _ in 0..32 {
+                s.spawn(|| {
+                    seen.lock().unwrap().insert(thread_slot(4));
+                });
+            }
+        });
+        // 32 round-robin tickets over 4 slots must cover every slot.
+        assert_eq!(seen.lock().unwrap().len(), 4);
+    }
+}

@@ -8,12 +8,15 @@
 //!
 //! * [`MetricsRegistry`] — a shared, cloneable handle to a process-wide (or
 //!   per-system) set of named metrics. Reads and writes on the hot path are
-//!   single atomic operations; the registry lock is only taken when a
-//!   metric handle is first created or a snapshot is taken.
+//!   single atomic operations; handle lookup takes a shared read lock, and
+//!   the write lock is only taken when a metric is first created.
 //! * [`Counter`], [`Gauge`], [`TimeCounter`], [`VtHistogram`] — typed
 //!   instruments. Handles are `Arc`-backed clones of the registered slot,
 //!   so a component can keep a hot local handle and the registry still sees
-//!   every update.
+//!   every update. Counters, gauges and time counters accumulate into
+//!   per-worker cache-padded stripes (the [`crate::pool::BytePool`] shard
+//!   idiom via [`crate::stripe`]) folded on read — concurrent data-path
+//!   increments are uncontended and totals stay exact.
 //! * [`Span`] — a named position in a dot-separated hierarchy
 //!   (`"sdk.launch.driver.ci"`). Recording into a span charges its own
 //!   [`TimeCounter`], bumps its event counter, and feeds its latency
@@ -54,16 +57,81 @@ use std::fmt;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parking_lot::RwLock;
 
+use crate::stripe::{thread_slot, STRIPES};
 use crate::time::VirtualNanos;
+
+/// One cache line's worth of unsigned accumulator — padded so adjacent
+/// stripes of one instrument never share a line (false sharing is the
+/// whole cost striping exists to remove).
+#[derive(Debug, Default)]
+#[repr(align(64))]
+struct PaddedU64(AtomicU64);
+
+/// One cache line's worth of signed accumulator.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+struct PaddedI64(AtomicI64);
+
+/// A `u64` accumulator striped over [`STRIPES`] cache-padded cells.
+///
+/// Writers land on their thread's stripe ([`thread_slot`]) so concurrent
+/// increments from a worker pool touch disjoint cache lines; readers fold
+/// the stripes by summation, which is **exact**: the total is the sum of
+/// per-stripe sums regardless of which thread wrote where.
+#[derive(Debug, Default)]
+struct StripedU64 {
+    cells: [PaddedU64; STRIPES],
+}
+
+impl StripedU64 {
+    fn add(&self, n: u64) {
+        self.cells[thread_slot(STRIPES)].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn sum(&self) -> u64 {
+        self.cells.iter().map(|c| c.0.load(Ordering::Relaxed)).sum()
+    }
+}
+
+/// An `i64` accumulator striped like [`StripedU64`].
+#[derive(Debug, Default)]
+struct StripedI64 {
+    cells: [PaddedI64; STRIPES],
+}
+
+impl StripedI64 {
+    fn add(&self, n: i64) {
+        self.cells[thread_slot(STRIPES)].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn sum(&self) -> i64 {
+        self.cells.iter().map(|c| c.0.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Forces the folded level to `v`: the calling thread's stripe takes
+    /// the whole value, every other stripe is zeroed. Exact when no
+    /// writer races the set (the only supported use — level resets happen
+    /// at quiesce points).
+    fn set(&self, v: i64) {
+        let home = thread_slot(STRIPES);
+        for (i, cell) in self.cells.iter().enumerate() {
+            cell.0.store(if i == home { v } else { 0 }, Ordering::Relaxed);
+        }
+    }
+}
 
 /// A monotonically increasing event counter.
 ///
-/// Cloning shares the underlying cell, so the same counter can live in a
-/// component's hot path and in the registry simultaneously.
+/// Cloning shares the underlying cells, so the same counter can live in a
+/// component's hot path and in the registry simultaneously. Increments
+/// are striped per worker thread over cache-padded cells (the
+/// [`crate::pool::BytePool`] shard idiom) and folded on [`Counter::get`],
+/// so data-path increments from concurrent workers are uncontended while
+/// totals stay exact.
 #[derive(Debug, Clone, Default)]
-pub struct Counter(Arc<AtomicU64>);
+pub struct Counter(Arc<StripedU64>);
 
 impl Counter {
     /// A fresh, unregistered counter (register it with
@@ -80,20 +148,25 @@ impl Counter {
 
     /// Adds `n`.
     pub fn add(&self, n: u64) {
-        self.0.fetch_add(n, Ordering::Relaxed);
+        self.0.add(n);
     }
 
-    /// Current value.
+    /// Current value (folds the per-worker stripes; exact).
     #[must_use]
     pub fn get(&self) -> u64 {
-        self.0.load(Ordering::Relaxed)
+        self.0.sum()
     }
 }
 
 /// An instantaneous level that can move both ways (queue depths, pool
 /// occupancy).
+///
+/// Striped like [`Counter`]: `add`/`sub` touch only the calling thread's
+/// cache-padded stripe, and the folded level is exact because additions
+/// commute. Balanced add/sub sequences therefore fold back to zero no
+/// matter which threads performed them.
 #[derive(Debug, Clone, Default)]
-pub struct Gauge(Arc<AtomicI64>);
+pub struct Gauge(Arc<StripedI64>);
 
 impl Gauge {
     /// A fresh, unregistered gauge.
@@ -102,31 +175,34 @@ impl Gauge {
         Gauge::default()
     }
 
-    /// Sets the level.
+    /// Sets the level. Only exact when no `add`/`sub` races it — use it
+    /// at quiesce points; prefer delta updates on concurrent paths.
     pub fn set(&self, v: i64) {
-        self.0.store(v, Ordering::Relaxed);
+        self.0.set(v);
     }
 
     /// Moves the level up by `n`.
     pub fn add(&self, n: i64) {
-        self.0.fetch_add(n, Ordering::Relaxed);
+        self.0.add(n);
     }
 
     /// Moves the level down by `n`.
     pub fn sub(&self, n: i64) {
-        self.0.fetch_sub(n, Ordering::Relaxed);
+        // Wrapping negation matches the old fetch_sub semantics at the
+        // i64::MIN edge.
+        self.0.add(n.wrapping_neg());
     }
 
-    /// Current level.
+    /// Current level (folds the per-worker stripes; exact).
     #[must_use]
     pub fn get(&self) -> i64 {
-        self.0.load(Ordering::Relaxed)
+        self.0.sum()
     }
 }
 
-/// An accumulator of virtual time.
+/// An accumulator of virtual time, striped like [`Counter`].
 #[derive(Debug, Clone, Default)]
-pub struct TimeCounter(Arc<AtomicU64>);
+pub struct TimeCounter(Arc<StripedU64>);
 
 impl TimeCounter {
     /// A fresh, unregistered time counter.
@@ -137,16 +213,16 @@ impl TimeCounter {
 
     /// Accumulates a duration (saturating).
     pub fn add(&self, d: VirtualNanos) {
-        // fetch_update would loop; a relaxed fetch_add is fine because the
-        // only way to overflow u64 nanoseconds is a pre-saturated input,
-        // which VirtualNanos arithmetic already flags upstream.
-        self.0.fetch_add(d.as_nanos(), Ordering::Relaxed);
+        // A relaxed striped add is fine because the only way to overflow
+        // u64 nanoseconds is a pre-saturated input, which VirtualNanos
+        // arithmetic already flags upstream.
+        self.0.add(d.as_nanos());
     }
 
-    /// Accumulated total.
+    /// Accumulated total (folds the per-worker stripes; exact).
     #[must_use]
     pub fn get(&self) -> VirtualNanos {
-        VirtualNanos::from_nanos(self.0.load(Ordering::Relaxed))
+        VirtualNanos::from_nanos(self.0.sum())
     }
 }
 
@@ -411,8 +487,10 @@ impl MetricsSnapshot {
 
 /// A shared, cloneable registry of named metrics.
 ///
-/// Creating or looking up a handle takes the registry mutex; recording
-/// through a handle is a single atomic. Names are dot-separated paths
+/// Looking up an existing handle takes a read lock (shared, so concurrent
+/// workers resolving handles don't serialize); only the *first* creation
+/// of a name takes the write lock. Recording through a handle is a single
+/// uncontended striped atomic. Names are dot-separated paths
 /// (`"frontend.prefetch.hits"`). Re-requesting a name returns a handle to
 /// the same cell.
 ///
@@ -423,7 +501,7 @@ impl MetricsSnapshot {
 /// metric's type is a wiring bug worth failing loudly on.
 #[derive(Debug, Clone, Default)]
 pub struct MetricsRegistry {
-    slots: Arc<Mutex<BTreeMap<String, Slot>>>,
+    slots: Arc<RwLock<BTreeMap<String, Slot>>>,
 }
 
 impl MetricsRegistry {
@@ -434,7 +512,12 @@ impl MetricsRegistry {
     }
 
     fn slot(&self, name: &str, make: impl FnOnce() -> Slot) -> Slot {
-        let mut slots = self.slots.lock();
+        // Fast path: the name almost always exists already (handles are
+        // created once and cached); a shared read suffices.
+        if let Some(slot) = self.slots.read().get(name) {
+            return slot.clone();
+        }
+        let mut slots = self.slots.write();
         slots.entry(name.to_string()).or_insert_with(make).clone()
     }
 
@@ -501,10 +584,11 @@ impl MetricsRegistry {
         Span::new(self.clone(), name.to_string())
     }
 
-    /// Copies every registered metric into an ordered snapshot.
+    /// Copies every registered metric into an ordered snapshot, folding
+    /// each instrument's per-worker stripes into its exact total.
     #[must_use]
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let slots = self.slots.lock();
+        let slots = self.slots.read();
         MetricsSnapshot {
             values: slots
                 .iter()
@@ -528,7 +612,7 @@ impl MetricsRegistry {
     /// Names currently registered, in order.
     #[must_use]
     pub fn names(&self) -> Vec<String> {
-        self.slots.lock().keys().cloned().collect()
+        self.slots.read().keys().cloned().collect()
     }
 }
 
@@ -956,6 +1040,45 @@ mod tests {
         assert_eq!(snap.time("t").as_nanos(), 9);
         assert_eq!(snap.level("g"), -3);
         assert_eq!(snap.count("s.events"), 1);
+    }
+
+    #[test]
+    fn striped_totals_fold_exactly_across_threads() {
+        // The closed-form oracle for the striped cells: T threads each add
+        // K ones to a counter, K nanos to a time counter, and a balanced
+        // +1/-1 pair to a gauge. Totals must fold to exactly T*K / T*K / 0
+        // regardless of which stripe each thread landed on.
+        let c = Counter::new();
+        let t = TimeCounter::new();
+        let g = Gauge::new();
+        const T: usize = 16;
+        const K: u64 = 1000;
+        std::thread::scope(|s| {
+            for _ in 0..T {
+                let (c, t, g) = (c.clone(), t.clone(), g.clone());
+                s.spawn(move || {
+                    for _ in 0..K {
+                        c.inc();
+                        t.add(VirtualNanos::from_nanos(1));
+                        g.add(1);
+                        g.sub(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), T as u64 * K);
+        assert_eq!(t.get().as_nanos(), T as u64 * K);
+        assert_eq!(g.get(), 0);
+    }
+
+    #[test]
+    fn gauge_set_overrides_folded_level() {
+        let g = Gauge::new();
+        g.add(7);
+        g.set(3);
+        assert_eq!(g.get(), 3);
+        g.set(-1);
+        assert_eq!(g.get(), -1);
     }
 
     #[test]

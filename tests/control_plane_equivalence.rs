@@ -1,0 +1,308 @@
+//! Differential (oracle-backed) suite for the sharded control plane.
+//!
+//! PR 7 sharded the manager's rank table, the scheduler's admission
+//! queue, and the scheduler's tenant state. The pre-sharding single-lock
+//! implementations were retained verbatim —
+//! [`vpim::manager::reference::ReferenceTable`] and
+//! [`vpim::sched::AdmissionQueue`] — and this suite replays generated op
+//! sequences against both implementations, asserting identical grant
+//! orders, rank states, head orders, statistics and `sched.*` registry
+//! totals. Any semantic drift introduced by sharding fails here first.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use proptest::prelude::*;
+use simkit::{CostModel, MetricsRegistry};
+use upmem_driver::{RankStatus, UpmemDriver};
+use upmem_sim::{PimConfig, PimMachine};
+use vpim::manager::reference::ReferenceTable;
+use vpim::manager::table::TableState;
+use vpim::manager::{Manager, ManagerConfig, RankState};
+use vpim::sched::{AdmissionQueue, RankSlot, SchedPolicy, Scheduler, ShardedAdmissionQueue};
+use vpim::SchedSection;
+
+const RANKS: usize = 5;
+
+fn driver() -> Arc<UpmemDriver> {
+    let cfg = PimConfig {
+        ranks: RANKS,
+        functional_dpus: vec![2; RANKS],
+        mram_size: 1 << 14,
+        ..PimConfig::small()
+    };
+    Arc::new(UpmemDriver::new(PimMachine::new(cfg)))
+}
+
+fn quick() -> Duration {
+    Duration::from_millis(2)
+}
+
+/// One synthetic sysfs sweep: the test owns the status/claims vectors and
+/// feeds the *same* snapshot to both tables, so reconciliation decisions
+/// depend only on table state — which must match.
+#[derive(Clone)]
+struct FakeBoard {
+    status: Vec<RankStatus>,
+    claims: Vec<u64>,
+}
+
+impl FakeBoard {
+    fn new() -> Self {
+        FakeBoard { status: vec![RankStatus::Free; RANKS], claims: vec![0; RANKS] }
+    }
+
+    fn snapshot(&self) -> Vec<(RankStatus, u64)> {
+        self.status.iter().cloned().zip(self.claims.iter().copied()).collect()
+    }
+}
+
+proptest! {
+    /// The sharded rank table and the single-lock oracle walk identical
+    /// state machines for any op sequence: same alloc outcomes (rank and
+    /// reuse flag), same reconciliation decisions, same per-rank states,
+    /// same statistics and transition counts.
+    #[test]
+    fn sharded_table_matches_single_lock_oracle(
+        ops in proptest::collection::vec((0u8..6, 0u8..32), 1..40),
+    ) {
+        let sharded = TableState::new(driver(), CostModel::default());
+        let oracle = ReferenceTable::new(driver(), CostModel::default());
+        let owners = ["vm-a", "vm-b", "vm-c", "vm-d"];
+        let mut board = FakeBoard::new();
+        for (op, arg) in ops {
+            let rank = arg as usize % RANKS;
+            match op {
+                0 => {
+                    // Alloc: identical outcome or identical error.
+                    let owner = owners[arg as usize % owners.len()];
+                    let a = sharded.alloc(owner, quick(), 1);
+                    let b = oracle.alloc(owner, quick(), 1);
+                    match (a, b) {
+                        (Ok(x), Ok(y)) => {
+                            prop_assert_eq!(x.rank, y.rank);
+                            prop_assert_eq!(x.reused, y.reused);
+                        }
+                        (Err(_), Err(_)) => {}
+                        (x, y) => {
+                            return Err(TestCaseError::fail(format!(
+                                "alloc diverged: sharded={x:?} oracle={y:?}"
+                            )));
+                        }
+                    }
+                }
+                1 => {
+                    prop_assert_eq!(sharded.recycle(rank), oracle.recycle(rank));
+                }
+                2 => {
+                    prop_assert_eq!(sharded.mark_ckpt(rank), oracle.mark_ckpt(rank));
+                }
+                3 => {
+                    // Release observed by the (synthetic) sysfs sweep.
+                    board.claims[rank] += 1;
+                    board.status[rank] = RankStatus::Free;
+                    let snap = board.snapshot();
+                    prop_assert_eq!(
+                        sharded.sync_with_sysfs(&snap),
+                        oracle.sync_with_sysfs(&snap)
+                    );
+                }
+                4 => {
+                    // External (native app) claim observed by the sweep.
+                    board.claims[rank] += 1;
+                    board.status[rank] = RankStatus::InUse { owner: "native:app".into() };
+                    let snap = board.snapshot();
+                    prop_assert_eq!(
+                        sharded.sync_with_sysfs(&snap),
+                        oracle.sync_with_sysfs(&snap)
+                    );
+                }
+                _ => {
+                    // Reset worker runs (both sides claim/erase through
+                    // their own identically-configured driver).
+                    sharded.reset_rank(rank);
+                    oracle.reset_rank(rank);
+                }
+            }
+            // After every op: identical per-rank states via both the
+            // locked oracle read and the sharded table's lock-free path.
+            let want = oracle.states();
+            prop_assert_eq!(sharded.states(), want.clone());
+            for (r, w) in want.iter().enumerate() {
+                prop_assert_eq!(sharded.state_of(r), Some(*w));
+            }
+        }
+        prop_assert_eq!(sharded.stats(), oracle.stats());
+        prop_assert_eq!(sharded.transitions(), oracle.transitions());
+    }
+}
+
+fn run_queue_pair(policy: SchedPolicy, ops: &[(u8, u8)]) -> Result<(), TestCaseError> {
+    let sharded = ShardedAdmissionQueue::new(policy);
+    let mut oracle = AdmissionQueue::new(policy);
+    let mut live: Vec<(String, u64)> = Vec::new();
+    for &(op, arg) in ops {
+        match op {
+            0 | 1 => {
+                // Push: the sharded queue assigns the ticket (drawn inside
+                // the owning shard's lock); the oracle is fed the same one.
+                let tenant = format!("vm-{}", arg % 6);
+                let vruntime = u64::from(arg) * 17;
+                let ticket = sharded.push(&tenant, vruntime);
+                oracle.push(&tenant, ticket, vruntime);
+                live.push((tenant, ticket));
+            }
+            2 => {
+                if live.is_empty() {
+                    continue;
+                }
+                let (tenant, ticket) = live.swap_remove(arg as usize % live.len());
+                prop_assert!(sharded.remove_of(&tenant, ticket));
+                prop_assert!(oracle.remove(ticket));
+            }
+            _ => {
+                // Pop the merged head; the oracle must agree on who it was.
+                let popped = sharded.pop_head();
+                let want = oracle.head().cloned();
+                match (&popped, &want) {
+                    (Some(p), Some(w)) => {
+                        prop_assert_eq!(p.ticket, w.ticket);
+                        prop_assert_eq!(&p.tenant, &w.tenant);
+                        prop_assert!(oracle.remove(w.ticket));
+                        live.retain(|(_, t)| *t != p.ticket);
+                    }
+                    (None, None) => {}
+                    _ => {
+                        return Err(TestCaseError::fail(format!(
+                            "pop diverged: sharded={popped:?} oracle={want:?}"
+                        )));
+                    }
+                }
+            }
+        }
+        // Invariants after every op: same head, same depth, same tickets.
+        let want = oracle.head().cloned();
+        let got = sharded.head();
+        prop_assert_eq!(
+            got.as_ref().map(|w| (w.tenant.clone(), w.ticket)),
+            want.map(|w| (w.tenant.clone(), w.ticket))
+        );
+        prop_assert_eq!(sharded.len(), oracle.len());
+        for (_, ticket) in &live {
+            prop_assert!(sharded.contains(*ticket));
+            prop_assert!(oracle.contains(*ticket));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    /// The sharded admission queue serves exactly the oracle's head — for
+    /// both policies — under any push/remove/pop interleaving.
+    #[test]
+    fn sharded_queue_matches_oracle_under_both_policies(
+        ops in proptest::collection::vec((0u8..4, 0u8..64), 1..60),
+    ) {
+        run_queue_pair(SchedPolicy::Fifo, &ops)?;
+        run_queue_pair(SchedPolicy::WeightedFair, &ops)?;
+    }
+}
+
+struct SchedHost {
+    _driver: Arc<UpmemDriver>,
+    mgr: Manager,
+    sched: Scheduler,
+    registry: MetricsRegistry,
+    slots: Vec<RankSlot>,
+}
+
+fn sched_host(ranks: usize, shards: usize, tenants: usize) -> SchedHost {
+    let cfg = PimConfig {
+        ranks,
+        functional_dpus: vec![2; ranks],
+        mram_size: 1 << 14,
+        ..PimConfig::small()
+    };
+    let driver = Arc::new(UpmemDriver::new(PimMachine::new(cfg)));
+    let mcfg = ManagerConfig {
+        retry_timeout: Duration::from_millis(2),
+        max_attempts: 1,
+        ..ManagerConfig::default()
+    };
+    let registry = MetricsRegistry::new();
+    let mgr = Manager::start(driver.clone(), CostModel::default(), mcfg);
+    let sched = Scheduler::new_with_shards(
+        driver.clone(),
+        mgr.client(),
+        SchedSection::default(),
+        CostModel::default(),
+        &registry,
+        shards,
+    );
+    let slots = (0..tenants).map(|_| vpim::sched::empty_slot()).collect();
+    SchedHost { _driver: driver, mgr, sched, registry, slots }
+}
+
+impl SchedHost {
+    /// Applies one acquire-or-release touch; returns the grant's rank (or
+    /// None on error/release) so grant orders can be compared.
+    fn touch(&self, t: usize) -> Option<usize> {
+        let tenant = format!("vm-{t}");
+        let mut guard = self.slots[t].lock();
+        if guard.is_none() {
+            match self.sched.acquire(&tenant, &self.slots[t]) {
+                Ok(grant) => {
+                    let rank = grant.rank;
+                    *guard = Some(grant.mapping);
+                    Some(rank)
+                }
+                Err(_) => None,
+            }
+        } else {
+            let mapping = guard.take().expect("linked");
+            let rank = mapping.rank_id();
+            drop(mapping);
+            drop(guard);
+            self.sched.notify_release(&tenant);
+            // Expedite observe → reset → NAAV so the next touch sees a
+            // deterministic table regardless of observer timing.
+            self.mgr.sync_now();
+            assert!(
+                self.mgr.wait_for_state(rank, RankState::Naav, Duration::from_secs(5)),
+                "released rank must recycle"
+            );
+            None
+        }
+    }
+}
+
+proptest! {
+    /// A scheduler with 8 control shards and one with a single shard
+    /// (the pre-sharding degenerate) hand out identical grant sequences
+    /// and end with identical `sched.*` registry totals for any sequence
+    /// of dedicated-mode touches.
+    #[test]
+    fn sharded_scheduler_matches_single_shard_grants_and_totals(
+        touches in proptest::collection::vec(0usize..4, 1..24),
+    ) {
+        let many = sched_host(2, 8, 4);
+        let one = sched_host(2, 1, 4);
+        for &t in &touches {
+            let a = many.touch(t);
+            let b = one.touch(t);
+            prop_assert_eq!(a, b);
+        }
+        let (snap_many, snap_one) = (many.registry.snapshot(), one.registry.snapshot());
+        for name in ["sched.grants", "sched.preemptions", "sched.restores"] {
+            prop_assert_eq!(snap_many.count(name), snap_one.count(name));
+        }
+        for t in 0..4 {
+            let wait = format!("sched.wait.vm-{t}");
+            prop_assert_eq!(snap_many.get(&wait).cloned(), snap_one.get(&wait).cloned());
+        }
+        prop_assert_eq!(many.sched.queue_depth(), 0);
+        prop_assert_eq!(one.sched.queue_depth(), 0);
+        many.mgr.shutdown();
+        one.mgr.shutdown();
+    }
+}
