@@ -9,9 +9,11 @@
 # integrity/leak gate, the fault-injection chaos gate with its seed
 # matrix, the sharded-control-plane gate (oracle differential + exact
 # end-state churn accounting + the contention bench, refreshes
-# BENCH_control_plane.json), and the load gate (1k-session service-level
+# BENCH_control_plane.json), the load gate (1k-session service-level
 # smoke, bit-identical LoadReport across thread counts, refreshes
-# BENCH_load.json).
+# BENCH_load.json), and the cluster gate (migration determinism under
+# varied harness parallelism plus the 1/2/4-host consolidation bench,
+# refreshes BENCH_cluster.json).
 tier1:
 	sh ci/offline-gate.sh
 	sh ci/stress-gate.sh
@@ -20,6 +22,7 @@ tier1:
 	sh ci/chaos-gate.sh
 	sh ci/shard-gate.sh
 	sh ci/load-gate.sh
+	sh ci/cluster-gate.sh
 
 build:
 	cargo build --offline --workspace

@@ -1,0 +1,35 @@
+#!/usr/bin/env sh
+# Cluster gate: proves the fleet plane and live rank migration (ISSUE 8)
+# are deterministic and publishes the consolidation benchmark.
+#
+#   1. The migration suite (`cluster_migration`: bit-identity across
+#      dispatch modes, pre-copy downtime, fault rollback, the 8-seed
+#      chaos sweep and the placement proptest), run under serialized
+#      and highly parallel test harnesses — virtual-time results must
+#      not depend on harness scheduling;
+#   2. the `cluster` criterion bench climbing the consolidation ladder
+#      for fleets of 1, 2 and 4 hosts at a fixed p99 sojourn bound; the
+#      bench itself asserts the curve is monotone (more hosts never
+#      sustain fewer sessions) and its JSON summary is published as
+#      BENCH_cluster.json at the repo root.
+#
+# Usage: ci/cluster-gate.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+for threads in 1 8; do
+    echo "== cluster gate: RUST_TEST_THREADS=$threads =="
+    RUST_TEST_THREADS=$threads cargo test --release --offline -q \
+        --test cluster_migration
+done
+
+echo "== cluster gate: consolidation bench (1 vs 2 vs 4 hosts) =="
+OUT_DIR="${TMPDIR:-/tmp}"
+BENCH_OUT="$OUT_DIR/vpim-cluster-bench.json"
+rm -f "$BENCH_OUT"
+CLUSTER_BENCH_OUT="$BENCH_OUT" \
+    cargo bench --offline -p vpim-bench --bench cluster
+
+cp "$BENCH_OUT" BENCH_cluster.json
+echo "== cluster gate: OK (BENCH_cluster.json refreshed) =="

@@ -36,11 +36,17 @@ pub enum FaultSite {
     /// The scheduler's checkpoint path stalls at the safe point
     /// (`sched.ckpt.stall`).
     CkptStall,
+    /// An inter-host link transfer is dropped mid-migration
+    /// (`cluster.link.drop`).
+    LinkDrop,
+    /// The migration engine stalls at its safe point in wall-clock time
+    /// (`cluster.migrate.stall`).
+    MigrateStall,
 }
 
 impl FaultSite {
     /// Every site, in stack order (guest-facing first).
-    pub const ALL: [FaultSite; 10] = [
+    pub const ALL: [FaultSite; 12] = [
         FaultSite::KickDrop,
         FaultSite::IrqDelay,
         FaultSite::MemEio,
@@ -51,6 +57,8 @@ impl FaultSite {
         FaultSite::LaunchFault,
         FaultSite::ManagerRpc,
         FaultSite::CkptStall,
+        FaultSite::LinkDrop,
+        FaultSite::MigrateStall,
     ];
 
     /// The fault-point name this site arms on the plane.
@@ -67,6 +75,8 @@ impl FaultSite {
             FaultSite::LaunchFault => "sim.launch.fault",
             FaultSite::ManagerRpc => "manager.rpc",
             FaultSite::CkptStall => "sched.ckpt.stall",
+            FaultSite::LinkDrop => "cluster.link.drop",
+            FaultSite::MigrateStall => "cluster.migrate.stall",
         }
     }
 }

@@ -58,6 +58,7 @@
 #![warn(missing_docs)]
 
 pub mod backend;
+pub mod cluster;
 pub mod config;
 pub mod device;
 pub mod error;
@@ -71,6 +72,10 @@ pub mod spec;
 pub mod system;
 
 pub use backend::datapath::{CHUNK_STALL_POINT, CHUNK_TORN_WRITE_POINT};
+pub use cluster::{
+    Fleet, FleetLoadReport, FleetSpec, LinkSpec, MigrateMode, MigrateOpts, MigrationReport,
+    PlacementPolicy, LINK_DROP_POINT, MIGRATE_STALL_POINT,
+};
 pub use config::{FaultSite, FaultSpec, InjectSection, SchedSection, Variant, VpimConfig, VpimConfigBuilder};
 pub use error::VpimError;
 pub use frontend::{Frontend, ProbeOpts};
@@ -89,6 +94,10 @@ pub use system::{StartOpts, TenantSpec, VpimSystem, VpimVm};
 /// use vpim::prelude::*;
 /// ```
 pub mod prelude {
+    pub use crate::cluster::{
+        Fleet, FleetLoadReport, FleetSpec, LinkSpec, MigrateMode, MigrateOpts, MigrationReport,
+        PlacementPolicy,
+    };
     pub use crate::config::{Variant, VpimConfig, VpimConfigBuilder};
     pub use crate::error::VpimError;
     pub use crate::frontend::{Frontend, ProbeOpts};

@@ -59,7 +59,7 @@
 
 mod arrival;
 mod report;
-mod session;
+pub(crate) mod session;
 mod tenant;
 
 pub use arrival::Arrival;
@@ -157,6 +157,42 @@ impl LoadSpec {
     #[must_use]
     pub fn seed(&self) -> u64 {
         self.seed
+    }
+
+    /// The session count.
+    #[must_use]
+    pub fn n_sessions(&self) -> usize {
+        self.sessions
+    }
+
+    /// The configured arrival process.
+    #[must_use]
+    pub fn arrival_process(&self) -> Arrival {
+        self.arrival
+    }
+
+    /// The configured phase-B server count (0 = host rank count).
+    #[must_use]
+    pub fn server_count(&self) -> usize {
+        self.servers
+    }
+
+    /// The configured worker-thread count (0 = auto).
+    #[must_use]
+    pub fn worker_threads(&self) -> usize {
+        self.workers
+    }
+
+    /// The phase-A execution mode.
+    #[must_use]
+    pub fn execution_mode(&self) -> Execution {
+        self.exec
+    }
+
+    /// The configured patience bound, if any.
+    #[must_use]
+    pub fn patience_limit(&self) -> Option<VirtualNanos> {
+        self.patience
     }
 }
 
@@ -295,7 +331,7 @@ impl LoadHarness {
 
 /// `count` events over `span_ns` nanoseconds, in milli-events per virtual
 /// second — integer math so reports compare bit for bit.
-fn rate_milli_per_sec(count: u64, span_ns: u64) -> u64 {
+pub(crate) fn rate_milli_per_sec(count: u64, span_ns: u64) -> u64 {
     if span_ns == 0 {
         return 0;
     }

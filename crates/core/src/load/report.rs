@@ -37,7 +37,7 @@ impl LatencySummary {
         }
     }
 
-    fn json(&self, out: &mut String) {
+    pub(crate) fn json(&self, out: &mut String) {
         let _ = write!(
             out,
             "{{\"count\":{},\"total_ns\":{},\"p50_ns\":{},\"p99_ns\":{},\"p999_ns\":{}}}",

@@ -271,7 +271,11 @@ impl Scheduler {
                 generation: AtomicU64::new(0),
                 notify: Mutex::new(()),
                 changed: Condvar::new(),
-                store: SnapshotStore::new(cfg.park_budget_mib.saturating_mul(1 << 20)),
+                store: SnapshotStore::with_registry(
+                    cfg.park_budget_mib.saturating_mul(1 << 20),
+                    registry,
+                    "snapshot.bytes",
+                ),
                 metrics: SchedMetrics::from_registry(registry),
                 retry: RetryMetrics::from_registry(registry),
                 registry: registry.clone(),

@@ -3,6 +3,7 @@
 use std::collections::HashMap;
 
 use parking_lot::Mutex;
+use simkit::telemetry::{Gauge, MetricsRegistry};
 use upmem_sim::rank::RankSnapshot;
 
 /// Why a snapshot could not be parked.
@@ -53,13 +54,29 @@ struct Parked {
 pub struct SnapshotStore {
     budget_bytes: u64,
     inner: Mutex<HashMap<String, Parked>>,
+    /// Mirrors total parked bytes into a registry gauge when constructed
+    /// via [`with_registry`](Self::with_registry).
+    bytes_gauge: Option<Gauge>,
 }
 
 impl SnapshotStore {
     /// A store bounded to `budget_bytes` (0 = unlimited).
     #[must_use]
     pub fn new(budget_bytes: u64) -> Self {
-        SnapshotStore { budget_bytes, inner: Mutex::new(HashMap::new()) }
+        SnapshotStore { budget_bytes, inner: Mutex::new(HashMap::new()), bytes_gauge: None }
+    }
+
+    /// A store that mirrors its total parked bytes into `registry`'s
+    /// `gauge_name` gauge (the scheduler publishes `snapshot.bytes`, the
+    /// fleet's in-flight migration store `migrate.inflight.bytes`). The
+    /// gauge tracks every park/take/evict delta exactly.
+    #[must_use]
+    pub fn with_registry(budget_bytes: u64, registry: &MetricsRegistry, gauge_name: &str) -> Self {
+        SnapshotStore {
+            budget_bytes,
+            inner: Mutex::new(HashMap::new()),
+            bytes_gauge: Some(registry.gauge(gauge_name)),
+        }
     }
 
     /// The configured budget in bytes (0 = unlimited).
@@ -89,7 +106,10 @@ impl SnapshotStore {
                 budget: self.budget_bytes,
             });
         }
-        inner.insert(tenant.to_string(), Parked { snap, bytes });
+        let replaced = inner.insert(tenant.to_string(), Parked { snap, bytes });
+        if let Some(g) = &self.bytes_gauge {
+            g.add(bytes as i64 - replaced.map_or(0, |p| p.bytes as i64));
+        }
         Ok(bytes)
     }
 
@@ -97,13 +117,28 @@ impl SnapshotStore {
     /// of a re-grant).
     #[must_use]
     pub fn take(&self, tenant: &str) -> Option<RankSnapshot> {
-        self.inner.lock().remove(tenant).map(|p| p.snap)
+        let parked = self.inner.lock().remove(tenant);
+        if let (Some(g), Some(p)) = (&self.bytes_gauge, &parked) {
+            g.sub(p.bytes as i64);
+        }
+        parked.map(|p| p.snap)
     }
 
     /// Drops `tenant`'s parked checkpoint without restoring it (tenant
     /// shut down); returns whether one existed.
     pub fn evict(&self, tenant: &str) -> bool {
-        self.inner.lock().remove(tenant).is_some()
+        let parked = self.inner.lock().remove(tenant);
+        if let (Some(g), Some(p)) = (&self.bytes_gauge, &parked) {
+            g.sub(p.bytes as i64);
+        }
+        parked.is_some()
+    }
+
+    /// The accounted size of `tenant`'s parked checkpoint, if any — the
+    /// byte count migration charges against the inter-host link.
+    #[must_use]
+    pub fn bytes_of(&self, tenant: &str) -> Option<u64> {
+        self.inner.lock().get(tenant).map(|p| p.bytes)
     }
 
     /// Whether `tenant` has a parked checkpoint.
@@ -179,5 +214,39 @@ mod tests {
         assert!(store.evict("vm-a"));
         assert!(!store.evict("vm-a"));
         assert_eq!(store.used_bytes(), 0);
+    }
+
+    #[test]
+    fn bytes_of_reports_accounted_size() {
+        let store = SnapshotStore::new(0);
+        let snap = snap_with_bytes(512);
+        let bytes = store.park("vm-a", snap).unwrap();
+        assert_eq!(store.bytes_of("vm-a"), Some(bytes));
+        assert_eq!(store.bytes_of("vm-b"), None);
+        let _ = store.take("vm-a");
+        assert_eq!(store.bytes_of("vm-a"), None);
+    }
+
+    #[test]
+    fn registry_gauge_tracks_every_delta() {
+        let registry = MetricsRegistry::new();
+        let store = SnapshotStore::with_registry(0, &registry, "snapshot.bytes");
+        let gauge = registry.gauge("snapshot.bytes");
+        assert_eq!(gauge.get(), 0);
+
+        let small = store.park("vm-a", snap_with_bytes(64)).unwrap();
+        assert_eq!(gauge.get() as u64, small);
+
+        // Replacement adjusts by the delta, not the sum.
+        let big = store.park("vm-a", snap_with_bytes(4096)).unwrap();
+        assert_eq!(gauge.get() as u64, big);
+
+        let other = store.park("vm-b", snap_with_bytes(128)).unwrap();
+        assert_eq!(gauge.get() as u64, big + other);
+
+        let _ = store.take("vm-a");
+        assert_eq!(gauge.get() as u64, other);
+        assert!(store.evict("vm-b"));
+        assert_eq!(gauge.get(), 0);
     }
 }

@@ -276,6 +276,14 @@ impl VpimSystem {
         &self.sched
     }
 
+    /// Forces one synchronous manager rank sweep so freshly released
+    /// ranks re-enter the allocatable pool without waiting for the
+    /// background observer. The fleet plane calls this after tearing down
+    /// a migrated tenant's source VM (cross-host release → re-admit).
+    pub fn sync_ranks(&self) {
+        self.manager().sync_now();
+    }
+
     /// The optimization configuration VMs inherit.
     #[must_use]
     pub fn config(&self) -> &VpimConfig {

@@ -17,20 +17,31 @@
 //!
 //! | level | [`LockLevel`]  | guards                                              |
 //! |------:|----------------|-----------------------------------------------------|
-//! | 1     | `Frontend`     | frontend batch/prefetch/session state               |
-//! | 2     | `DeviceQueue`  | virtio device queue + guest-memory cell             |
-//! | 3     | `RankSlot`     | a backend's rank mapping slot (sched safe point)    |
-//! | 4     | `SchedState`   | scheduler tenant shards (accounts/leases)           |
-//! | 5     | `ManagerTable` | manager rank-table shards                           |
-//! | 6     | `SysfsBoard`   | sysfs status-board shards                           |
-//! | 7     | `Notify`       | condvar pairing mutexes (always leaf)               |
+//! | 1     | `Fleet`        | cluster tenant map + per-tenant entry state         |
+//! | 2     | `Placement`    | fleet placement/admission table                     |
+//! | 3     | `Frontend`     | frontend batch/prefetch/session state               |
+//! | 4     | `DeviceQueue`  | virtio device queue + guest-memory cell             |
+//! | 5     | `RankSlot`     | a backend's rank mapping slot (sched safe point)    |
+//! | 6     | `Link`         | inter-host network link serialization               |
+//! | 7     | `SchedState`   | scheduler tenant shards (accounts/leases)           |
+//! | 8     | `ManagerTable` | manager rank-table shards                           |
+//! | 9     | `SysfsBoard`   | sysfs status-board shards                           |
+//! | 10    | `Notify`       | condvar pairing mutexes (always leaf)               |
 //!
-//! This mirrors the real call chains: a frontend op holds its own lock
-//! while kicking the device (1→2), device processing holds the queue
-//! while entering a backend rank slot (2→3), a backend charges the
-//! scheduler from inside its slot (3→4), the manager probes the sysfs
-//! claim counters while holding a table shard (5→6), and every condvar
-//! wait parks on a dedicated notify mutex holding nothing else (→7).
+//! This mirrors the real call chains: the fleet plane pins a tenant's
+//! entry before reserving placement capacity (1→2) and before driving
+//! that tenant's frontends (1→3), a frontend op holds its own lock
+//! while kicking the device (3→4), device processing holds the queue
+//! while entering a backend rank slot (4→5), live migration ships
+//! snapshots over the link while the source ranks are quiesced under
+//! their slot locks (5→6), a backend charges the scheduler from inside
+//! its slot (5→7), the manager probes the sysfs claim counters while
+//! holding a table shard (8→9), and every condvar wait parks on a
+//! dedicated notify mutex holding nothing else (→10).
+//!
+//! `Link` sits *inside* `RankSlot` rather than alongside the other
+//! cluster locks because transfer time is charged while the shipped
+//! ranks are frozen — that hold window *is* the migration downtime.
 //!
 //! **Same-level rule:** shards of one structure are ordered by shard
 //! index; acquiring the same level again is legal only with a
@@ -57,20 +68,26 @@
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 #[repr(u8)]
 pub enum LockLevel {
+    /// Cluster tenant map (index 0) and per-tenant entry state (index 1).
+    Fleet = 1,
+    /// Fleet placement/admission table.
+    Placement = 2,
     /// Frontend batch/prefetch/session state.
-    Frontend = 1,
+    Frontend = 3,
     /// Virtio device queue and guest-memory cell.
-    DeviceQueue = 2,
+    DeviceQueue = 4,
     /// A backend's rank mapping slot (the sched safe point).
-    RankSlot = 3,
+    RankSlot = 5,
+    /// Inter-host link serialization (taken with source slots quiesced).
+    Link = 6,
     /// Scheduler tenant shards (accounts and leases).
-    SchedState = 4,
+    SchedState = 7,
     /// Manager rank-table shards.
-    ManagerTable = 5,
+    ManagerTable = 8,
     /// Sysfs status-board shards.
-    SysfsBoard = 6,
+    SysfsBoard = 9,
     /// Condvar pairing mutexes — always the innermost lock.
-    Notify = 7,
+    Notify = 10,
 }
 
 #[cfg(debug_assertions)]
@@ -179,12 +196,43 @@ mod tests {
         let _c = ordered(LockLevel::Frontend, 0);
     }
 
+    #[test]
+    fn fleet_chain_is_legal() {
+        // Launch path: tenant map → entry → placement → frontend.
+        let map = ordered(LockLevel::Fleet, 0);
+        let entry = ordered(LockLevel::Fleet, 1);
+        drop(map);
+        let place = ordered(LockLevel::Placement, 0);
+        drop(place);
+        let _fe = ordered(LockLevel::Frontend, 0);
+    }
+
+    #[test]
+    fn migration_chain_is_legal() {
+        // Stop-and-copy: entry → quiesced source slots → link → dest slot.
+        let _entry = ordered(LockLevel::Fleet, 1);
+        let _src: Vec<_> = (0..2).map(|_| ordered(LockLevel::RankSlot, 0)).collect();
+        {
+            let _link = ordered(LockLevel::Link, 0);
+        }
+        let _dst = ordered(LockLevel::RankSlot, 0);
+        let _sched = ordered(LockLevel::SchedState, 1);
+    }
+
     #[cfg(debug_assertions)]
     #[test]
     #[should_panic(expected = "lock-order violation")]
     fn descending_level_panics_in_debug() {
         let _board = ordered(LockLevel::SysfsBoard, 0);
         let _table = ordered(LockLevel::ManagerTable, 0);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "lock-order violation")]
+    fn taking_fleet_inside_frontend_panics_in_debug() {
+        let _fe = ordered(LockLevel::Frontend, 0);
+        let _fleet = ordered(LockLevel::Fleet, 0);
     }
 
     #[cfg(debug_assertions)]

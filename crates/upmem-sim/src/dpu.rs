@@ -279,6 +279,34 @@ impl DpuSnapshot {
     pub fn mram_bytes(&self) -> usize {
         self.mram.len()
     }
+
+    /// Bytes that differ from `base`: the dirty set a pre-copy migration
+    /// must re-send after shipping `base` as its warm round. Counts
+    /// byte-wise MRAM mismatches (residency growth/shrink counts in
+    /// full), changed or new host-symbol payloads, and the loaded kernel
+    /// image's IRAM footprint when the image changed.
+    #[must_use]
+    pub fn diff_bytes(&self, base: &DpuSnapshot) -> u64 {
+        let common = self.mram.len().min(base.mram.len());
+        let mut dirty = self.mram[..common]
+            .iter()
+            .zip(&base.mram[..common])
+            .filter(|(a, b)| a != b)
+            .count() as u64;
+        dirty += (self.mram.len() - common) as u64;
+        dirty += (base.mram.len() - common) as u64;
+        for (name, payload) in &self.symbols {
+            match base.symbols.get(name) {
+                Some(prev) if prev == payload => {}
+                _ => dirty += payload.len() as u64,
+            }
+        }
+        let image_name = |s: &DpuSnapshot| s.loaded.as_ref().map(|k| k.name.clone());
+        if image_name(self) != image_name(base) {
+            dirty += self.loaded.as_ref().map_or(0, |k| k.iram_bytes as u64);
+        }
+        dirty
+    }
 }
 
 /// Execution context handed to a kernel's entry point.

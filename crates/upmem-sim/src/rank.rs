@@ -48,6 +48,22 @@ impl RankSnapshot {
     pub fn dpu_count(&self) -> usize {
         self.dpus.len()
     }
+
+    /// Bytes that differ from `base`, summed per DPU — the dirty set a
+    /// pre-copy migration re-sends after its warm round. DPUs present in
+    /// only one snapshot (geometry mismatch) count their full residency.
+    #[must_use]
+    pub fn diff_bytes(&self, base: &RankSnapshot) -> u64 {
+        let common = self.dpus.len().min(base.dpus.len());
+        let mut dirty: u64 = self.dpus[..common]
+            .iter()
+            .zip(&base.dpus[..common])
+            .map(|(cur, old)| cur.diff_bytes(old))
+            .sum();
+        dirty += self.dpus[common..].iter().map(|d| d.mram_bytes() as u64).sum::<u64>();
+        dirty += base.dpus[common..].iter().map(|d| d.mram_bytes() as u64).sum::<u64>();
+        dirty
+    }
 }
 
 /// One UPMEM rank.
