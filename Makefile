@@ -23,6 +23,7 @@ tier1:
 	sh ci/shard-gate.sh
 	sh ci/load-gate.sh
 	sh ci/cluster-gate.sh
+	sh ci/adaptive-gate.sh
 
 build:
 	cargo build --offline --workspace

@@ -9,6 +9,7 @@ use simkit::cost::DataPath;
 use simkit::BytePool;
 use upmem_sim::{interleave, PimConfig, Rank};
 use vpim::backend::datapath::{self, transform_roundtrip};
+use vpim::frontend::PrefetchCache;
 use vpim::matrix::TransferMatrix;
 
 fn bench_interleave(c: &mut Criterion) {
@@ -149,11 +150,59 @@ fn bench_zero_copy(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_prefetch_hit(c: &mut Criterion) {
+    // The frontend's hot read path: a resident segment served per hit.
+    // `alloc_per_hit` is the escaping-output path (one Vec per read);
+    // `pooled_guard` stages through a reused buffer into a BytePool guard
+    // — allocation-free in steady state.
+    let mut group = c.benchmark_group("prefetch_hit");
+    let mut cache = PrefetchCache::new(1, 16);
+    cache.install(0, 0, (0..16 * 4096).map(|i| (i % 253) as u8).collect());
+    let len = 256u64;
+    let span = 8 * 4096u64;
+    group.throughput(Throughput::Bytes(len));
+    group.bench_function("alloc_per_hit", |b| {
+        let mut off = 0u64;
+        b.iter(|| {
+            let out = cache.lookup(0, off, len).expect("resident segment");
+            off = (off + len) % span;
+            out
+        })
+    });
+    let pool = BytePool::new();
+    group.bench_function("pooled_guard", |b| {
+        let mut off = 0u64;
+        let mut staging = Vec::with_capacity(len as usize);
+        b.iter(|| {
+            staging.clear();
+            assert!(cache.lookup_into(0, off, len, &mut staging), "resident segment");
+            let mut guard = pool.take(len as usize);
+            guard.as_mut_slice().copy_from_slice(&staging);
+            off = (off + len) % span;
+            guard.as_slice()[0]
+        })
+    });
+    group.finish();
+    // Every lookup above must have been a hit, every guard must have come
+    // back (drop balance), and the pool must run allocation-free after the
+    // first take.
+    let (hits, misses) = cache.stats();
+    assert!(hits > 0 && misses == 0, "hit path missed: {hits} hits / {misses} misses");
+    assert_eq!(pool.outstanding(), 0, "leaked pool guards");
+    let takes = pool.hits() + pool.misses();
+    assert!(
+        pool.hits() * 100 >= takes * 99,
+        "pool hit rate below 99%: {} hits / {takes} takes",
+        pool.hits()
+    );
+}
+
 criterion_group!(
     benches,
     bench_interleave,
     bench_deinterleave,
     bench_roundtrip_paths,
-    bench_zero_copy
+    bench_zero_copy,
+    bench_prefetch_hit
 );
 criterion_main!(benches);

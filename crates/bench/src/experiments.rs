@@ -203,10 +203,10 @@ pub fn fig9(env: &BenchEnv) -> Fig9 {
     Fig9 { vcpus, dpus, size }
 }
 
-/// Fig. 10: Index Search execution time vs DPU count.
-#[must_use]
-pub fn fig10(env: &BenchEnv) -> Vec<(usize, VirtualNanos, VirtualNanos)> {
-    let params = match env.scale() {
+/// The Index Search dataset for the current scale (shared by Fig. 10 and
+/// the adaptive ablation's non-regression leg).
+fn index_params(env: &BenchEnv) -> IndexSearchParams {
+    match env.scale() {
         crate::Scale::Quick => IndexSearchParams {
             n_docs: 430,
             doc_len: 128,
@@ -215,7 +215,13 @@ pub fn fig10(env: &BenchEnv) -> Vec<(usize, VirtualNanos, VirtualNanos)> {
             batch: 128,
         },
         crate::Scale::Paper => IndexSearchParams::paper(),
-    };
+    }
+}
+
+/// Fig. 10: Index Search execution time vs DPU count.
+#[must_use]
+pub fn fig10(env: &BenchEnv) -> Vec<(usize, VirtualNanos, VirtualNanos)> {
+    let params = index_params(env);
     [1usize, 8, 16, 60, 128]
         .into_iter()
         .map(|d| {
@@ -610,4 +616,164 @@ pub fn ablation_batch_pages(env: &BenchEnv) -> Vec<(usize, VirtualNanos, u64)> {
             (pages, t, msgs)
         })
         .collect()
+}
+
+/// One leg of the static-vs-adaptive frontend ablation (DESIGN.md §16):
+/// the same workload under `VpimConfig::full()` and with the adaptive
+/// controller on, compared on the segment its pathology lives in.
+#[derive(Debug, Clone)]
+pub struct AdaptiveRow {
+    /// Workload short name.
+    pub leg: &'static str,
+    /// Timeline segment compared (`total` = whole-app virtual time).
+    pub metric: &'static str,
+    /// Virtual time under the static policies.
+    pub static_t: VirtualNanos,
+    /// Virtual time with the adaptive controller enabled.
+    pub adaptive_t: VirtualNanos,
+    /// Whether this leg is a pathology the controller must kill (`true`)
+    /// or a healthy workload it must not regress (`false`).
+    pub pathology: bool,
+}
+
+impl AdaptiveRow {
+    /// Static-over-adaptive speedup factor (>1 = the controller won).
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        self.static_t.as_nanos() as f64 / self.adaptive_t.as_nanos().max(1) as f64
+    }
+}
+
+/// Runs `work` on a fresh 60-DPU VM under the full config, with or
+/// without the adaptive controller, and returns the run's timeline.
+fn adaptive_leg(env: &BenchEnv, adaptive: bool, work: &dyn Fn(&mut DpuSet)) -> Timeline {
+    let cfg = if adaptive {
+        vpim::VpimConfig::builder().adaptive(true).build()
+    } else {
+        vpim::VpimConfig::full()
+    };
+    let sys = vpim::VpimSystem::start(
+        env.driver().clone(),
+        cfg,
+        vpim::StartOpts::new()
+            .cost_model(env.cost_model().clone())
+            .manager(vpim::manager::ManagerConfig::default()),
+    );
+    let vm = sys
+        .launch(vpim::TenantSpec::new("adapt-abl").mem_mib(env.scale().guest_mem_mib()))
+        .expect("vm");
+    let mut set =
+        upmem_sdk::DpuSet::alloc_vm(vm.frontends(), 60, env.cost_model().clone()).expect("alloc");
+    work(&mut set);
+    let tl = set.take_timeline();
+    drop(set);
+    drop(vm);
+    sys.shutdown();
+    tl
+}
+
+/// Ablation: the adaptive frontend controller vs the static policies
+/// (DESIGN.md §16). Two pathology legs — RED's Inter-DPU partial gather
+/// and HST-S's DPU→CPU histogram readout, both one small read per DPU
+/// that the static 16-page window over-fetches 64 KiB for — and three
+/// non-regression legs (checksum, Index Search, GEMV as the linear-algebra
+/// representative). The acceptance bars are asserted here so the figures
+/// binary, the gate, and the test suite all trip on a regression:
+/// pathologies must improve ≥ 2×, healthy legs must stay within 5%.
+#[must_use]
+pub fn ablation_adaptive(env: &BenchEnv) -> Vec<AdaptiveRow> {
+    use simkit::AppSegment;
+    // The pathology segments are element-count-independent (one small
+    // read per DPU regardless of input size), so the PrIM legs run at a
+    // reduced element budget to keep the gate fast.
+    let elements = env.scale().prim_elements() / 16;
+    let mut rows = Vec::new();
+
+    for (leg, seg, metric) in [
+        ("RED", AppSegment::InterDpu, "Inter-DPU"),
+        ("HST-S", AppSegment::DpuToCpu, "DPU-CPU"),
+    ] {
+        let app = prim::by_name(leg).expect("catalog");
+        let run_one = |adaptive: bool| {
+            adaptive_leg(env, adaptive, &|set| {
+                let r = app.run(set, &ScaleParams::of(elements), 42).expect(leg);
+                assert!(r.verified, "{leg} failed verification (adaptive={adaptive})");
+            })
+            .app(seg)
+        };
+        let static_t = run_one(false);
+        let adaptive_t = run_one(true);
+        rows.push(AdaptiveRow { leg, metric, static_t, adaptive_t, pathology: true });
+    }
+
+    let bytes = env.scale().mb(40);
+    let checksum = |adaptive: bool| {
+        adaptive_leg(env, adaptive, &|set| {
+            let r = Checksum::run(set, bytes, 42).expect("checksum");
+            assert!(r.verified);
+        })
+        .app_total()
+    };
+    rows.push(AdaptiveRow {
+        leg: "checksum",
+        metric: "total",
+        static_t: checksum(false),
+        adaptive_t: checksum(true),
+        pathology: false,
+    });
+
+    let params = index_params(env);
+    let search = |adaptive: bool| {
+        adaptive_leg(env, adaptive, &|set| {
+            let r = IndexSearch::run(set, &params, 42).expect("search");
+            assert!(r.verified);
+        })
+        .app_total()
+    };
+    rows.push(AdaptiveRow {
+        leg: "index-search",
+        metric: "total",
+        static_t: search(false),
+        adaptive_t: search(true),
+        pathology: false,
+    });
+
+    let gemv = prim::by_name("GEMV").expect("catalog");
+    let linalg = |adaptive: bool| {
+        adaptive_leg(env, adaptive, &|set| {
+            let r = gemv.run(set, &ScaleParams::of(elements), 42).expect("GEMV");
+            assert!(r.verified, "GEMV failed verification (adaptive={adaptive})");
+        })
+        .app_total()
+    };
+    rows.push(AdaptiveRow {
+        leg: "GEMV",
+        metric: "total",
+        static_t: linalg(false),
+        adaptive_t: linalg(true),
+        pathology: false,
+    });
+
+    for r in &rows {
+        if r.pathology {
+            assert!(
+                r.speedup() >= 2.0,
+                "{} {}: adaptive {} vs static {} — the controller must cut the \
+                 pathology at least 2x",
+                r.leg,
+                r.metric,
+                r.adaptive_t,
+                r.static_t
+            );
+        } else {
+            assert!(
+                r.adaptive_t.as_nanos() as f64 <= r.static_t.as_nanos() as f64 * 1.05,
+                "{} regressed under the adaptive controller: {} vs static {}",
+                r.leg,
+                r.adaptive_t,
+                r.static_t
+            );
+        }
+    }
+    rows
 }

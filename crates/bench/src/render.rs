@@ -5,7 +5,7 @@ use simkit::{
     AppSegment, DriverSegment, MetricValue, MetricsSnapshot, Timeline, VirtualNanos, WriteStep,
 };
 
-use crate::experiments::{Fig11, Fig14, Fig15, Fig8Row, ManagerReport, OverheadSummary};
+use crate::experiments::{AdaptiveRow, Fig11, Fig14, Fig15, Fig8Row, ManagerReport, OverheadSummary};
 
 fn ms(d: VirtualNanos) -> String {
     format!("{:.2}", d.as_millis_f64())
@@ -458,4 +458,50 @@ pub fn ablations(
         t.render()
     ));
     out
+}
+
+/// Renders the static-vs-adaptive frontend ablation (DESIGN.md §16).
+#[must_use]
+pub fn adaptive(rows: &[AdaptiveRow]) -> String {
+    let mut t = TextTable::new(vec![
+        "workload".into(),
+        "segment".into(),
+        "static(ms)".into(),
+        "adaptive(ms)".into(),
+        "speedup".into(),
+        "bar".into(),
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.leg.into(),
+            r.metric.into(),
+            ms(r.static_t),
+            ms(r.adaptive_t),
+            fx(r.speedup()),
+            if r.pathology { ">=2x".into() } else { "<=5% reg".into() },
+        ]);
+    }
+    format!("Adaptive frontend controller vs static policies (DESIGN.md §16)\n{}", t.render())
+}
+
+/// The adaptive ablation as the machine-readable gate artifact
+/// (`BENCH_adaptive.json`). Speedups are reported in milli-units to keep
+/// the document float-free and byte-stable.
+#[must_use]
+pub fn adaptive_json(rows: &[AdaptiveRow]) -> String {
+    let cells: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"leg\":\"{}\",\"segment\":\"{}\",\"static_ns\":{},\"adaptive_ns\":{},\"speedup_milli\":{},\"pathology\":{}}}",
+                r.leg,
+                r.metric,
+                r.static_t.as_nanos(),
+                r.adaptive_t.as_nanos(),
+                (r.speedup() * 1000.0) as u64,
+                r.pathology
+            )
+        })
+        .collect();
+    format!("{{\"bench\":\"adaptive\",\"rows\":[{}]}}", cells.join(","))
 }

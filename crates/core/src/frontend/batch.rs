@@ -26,6 +26,10 @@ pub struct PendingWrite {
 #[derive(Debug)]
 pub struct BatchBuffer {
     capacity_per_dpu: u64,
+    /// Effective per-DPU fill level that triggers a flush. Equal to
+    /// `capacity_per_dpu` under the static policy; the adaptive controller
+    /// (DESIGN.md §16) moves it within `[4096, capacity_per_dpu]`.
+    flush_threshold: u64,
     used_per_dpu: Vec<u64>,
     entries: Vec<PendingWrite>,
     /// `(dpu, page)` pairs already touched since the last flush — an append
@@ -43,6 +47,7 @@ impl BatchBuffer {
     pub fn new(nr_dpus: usize, pages_per_dpu: usize) -> Self {
         BatchBuffer {
             capacity_per_dpu: pages_per_dpu as u64 * 4096,
+            flush_threshold: pages_per_dpu as u64 * 4096,
             used_per_dpu: vec![0; nr_dpus],
             entries: Vec::new(),
             dirty_pages: HashSet::new(),
@@ -70,6 +75,20 @@ impl BatchBuffer {
         self.capacity_per_dpu
     }
 
+    /// The per-DPU fill level that currently triggers a flush.
+    #[must_use]
+    pub fn flush_threshold(&self) -> u64 {
+        self.flush_threshold
+    }
+
+    /// Moves the flush threshold, clamped to `[4096, capacity_per_dpu]`.
+    /// Lowering it below a DPU's current fill does not flush by itself;
+    /// the next append to that DPU reports overflow and the caller flushes
+    /// as usual.
+    pub fn set_flush_threshold(&mut self, bytes: u64) {
+        self.flush_threshold = bytes.clamp(4096, self.capacity_per_dpu);
+    }
+
     /// Whether the buffer holds no writes.
     #[must_use]
     pub fn is_empty(&self) -> bool {
@@ -92,7 +111,7 @@ impl BatchBuffer {
     #[must_use]
     pub fn would_overflow(&self, dpu: u32, len: u64) -> bool {
         match self.used_per_dpu.get(dpu as usize) {
-            Some(used) => used + len > self.capacity_per_dpu,
+            Some(used) => used + len > self.flush_threshold,
             None => true,
         }
     }
@@ -194,6 +213,23 @@ mod tests {
         // The dirty set clears with the batch window.
         assert!(b.append(0, 0, &[5u8; 64]));
         assert_eq!(b.merges(), 2);
+    }
+
+    #[test]
+    fn flush_threshold_clamps_and_gates_appends() {
+        let mut b = BatchBuffer::new(1, 4); // 16 KiB capacity
+        assert_eq!(b.flush_threshold(), 4 * 4096);
+        b.set_flush_threshold(8192);
+        assert!(b.append(0, 0, &[1u8; 8192]));
+        assert!(!b.append(0, 8192, &[1u8; 1])); // over the lowered threshold
+        b.set_flush_threshold(u64::MAX); // clamped to capacity
+        assert_eq!(b.flush_threshold(), 4 * 4096);
+        assert!(b.append(0, 8192, &[1u8; 8192]));
+        b.set_flush_threshold(0); // clamped to one page
+        assert_eq!(b.flush_threshold(), 4096);
+        b.drain();
+        assert!(b.append(0, 0, &[1u8; 4096]));
+        assert!(!b.append(0, 4096, &[1u8; 1]));
     }
 
     #[test]

@@ -8,9 +8,12 @@
 //! [`OpReport`] carrying its virtual-time cost, message count and Fig. 13
 //! step breakdown.
 
+pub mod adapt;
 mod batch;
+pub mod policy;
 mod prefetch;
 
+pub use adapt::AdaptState;
 pub use batch::{BatchBuffer, PendingWrite};
 pub use prefetch::PrefetchCache;
 
@@ -46,6 +49,10 @@ struct FrontState {
     mram_size: u64,
     prefetch: PrefetchCache,
     batch: BatchBuffer,
+    /// The feedback controller (DESIGN.md §16); `None` unless
+    /// `VpimConfig.adapt.enabled`, in which case every policy below runs
+    /// exactly as the paper's static configuration.
+    adapt: Option<AdaptState>,
 }
 
 /// Registry-owned cells this frontend records into. The prefetch/batch
@@ -56,27 +63,40 @@ struct FrontState {
 struct FrontMetrics {
     prefetch_hits: Counter,
     prefetch_misses: Counter,
+    prefetch_inval_scoped: Counter,
+    prefetch_inval_global: Counter,
     batch_appends: Counter,
     batch_merges: Counter,
     batch_flushes: Counter,
     queue_depth: Gauge,
+    /// Present only when `VpimConfig.adapt.enabled`: the adaptive metric
+    /// names must not appear in the registry of a statically configured VM
+    /// (the default registry dump is part of the compatibility surface).
+    adapt: Option<adapt::AdaptMetrics>,
 }
 
 impl FrontMetrics {
-    fn from_registry(registry: &MetricsRegistry, device_idx: usize) -> Self {
+    fn from_registry(registry: &MetricsRegistry, device_idx: usize, adapt_on: bool) -> Self {
         FrontMetrics {
             prefetch_hits: registry.counter("frontend.prefetch.hits"),
             prefetch_misses: registry.counter("frontend.prefetch.misses"),
+            prefetch_inval_scoped: registry.counter("frontend.prefetch.invalidations.scoped"),
+            prefetch_inval_global: registry.counter("frontend.prefetch.invalidations.global"),
             batch_appends: registry.counter("frontend.batch.appends"),
             batch_merges: registry.counter("frontend.batch.merges"),
             batch_flushes: registry.counter("frontend.batch.flushes"),
             queue_depth: registry.gauge(&format!("virtio.queue.depth.rank{device_idx}")),
+            adapt: adapt_on.then(|| adapt::AdaptMetrics::from_registry(registry, device_idx)),
         }
     }
 
     fn prefetch_cache(&self, nr_dpus: usize, pages_per_dpu: usize) -> PrefetchCache {
         PrefetchCache::new(nr_dpus, pages_per_dpu)
             .with_counters(self.prefetch_hits.clone(), self.prefetch_misses.clone())
+            .with_invalidation_counters(
+                self.prefetch_inval_scoped.clone(),
+                self.prefetch_inval_global.clone(),
+            )
     }
 
     fn batch_buffer(&self, nr_dpus: usize, pages_per_dpu: usize) -> BatchBuffer {
@@ -130,6 +150,9 @@ pub struct InFlightWrite {
     /// chunks in submission order, keeping report composition identical to
     /// the serial path.
     chunks: VecDeque<WriteChunk>,
+    /// Whether the adaptive controller's clock already advanced for this
+    /// op (begin delegated to the serial path, which ticks itself).
+    ticked: bool,
 }
 
 #[derive(Debug)]
@@ -151,6 +174,9 @@ pub struct InFlightRead {
     /// completion of older chunks during begin as well.
     outputs: Vec<Vec<u8>>,
     chunks: VecDeque<ReadChunk>,
+    /// Whether the adaptive controller's clock already advanced for this
+    /// op (begin delegated to the cache path, which ticks itself).
+    ticked: bool,
 }
 
 #[derive(Debug)]
@@ -312,7 +338,7 @@ impl Frontend {
                 | mmio_status::DRIVER_OK,
         )?;
 
-        let metrics = FrontMetrics::from_registry(&registry, device_idx);
+        let metrics = FrontMetrics::from_registry(&registry, device_idx, vcfg.adapt.enabled);
         let retry = RetryMetrics::from_registry(&registry);
         Ok(Frontend {
             device,
@@ -327,6 +353,7 @@ impl Frontend {
                 mram_size: 0,
                 prefetch: metrics.prefetch_cache(0, 0),
                 batch: metrics.batch_buffer(0, 0),
+                adapt: None,
             }),
             metrics,
             retry,
@@ -399,9 +426,38 @@ impl Frontend {
         st.prefetch = self
             .metrics
             .prefetch_cache(cfg.nr_dpus as usize, self.vcfg.prefetch_pages_per_dpu);
-        st.batch =
-            self.metrics.batch_buffer(cfg.nr_dpus as usize, self.vcfg.batch_pages_per_dpu);
+        if self.vcfg.adapt.enabled {
+            let a = &self.vcfg.adapt;
+            // Allocate the buffer at the controller's ceiling; the static
+            // capacity becomes the starting flush threshold.
+            let alloc_pages =
+                (a.max_batch_pages as usize).max(self.vcfg.batch_pages_per_dpu);
+            st.batch = self.metrics.batch_buffer(cfg.nr_dpus as usize, alloc_pages);
+            let adapt = AdaptState::new(
+                a,
+                self.vcfg.prefetch_pages_per_dpu as u32,
+                self.vcfg.batch_pages_per_dpu as u32,
+                cfg.nr_dpus as usize,
+                self.metrics.adapt.clone().expect("adapt metrics registered when adapt.enabled"),
+            );
+            st.batch.set_flush_threshold(adapt.batch_threshold_bytes());
+            st.adapt = Some(adapt);
+        } else {
+            st.batch =
+                self.metrics.batch_buffer(cfg.nr_dpus as usize, self.vcfg.batch_pages_per_dpu);
+        }
         Ok(report)
+    }
+
+    /// Advances the adaptive controller's virtual clock by a completed
+    /// op's duration — the "operation boundary" sample point of DESIGN.md
+    /// §16. A no-op (one branch, no lock) when the controller is off.
+    fn adapt_tick(&self, report: &OpReport) {
+        if self.vcfg.adapt.enabled {
+            if let Some(a) = self.state.lock().adapt.as_mut() {
+                a.tick(report.duration());
+            }
+        }
     }
 
     /// Number of DPUs behind this device (0 before `initialize`).
@@ -451,6 +507,13 @@ impl Frontend {
     #[must_use]
     pub fn batch_merges(&self) -> u64 {
         self.metrics.batch_merges.get()
+    }
+
+    /// The adaptive controller's current prefetch window in pages
+    /// (`None` when `VpimConfig.adapt` is off).
+    #[must_use]
+    pub fn adapt_window_pages(&self) -> Option<u32> {
+        self.state.lock().adapt.as_ref().map(AdaptState::window_pages)
     }
 
     // ------------------------------------------------------------ transport
@@ -679,10 +742,22 @@ impl Frontend {
             && entries.iter().all(|(_, _, d)| d.len() as u64 <= SMALL_WRITE_MAX)
         {
             let need_flush = {
-                let st = self.state.lock();
-                entries
-                    .iter()
-                    .any(|(dpu, _, d)| st.batch.would_overflow(*dpu, d.len() as u64))
+                let mut st = self.state.lock();
+                // One gap observation per op: the controller may ask for an
+                // early flush (idle tenant) and retune the threshold the
+                // overflow check below uses.
+                let mut early = false;
+                if st.adapt.is_some() {
+                    let pending = !st.batch.is_empty();
+                    let a = st.adapt.as_mut().expect("checked above");
+                    early = a.observe_append_gap(pending);
+                    let thr = a.batch_threshold_bytes();
+                    st.batch.set_flush_threshold(thr);
+                }
+                early
+                    || entries
+                        .iter()
+                        .any(|(dpu, _, d)| st.batch.would_overflow(*dpu, d.len() as u64))
             };
             if need_flush {
                 report.absorb(&self.flush_batch()?);
@@ -690,6 +765,9 @@ impl Frontend {
             let mut st = self.state.lock();
             for (dpu, off, d) in entries {
                 if st.batch.append(*dpu, *off, d) {
+                    if let Some(a) = st.adapt.as_mut() {
+                        a.note_write(*dpu, *off, d.len() as u64);
+                    }
                     report.add_duration(self.cm.batch_append(d.len() as u64));
                 } else {
                     // Same-DPU entries overran the buffer mid-loop: flush
@@ -698,6 +776,9 @@ impl Frontend {
                     report.absorb(&self.flush_batch()?);
                     st = self.state.lock();
                     if st.batch.append(*dpu, *off, d) {
+                        if let Some(a) = st.adapt.as_mut() {
+                            a.note_write(*dpu, *off, d.len() as u64);
+                        }
                         report.add_duration(self.cm.batch_append(d.len() as u64));
                     } else {
                         drop(st);
@@ -706,12 +787,15 @@ impl Frontend {
                     }
                 }
             }
+            drop(st);
+            self.adapt_tick(&report);
             return Ok(report);
         }
         if self.vcfg.request_batching {
             report.absorb(&self.flush_batch()?);
         }
         report.absorb(&self.write_direct(entries)?);
+        self.adapt_tick(&report);
         Ok(report)
     }
 
@@ -742,7 +826,17 @@ impl Frontend {
     }
 
     fn write_direct(&self, entries: &[(u32, u64, &[u8])]) -> Result<OpReport, VpimError> {
-        self.state.lock().prefetch.invalidate();
+        {
+            // A write can only stale the segments of the DPUs it touches;
+            // launch/release keep the global invalidation path.
+            let mut st = self.state.lock();
+            st.prefetch.invalidate_dpus(entries.iter().map(|(d, _, _)| *d as usize));
+            if let Some(a) = st.adapt.as_mut() {
+                for (d, off, data) in entries {
+                    a.note_write(*d, *off, data.len() as u64);
+                }
+            }
+        }
         let mut report = OpReport::default();
         for chunk in entries.chunks(MAX_DPUS) {
             let (matrix, data_lease) = TransferMatrix::from_user_buffers(&self.mem, chunk)?;
@@ -795,39 +889,81 @@ impl Frontend {
         if !cacheable {
             let (out, r) = self.read_direct(reqs)?;
             report.absorb(&r);
+            self.adapt_tick(&report);
             return Ok((out, report));
         }
 
         let mut outputs: Vec<Option<Vec<u8>>> = vec![None; reqs.len()];
         for (i, (dpu, offset, len)) in reqs.iter().enumerate() {
-            // Try the cache.
-            let hit = self.state.lock().prefetch.lookup(*dpu as usize, *offset, *len);
+            // Try the cache, serving straight into the output buffer (the
+            // hit path allocates exactly the escaping result, nothing else).
+            let hit = {
+                let mut st = self.state.lock();
+                let mut out = Vec::with_capacity(*len as usize);
+                if st.prefetch.lookup_into(*dpu as usize, *offset, *len, &mut out) {
+                    if let Some(a) = st.adapt.as_mut() {
+                        a.on_hit(*dpu, *len);
+                    }
+                    Some(out)
+                } else {
+                    None
+                }
+            };
             if let Some(data) = hit {
                 report.add_duration(self.cm.prefetch_hit(*len));
                 outputs[i] = Some(data);
                 continue;
             }
-            // Miss: fetch a cache-sized segment starting at the request
-            // address and repopulate (§4.1 step 3).
-            let (seg_base, seg_len) = {
-                let st = self.state.lock();
+            // Miss: fetch a segment starting at the request address and
+            // repopulate (§4.1 step 3). The static policy fetches the cache
+            // capacity; the adaptive controller sizes the fetch from the
+            // window it has learned — or exact-length with no install when
+            // the miss is a write-then-read-back (DESIGN.md §16).
+            let (seg_base, seg_len, install) = {
+                let mut st = self.state.lock();
                 let cap = st.prefetch.capacity_bytes();
                 let max = st.mram_size.saturating_sub(*offset);
-                (*offset, cap.min(max).max(*len))
+                let static_len = cap.min(max).max(*len);
+                match st.adapt.as_mut() {
+                    Some(_) => {
+                        let span = st.prefetch.segment_span(*dpu as usize);
+                        let a = st.adapt.as_mut().expect("checked above");
+                        let plan = a.on_miss(*dpu, *offset, *len, span);
+                        let seg_len = if plan.install {
+                            plan.fetch_bytes.min(max).max(*len)
+                        } else {
+                            *len
+                        };
+                        a.note_fetch_delta(static_len, seg_len);
+                        (*offset, seg_len, plan.install)
+                    }
+                    None => (*offset, static_len, true),
+                }
             };
             let (mut seg, r) = self.read_direct(&[(*dpu, seg_base, seg_len)])?;
             report.absorb(&r);
             let data = seg.pop().expect("one segment");
+            if !install {
+                // Suppressed prefetch: the exact-length direct read *is*
+                // the answer; nothing is cached.
+                outputs[i] = Some(data);
+                continue;
+            }
             let mut st = self.state.lock();
             st.prefetch.install(*dpu as usize, seg_base, data);
-            let served = st
-                .prefetch
-                .lookup(*dpu as usize, *offset, *len)
-                .expect("freshly installed segment must serve the miss");
+            let mut served = Vec::with_capacity(*len as usize);
+            assert!(
+                st.prefetch.lookup_into(*dpu as usize, *offset, *len, &mut served),
+                "freshly installed segment must serve the miss"
+            );
+            if let Some(a) = st.adapt.as_mut() {
+                a.note_install(*dpu, seg_len, *len);
+            }
             drop(st);
             report.add_duration(self.cm.prefetch_hit(*len));
             outputs[i] = Some(served);
         }
+        self.adapt_tick(&report);
         Ok((
             outputs.into_iter().map(|o| o.expect("all served")).collect(),
             report,
@@ -981,13 +1117,21 @@ impl Frontend {
             && entries.iter().all(|(_, _, d)| d.len() as u64 <= SMALL_WRITE_MAX)
         {
             let report = self.write_rank(entries)?;
-            return Ok(InFlightWrite { report, chunks: VecDeque::new() });
+            return Ok(InFlightWrite { report, chunks: VecDeque::new(), ticked: true });
         }
         let mut report = OpReport::default();
         if self.vcfg.request_batching {
             report.absorb(&self.flush_batch()?);
         }
-        self.state.lock().prefetch.invalidate();
+        {
+            let mut st = self.state.lock();
+            st.prefetch.invalidate_dpus(entries.iter().map(|(d, _, _)| *d as usize));
+            if let Some(a) = st.adapt.as_mut() {
+                for (d, off, data) in entries {
+                    a.note_write(*d, *off, data.len() as u64);
+                }
+            }
+        }
         let mut chunks: VecDeque<WriteChunk> = VecDeque::new();
         for chunk in entries.chunks(MAX_DPUS) {
             loop {
@@ -1010,7 +1154,7 @@ impl Frontend {
                 }
             }
         }
-        Ok(InFlightWrite { report, chunks })
+        Ok(InFlightWrite { report, chunks, ticked: false })
     }
 
     /// Collects an in-flight write started by
@@ -1023,7 +1167,7 @@ impl Frontend {
     ///
     /// Transport or hardware failures.
     pub fn finish_write_rank(&self, inflight: InFlightWrite) -> Result<OpReport, VpimError> {
-        let InFlightWrite { mut report, chunks } = inflight;
+        let InFlightWrite { mut report, chunks, ticked } = inflight;
         let mut first_err: Option<VpimError> = None;
         for c in chunks {
             if first_err.is_some() {
@@ -1036,7 +1180,12 @@ impl Frontend {
         }
         match first_err {
             Some(e) => Err(e),
-            None => Ok(report),
+            None => {
+                if !ticked {
+                    self.adapt_tick(&report);
+                }
+                Ok(report)
+            }
         }
     }
 
@@ -1064,7 +1213,12 @@ impl Frontend {
         };
         if cacheable {
             let (out, report) = self.read_rank(reqs)?;
-            return Ok(InFlightRead { report, outputs: out, chunks: VecDeque::new() });
+            return Ok(InFlightRead {
+                report,
+                outputs: out,
+                chunks: VecDeque::new(),
+                ticked: true,
+            });
         }
         let mut report = OpReport::default();
         if self.vcfg.request_batching {
@@ -1095,7 +1249,7 @@ impl Frontend {
                 }
             }
         }
-        Ok(InFlightRead { report, outputs, chunks })
+        Ok(InFlightRead { report, outputs, chunks, ticked: false })
     }
 
     /// Collects an in-flight read started by
@@ -1110,7 +1264,7 @@ impl Frontend {
         &self,
         inflight: InFlightRead,
     ) -> Result<(Vec<Vec<u8>>, OpReport), VpimError> {
-        let InFlightRead { mut report, mut outputs, chunks } = inflight;
+        let InFlightRead { mut report, mut outputs, chunks, ticked } = inflight;
         let mut first_err: Option<VpimError> = None;
         for c in chunks {
             if first_err.is_some() {
@@ -1123,7 +1277,12 @@ impl Frontend {
         }
         match first_err {
             Some(e) => Err(e),
-            None => Ok((outputs, report)),
+            None => {
+                if !ticked {
+                    self.adapt_tick(&report);
+                }
+                Ok((outputs, report))
+            }
         }
     }
 
@@ -1141,6 +1300,7 @@ impl Frontend {
             &[],
         )?;
         report.absorb(&rt);
+        self.adapt_tick(&report);
         Ok(report)
     }
 
@@ -1152,11 +1312,18 @@ impl Frontend {
     /// DPU faults surface as [`VpimError::Sim`].
     pub fn launch(&self, dpus: &[u32], nr_tasklets: u32) -> Result<OpReport, VpimError> {
         let mut report = self.flush_batch()?;
-        self.state.lock().prefetch.invalidate();
+        {
+            let mut st = self.state.lock();
+            st.prefetch.invalidate();
+            if let Some(a) = st.adapt.as_mut() {
+                a.on_barrier();
+            }
+        }
         let (resp, rt) =
             self.roundtrip(&Request::Launch { dpus: dpus.to_vec(), nr_tasklets }, &[])?;
         report.absorb(&rt);
         report.set_launch_cycles(resp.launch_cycles);
+        self.adapt_tick(&report);
         Ok(report)
     }
 
@@ -1167,6 +1334,7 @@ impl Frontend {
     /// Transport failures or an invalid DPU.
     pub fn poll_status(&self, dpu: u32) -> Result<(CiStatus, OpReport), VpimError> {
         let (resp, report) = self.roundtrip(&Request::PollStatus { dpu }, &[])?;
+        self.adapt_tick(&report);
         let code = resp.payload.first().copied().unwrap_or(0);
         let status = match code {
             1 => CiStatus::Running,
@@ -1203,6 +1371,7 @@ impl Frontend {
         )?;
         self.mem.free_pages_back(&pages)?;
         report.absorb(&rt);
+        self.adapt_tick(&report);
         Ok(report)
     }
 
@@ -1226,6 +1395,7 @@ impl Frontend {
             )?;
             report.absorb(&rt);
         }
+        self.adapt_tick(&report);
         Ok(report)
     }
 
@@ -1246,6 +1416,7 @@ impl Frontend {
             &[],
         )?;
         report.absorb(&rt);
+        self.adapt_tick(&report);
         Ok((resp.payload, report))
     }
 
@@ -1257,9 +1428,16 @@ impl Frontend {
     /// Transport failures.
     pub fn release_rank(&self) -> Result<OpReport, VpimError> {
         let mut report = self.flush_batch()?;
-        self.state.lock().prefetch.invalidate();
+        {
+            let mut st = self.state.lock();
+            st.prefetch.invalidate();
+            if let Some(a) = st.adapt.as_mut() {
+                a.on_barrier();
+            }
+        }
         let (_, rt) = self.roundtrip(&Request::ReleaseRank, &[])?;
         report.absorb(&rt);
+        self.adapt_tick(&report);
         Ok(report)
     }
 

@@ -5,7 +5,8 @@
 //! frontend therefore keeps a per-DPU cache of 16 pages: a small read that
 //! hits is served locally; a miss fetches a cache-sized segment starting at
 //! the requested address. The cache is invalidated by `write-to-rank`,
-//! program launches, and rank release.
+//! program launches, and rank release — writes invalidate only the written
+//! DPUs' segments, launch/release clear everything.
 
 use simkit::Counter;
 
@@ -23,6 +24,8 @@ pub struct PrefetchCache {
     segments: Vec<Option<Segment>>,
     hits: Counter,
     misses: Counter,
+    scoped_invalidations: Counter,
+    global_invalidations: Counter,
 }
 
 impl PrefetchCache {
@@ -34,6 +37,8 @@ impl PrefetchCache {
             segments: vec![None; nr_dpus],
             hits: Counter::new(),
             misses: Counter::new(),
+            scoped_invalidations: Counter::new(),
+            global_invalidations: Counter::new(),
         }
     }
 
@@ -44,6 +49,15 @@ impl PrefetchCache {
     pub fn with_counters(mut self, hits: Counter, misses: Counter) -> Self {
         self.hits = hits;
         self.misses = misses;
+        self
+    }
+
+    /// Replaces the invalidation cells with registry-owned counters
+    /// (`frontend.prefetch.invalidations.scoped` / `.global`).
+    #[must_use]
+    pub fn with_invalidation_counters(mut self, scoped: Counter, global: Counter) -> Self {
+        self.scoped_invalidations = scoped;
+        self.global_invalidations = global;
         self
     }
 
@@ -59,27 +73,42 @@ impl PrefetchCache {
         len <= self.capacity_bytes
     }
 
-    /// Attempts to serve a read from the cache.
-    pub fn lookup(&mut self, dpu: usize, offset: u64, len: u64) -> Option<Vec<u8>> {
+    /// Attempts to serve a read from the cache into `out` (appended), so
+    /// the hot hit path never allocates: callers reuse one buffer — or a
+    /// [`BytePool`](simkit::BytePool) guard — across lookups. Returns
+    /// `true` on a hit.
+    pub fn lookup_into(&mut self, dpu: usize, offset: u64, len: u64, out: &mut Vec<u8>) -> bool {
         let served = self.segments.get(dpu).and_then(Option::as_ref).and_then(|seg| {
             let end = offset.checked_add(len)?;
-            if offset >= seg.base && end <= seg.base + seg.data.len() as u64 {
+            // A segment installed near the top of the address space must
+            // not wrap: an overflowing span is a miss, not a panic.
+            let seg_end = seg.base.checked_add(seg.data.len() as u64)?;
+            if offset >= seg.base && end <= seg_end {
                 let lo = (offset - seg.base) as usize;
-                Some(seg.data[lo..lo + len as usize].to_vec())
+                Some(&seg.data[lo..lo + len as usize])
             } else {
                 None
             }
         });
         match served {
             Some(data) => {
+                out.extend_from_slice(data);
                 self.hits.inc();
-                Some(data)
+                true
             }
             None => {
                 self.misses.inc();
-                None
+                false
             }
         }
+    }
+
+    /// Attempts to serve a read from the cache, allocating the result.
+    /// Convenience wrapper over [`lookup_into`](Self::lookup_into) for
+    /// paths where the output buffer escapes anyway.
+    pub fn lookup(&mut self, dpu: usize, offset: u64, len: u64) -> Option<Vec<u8>> {
+        let mut out = Vec::with_capacity(len as usize);
+        self.lookup_into(dpu, offset, len, &mut out).then_some(out)
     }
 
     /// Installs a freshly fetched segment for `dpu`.
@@ -89,11 +118,31 @@ impl PrefetchCache {
         }
     }
 
-    /// Invalidates every segment (write-to-rank, launch, or release).
+    /// The `(base, len)` span of `dpu`'s resident segment, if any. The
+    /// adaptive controller uses this to detect contiguous overrun misses.
+    #[must_use]
+    pub fn segment_span(&self, dpu: usize) -> Option<(u64, u64)> {
+        let seg = self.segments.get(dpu).and_then(Option::as_ref)?;
+        Some((seg.base, seg.data.len() as u64))
+    }
+
+    /// Invalidates every segment (launch or release).
     pub fn invalidate(&mut self) {
         for s in &mut self.segments {
             *s = None;
         }
+        self.global_invalidations.inc();
+    }
+
+    /// Invalidates only the given DPUs' segments (write-to-rank: a write
+    /// can only stale the data of the DPUs it touched).
+    pub fn invalidate_dpus(&mut self, dpus: impl IntoIterator<Item = usize>) {
+        for dpu in dpus {
+            if let Some(slot) = self.segments.get_mut(dpu) {
+                *slot = None;
+            }
+        }
+        self.scoped_invalidations.inc();
     }
 
     /// `(hits, misses)` counters.
@@ -118,6 +167,20 @@ mod tests {
     }
 
     #[test]
+    fn lookup_into_reuses_the_caller_buffer() {
+        let mut c = PrefetchCache::new(1, 1);
+        c.install(0, 0, (0..64u8).collect());
+        let mut buf = Vec::with_capacity(64);
+        for i in 0..8u64 {
+            buf.clear();
+            assert!(c.lookup_into(0, i * 8, 8, &mut buf));
+            assert_eq!(buf[0], (i * 8) as u8);
+            assert_eq!(buf.capacity(), 64, "the hot hit path must not reallocate");
+        }
+        assert_eq!(c.stats(), (8, 0));
+    }
+
+    #[test]
     fn partial_overlap_is_a_miss() {
         let mut c = PrefetchCache::new(1, 1);
         c.install(0, 0, vec![0u8; 4096]);
@@ -136,6 +199,31 @@ mod tests {
     }
 
     #[test]
+    fn scoped_invalidation_spares_untouched_dpus() {
+        let mut c = PrefetchCache::new(3, 1);
+        for d in 0..3 {
+            c.install(d, 0, vec![d as u8; 16]);
+        }
+        c.invalidate_dpus([0, 2]);
+        assert!(c.lookup(0, 0, 1).is_none());
+        assert_eq!(c.lookup(1, 0, 1), Some(vec![1]));
+        assert!(c.lookup(2, 0, 1).is_none());
+    }
+
+    #[test]
+    fn invalidation_counters_split_scoped_from_global() {
+        let scoped = Counter::new();
+        let global = Counter::new();
+        let mut c = PrefetchCache::new(2, 1)
+            .with_invalidation_counters(scoped.clone(), global.clone());
+        c.invalidate_dpus([0]);
+        c.invalidate_dpus([1]);
+        c.invalidate();
+        assert_eq!(scoped.get(), 2);
+        assert_eq!(global.get(), 1);
+    }
+
+    #[test]
     fn cacheable_respects_capacity() {
         let c = PrefetchCache::new(1, 16);
         assert!(c.cacheable(16 * 4096));
@@ -147,6 +235,7 @@ mod tests {
         let mut c = PrefetchCache::new(1, 1);
         assert!(c.lookup(9, 0, 1).is_none());
         c.install(9, 0, vec![1]); // silently ignored
+        c.invalidate_dpus([9]); // likewise
     }
 
     #[test]
@@ -154,5 +243,22 @@ mod tests {
         let mut c = PrefetchCache::new(1, 1);
         c.install(0, 0, vec![0; 8]);
         assert!(c.lookup(0, u64::MAX, 2).is_none());
+    }
+
+    #[test]
+    fn segment_installed_near_u64_max_is_a_miss_not_an_overflow() {
+        // Regression: the hit test computed `seg.base + seg.data.len()`
+        // unchecked, so a segment installed near the top of the address
+        // space overflowed (panic in debug, bogus wrap-around hit in
+        // release). The span must saturate into a miss instead.
+        let mut c = PrefetchCache::new(1, 1);
+        c.install(0, u64::MAX - 4, vec![0xAB; 8]); // base + len wraps
+        assert!(c.lookup(0, u64::MAX - 4, 2).is_none());
+        assert!(c.lookup(0, u64::MAX - 1, 1).is_none());
+        // A non-wrapping segment that ends exactly at u64::MAX still hits.
+        let mut c = PrefetchCache::new(1, 1);
+        c.install(0, u64::MAX - 8, vec![0xCD; 8]);
+        assert_eq!(c.lookup(0, u64::MAX - 8, 2), Some(vec![0xCD; 2]));
+        assert_eq!(c.segment_span(0), Some((u64::MAX - 8, 8)));
     }
 }

@@ -76,7 +76,10 @@ pub use cluster::{
     Fleet, FleetLoadReport, FleetSpec, LinkSpec, MigrateMode, MigrateOpts, MigrationReport,
     PlacementPolicy, LINK_DROP_POINT, MIGRATE_STALL_POINT,
 };
-pub use config::{FaultSite, FaultSpec, InjectSection, SchedSection, Variant, VpimConfig, VpimConfigBuilder};
+pub use config::{
+    AdaptSection, FaultSite, FaultSpec, InjectSection, SchedSection, Variant, VpimConfig,
+    VpimConfigBuilder,
+};
 pub use error::VpimError;
 pub use frontend::{Frontend, ProbeOpts};
 pub use load::{LoadHarness, LoadReport, LoadSpec};
@@ -98,7 +101,7 @@ pub mod prelude {
         Fleet, FleetLoadReport, FleetSpec, LinkSpec, MigrateMode, MigrateOpts, MigrationReport,
         PlacementPolicy,
     };
-    pub use crate::config::{Variant, VpimConfig, VpimConfigBuilder};
+    pub use crate::config::{AdaptSection, Variant, VpimConfig, VpimConfigBuilder};
     pub use crate::error::VpimError;
     pub use crate::frontend::{Frontend, ProbeOpts};
     pub use crate::load::{
