@@ -11,9 +11,11 @@
 # end-state churn accounting + the contention bench, refreshes
 # BENCH_control_plane.json), the load gate (1k-session service-level
 # smoke, bit-identical LoadReport across thread counts, refreshes
-# BENCH_load.json), and the cluster gate (migration determinism under
+# BENCH_load.json), the cluster gate (migration determinism under
 # varied harness parallelism plus the 1/2/4-host consolidation bench,
-# refreshes BENCH_cluster.json).
+# refreshes BENCH_cluster.json), and the pheap gate (crash-consistency
+# suites under varied harness parallelism, the 8-seed chaos sweep, the
+# durability bench, refreshes BENCH_pheap.json).
 tier1:
 	sh ci/offline-gate.sh
 	sh ci/stress-gate.sh
@@ -24,6 +26,7 @@ tier1:
 	sh ci/load-gate.sh
 	sh ci/cluster-gate.sh
 	sh ci/adaptive-gate.sh
+	sh ci/pheap-gate.sh
 
 build:
 	cargo build --offline --workspace

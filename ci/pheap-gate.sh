@@ -1,0 +1,48 @@
+#!/usr/bin/env sh
+# Persistent-heap gate (DESIGN.md §17): proves vpim::pheap's crash
+# consistency — crash anywhere, restore, recover, and the heap is exactly
+# the committed prefix — in release mode:
+#
+#   1. The pheap suites (`pheap_properties`: differential proptest vs a
+#      BTreeMap oracle, allocator invariants, recovery idempotence;
+#      `pheap_crash`: op streams x fault schedules x dispatch modes vs a
+#      committed-prefix oracle; `rank_checkpoint`: the uncommitted-WAL-tail
+#      snapshot/restore regression) under RUST_TEST_THREADS=1 and =8 —
+#      harness scheduling must not reach recovered state;
+#   2. an 8-seed CHAOS_SEED sweep over the chaos suite's pheap tests
+#      (exact injection totals, bit-identical recovery across modes, the
+#      crash matrix);
+#   3. the durability bench (`figures pheap`): lossless repair-free
+#      recovery, bit-identical state *and* virtual-time costs across
+#      dispatch modes (the asserts live in the experiment itself);
+#   4. on success the bench is published as BENCH_pheap.json at the repo
+#      root (the regression trajectory).
+#
+# Usage: ci/pheap-gate.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== pheap gate: crash-consistency suites (RUST_TEST_THREADS=1) =="
+RUST_TEST_THREADS=1 cargo test --release --offline -q \
+    --test pheap_properties --test pheap_crash --test rank_checkpoint
+
+echo "== pheap gate: crash-consistency suites (RUST_TEST_THREADS=8) =="
+RUST_TEST_THREADS=8 cargo test --release --offline -q \
+    --test pheap_properties --test pheap_crash --test rank_checkpoint
+
+echo "== pheap gate: 8-seed chaos sweep =="
+for seed in 3 17 111 1009 4242 31337 77777 900001; do
+    echo "-- CHAOS_SEED=$seed"
+    CHAOS_SEED=$seed cargo test --release --offline -q --test chaos_suite -- pheap
+done
+
+echo "== pheap gate: durability bench =="
+OUT_DIR="${TMPDIR:-/tmp}"
+BENCH_OUT="$OUT_DIR/vpim-pheap-bench.json"
+rm -f "$BENCH_OUT"
+cargo build --release --offline -p vpim-bench
+PHEAP_BENCH_OUT="$BENCH_OUT" ./target/release/figures pheap
+
+cp "$BENCH_OUT" BENCH_pheap.json
+echo "== pheap gate: OK (BENCH_pheap.json refreshed) =="

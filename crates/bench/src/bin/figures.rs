@@ -4,15 +4,17 @@
 //! Usage: figures [--paper] [EXPERIMENT...]
 //!
 //! Experiments: table1 table2 fig8 fig9 fig10 fig11 fig12 fig13 fig14
-//!              fig15 boot manager memovh ablations adaptive metrics
-//!              summary all quick
+//!              fig15 boot manager memovh ablations adaptive pheap
+//!              metrics summary all quick
 //!
 //! `quick` (the default) runs everything except the long Fig. 8 full sweep
 //! (it runs Fig. 8 on a representative application subset). `all` runs the
 //! complete Fig. 8. `adaptive` (the static-vs-adaptive frontend ablation,
 //! DESIGN.md §16) only runs when named explicitly, keeping `quick`/`all`
 //! output stable; with `ADAPTIVE_BENCH_OUT` set it also writes the gate's
-//! JSON artifact. `--paper` switches to paper-sized datasets.
+//! JSON artifact. `pheap` (the persistent-heap durability bench, DESIGN.md
+//! §17) is likewise explicit-only and writes its gate artifact when
+//! `PHEAP_BENCH_OUT` is set. `--paper` switches to paper-sized datasets.
 //! ```
 
 use vpim_bench::{experiments, render, BenchEnv, Scale};
@@ -113,6 +115,17 @@ fn main() {
         println!("{}", render::adaptive(&rows));
         if let Ok(path) = std::env::var("ADAPTIVE_BENCH_OUT") {
             std::fs::write(&path, render::adaptive_json(&rows)).expect("write ADAPTIVE_BENCH_OUT");
+        }
+    }
+    // Explicit-only for the same reason: the durability bench asserts the
+    // crash-recovery acceptance bars (lossless, repair-free, bit-identical
+    // across dispatch modes) and feeds `ci/pheap-gate.sh`.
+    if wanted.iter().any(|w| w == "pheap") {
+        eprintln!("[running pheap durability bench...]");
+        let rows = experiments::bench_pheap(&env);
+        println!("{}", render::pheap(&rows));
+        if let Ok(path) = std::env::var("PHEAP_BENCH_OUT") {
+            std::fs::write(&path, render::pheap_json(&rows)).expect("write PHEAP_BENCH_OUT");
         }
     }
     if run("ablations") {

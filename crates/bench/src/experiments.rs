@@ -777,3 +777,146 @@ pub fn ablation_adaptive(env: &BenchEnv) -> Vec<AdaptiveRow> {
     }
     rows
 }
+
+/// One row of the persistent-heap durability bench (DESIGN.md §17): a
+/// seeded write/persist workload on [`vpim::Pheap`], a simulated crash
+/// (the handle drops, taking the resident window with it), and recovery.
+/// Costs are virtual-time MRAM traffic drained from the heap's cost
+/// accumulator; the row reports the Sequential run after asserting the
+/// Parallel-dispatch run produced bit-identical state and timings.
+#[derive(Debug, Clone)]
+pub struct PheapRow {
+    /// Workload short name.
+    pub leg: &'static str,
+    /// Objects written and committed.
+    pub objects: u64,
+    /// Bytes per object.
+    pub value_bytes: u64,
+    /// WAL transactions committed (one per `persist()` batch).
+    pub persists: u64,
+    /// Virtual time of the write+persist phase (page faults included).
+    pub persist_t: VirtualNanos,
+    /// Virtual time [`vpim::Pheap::recover`] spent rebuilding the heap.
+    pub recover_t: VirtualNanos,
+}
+
+impl PheapRow {
+    /// Total committed payload bytes.
+    #[must_use]
+    pub fn payload_bytes(&self) -> u64 {
+        self.objects * self.value_bytes
+    }
+
+    /// Committed-payload throughput of the persist phase, MB/s of
+    /// virtual time.
+    #[must_use]
+    pub fn mbps(&self) -> f64 {
+        self.payload_bytes() as f64 * 1000.0 / self.persist_t.as_nanos().max(1) as f64
+    }
+}
+
+/// The seeded value of object `i` in a pheap bench leg.
+fn pheap_value(seed: u64, i: u64, len: u64) -> Vec<u8> {
+    (0..len)
+        .map(|j| {
+            let x = seed ^ (i << 32) ^ j.wrapping_mul(0x9e37_79b9);
+            (x.wrapping_mul(2_654_435_761) >> 11) as u8
+        })
+        .collect()
+}
+
+/// Runs one pheap leg under one dispatch mode and returns
+/// `(persist_t, recover_t, digest)` where `digest` folds every recovered
+/// byte (so any divergence across modes poisons the comparison).
+fn pheap_leg(
+    env: &BenchEnv,
+    parallel: bool,
+    seed: u64,
+    objects: u64,
+    value_bytes: u64,
+    batch: u64,
+) -> (VirtualNanos, VirtualNanos, u64) {
+    let sys = vpim::VpimSystem::start(
+        env.driver().clone(),
+        vpim::VpimConfig::builder().parallel(parallel).build(),
+        vpim::StartOpts::new()
+            .cost_model(env.cost_model().clone())
+            .manager(vpim::manager::ManagerConfig::default()),
+    );
+    let vm = sys.launch(vpim::TenantSpec::new("pheap-bench").mem_mib(16)).expect("vm");
+    let opts = vpim::PheapOptions::new().attach(&sys);
+
+    let mut heap = vpim::Pheap::format(vm.frontend(0).clone(), opts.clone()).expect("format");
+    let _ = heap.drain_cost(); // format is setup, not part of the persist figure
+    let mut ids = Vec::new();
+    let mut persists = 0u64;
+    for i in 0..objects {
+        let id = heap.alloc(value_bytes).expect("alloc");
+        heap.write(id, 0, &pheap_value(seed, i, value_bytes)).expect("write");
+        ids.push(id);
+        if (i + 1) % batch == 0 {
+            heap.persist().expect("persist");
+            persists += 1;
+        }
+    }
+    if objects % batch != 0 {
+        heap.persist().expect("persist");
+        persists += 1;
+    }
+    let persist_t = heap.drain_cost();
+    drop(heap); // crash: the resident window dies with the guest
+
+    let (mut rec, report) = vpim::Pheap::recover(vm.frontend(0).clone(), opts).expect("recover");
+    let recover_t = rec.drain_cost();
+    assert!(
+        !report.replayed && !report.discarded_tail,
+        "clean crash must recover without repair: {report:?}"
+    );
+    assert_eq!(report.applied_seq, persists, "every persist must be durable");
+    assert_eq!(report.objects as u64, objects, "every committed object must survive");
+
+    let mut digest = 0xcbf2_9ce4_8422_2325u64 ^ persists;
+    for (i, &id) in ids.iter().enumerate() {
+        let got = rec.read(id, 0, value_bytes).expect("read");
+        assert_eq!(got, pheap_value(seed, i as u64, value_bytes), "{} object {i} diverged", if parallel { "par" } else { "seq" });
+        digest = got.iter().fold(digest, |h, &b| (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3));
+    }
+    drop(rec);
+    drop(vm);
+    sys.shutdown();
+    (persist_t, recover_t, digest)
+}
+
+/// The persistent-heap durability bench (DESIGN.md §17), feeding
+/// `ci/pheap-gate.sh` and `BENCH_pheap.json`. Three workload shapes —
+/// a small-value KV store, a large-value blob store, and a log-style
+/// append stream — each run under both dispatch modes with the
+/// acceptance bars asserted here so the figures binary and the gate both
+/// trip on a regression: recovery is lossless and repair-free after a
+/// clean crash, bit-identical across Sequential/Parallel dispatch (state
+/// *and* virtual-time costs), and never costs zero.
+#[must_use]
+pub fn bench_pheap(env: &BenchEnv) -> Vec<PheapRow> {
+    let mut rows = Vec::new();
+    for (leg, objects, value_bytes, batch) in [
+        ("kv-small", 96u64, 256u64, 12u64),
+        ("blob-large", 16, 8192, 4),
+        ("log-append", 48, 1024, 6),
+    ] {
+        let seed = 0x17_u64.wrapping_mul(objects) ^ value_bytes;
+        let seq = pheap_leg(env, false, seed, objects, value_bytes, batch);
+        let par = pheap_leg(env, true, seed, objects, value_bytes, batch);
+        assert_eq!(seq, par, "{leg}: dispatch modes must agree on state and virtual time");
+        let (persist_t, recover_t, _) = seq;
+        assert!(persist_t > VirtualNanos::ZERO && recover_t > VirtualNanos::ZERO);
+        rows.push(PheapRow {
+            leg,
+            objects,
+            value_bytes,
+            persists: objects / batch + u64::from(objects % batch != 0),
+            persist_t,
+            recover_t,
+        });
+    }
+    rows
+}

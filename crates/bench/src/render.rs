@@ -5,7 +5,9 @@ use simkit::{
     AppSegment, DriverSegment, MetricValue, MetricsSnapshot, Timeline, VirtualNanos, WriteStep,
 };
 
-use crate::experiments::{AdaptiveRow, Fig11, Fig14, Fig15, Fig8Row, ManagerReport, OverheadSummary};
+use crate::experiments::{
+    AdaptiveRow, Fig11, Fig14, Fig15, Fig8Row, ManagerReport, OverheadSummary, PheapRow,
+};
 
 fn ms(d: VirtualNanos) -> String {
     format!("{:.2}", d.as_millis_f64())
@@ -504,4 +506,54 @@ pub fn adaptive_json(rows: &[AdaptiveRow]) -> String {
         })
         .collect();
     format!("{{\"bench\":\"adaptive\",\"rows\":[{}]}}", cells.join(","))
+}
+
+/// Renders the persistent-heap durability bench (DESIGN.md §17).
+#[must_use]
+pub fn pheap(rows: &[PheapRow]) -> String {
+    let mut t = TextTable::new(vec![
+        "workload".into(),
+        "objects".into(),
+        "value(B)".into(),
+        "persists".into(),
+        "persist(ms)".into(),
+        "recover(ms)".into(),
+        "MB/s".into(),
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.leg.into(),
+            r.objects.to_string(),
+            r.value_bytes.to_string(),
+            r.persists.to_string(),
+            ms(r.persist_t),
+            ms(r.recover_t),
+            format!("{:.2}", r.mbps()),
+        ]);
+    }
+    format!("Persistent-heap durability (crash + recovery, DESIGN.md §17)\n{}", t.render())
+}
+
+/// The pheap bench as the machine-readable gate artifact
+/// (`BENCH_pheap.json`). Throughput is reported in milli-MB/s to keep
+/// the document float-free and byte-stable.
+#[must_use]
+pub fn pheap_json(rows: &[PheapRow]) -> String {
+    let cells: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"leg\":\"{}\",\"objects\":{},\"value_bytes\":{},\"payload_bytes\":{},\"persists\":{},\"persist_ns\":{},\"recover_ns\":{},\"mbps_milli\":{}}}",
+                r.leg,
+                r.objects,
+                r.value_bytes,
+                r.payload_bytes(),
+                r.persists,
+                r.persist_t.as_nanos(),
+                r.recover_t.as_nanos(),
+                (r.mbps() * 1000.0) as u64
+            )
+        })
+        .collect();
+    format!("{{\"bench\":\"pheap\",\"rows\":[{}]}}", cells.join(","))
 }

@@ -42,11 +42,17 @@ pub enum FaultSite {
     /// The migration engine stalls at its safe point in wall-clock time
     /// (`cluster.migrate.stall`).
     MigrateStall,
+    /// A persistent-heap WAL append tears partway, leaving an
+    /// uncommitted tail in MRAM (`pheap.wal.torn`).
+    PheapWalTorn,
+    /// A persistent-heap commit record is dropped before it reaches
+    /// MRAM — power loss just before commit (`pheap.persist.drop`).
+    PheapPersistDrop,
 }
 
 impl FaultSite {
     /// Every site, in stack order (guest-facing first).
-    pub const ALL: [FaultSite; 12] = [
+    pub const ALL: [FaultSite; 14] = [
         FaultSite::KickDrop,
         FaultSite::IrqDelay,
         FaultSite::MemEio,
@@ -59,6 +65,8 @@ impl FaultSite {
         FaultSite::CkptStall,
         FaultSite::LinkDrop,
         FaultSite::MigrateStall,
+        FaultSite::PheapWalTorn,
+        FaultSite::PheapPersistDrop,
     ];
 
     /// The fault-point name this site arms on the plane.
@@ -77,6 +85,8 @@ impl FaultSite {
             FaultSite::CkptStall => "sched.ckpt.stall",
             FaultSite::LinkDrop => "cluster.link.drop",
             FaultSite::MigrateStall => "cluster.migrate.stall",
+            FaultSite::PheapWalTorn => "pheap.wal.torn",
+            FaultSite::PheapPersistDrop => "pheap.persist.drop",
         }
     }
 }

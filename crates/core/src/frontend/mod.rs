@@ -825,6 +825,28 @@ impl Frontend {
         Ok(report)
     }
 
+    /// Durability barrier for persistent-heap commits ([`crate::pheap`]):
+    /// drains the write-combining batch so every buffered write reaches
+    /// the rank, then invalidates the prefetch cache so subsequent reads
+    /// observe rank MRAM rather than stale prefetched pages. A no-op
+    /// (zero-cost report) when nothing is buffered and the cache is cold.
+    ///
+    /// # Errors
+    ///
+    /// Transport or hardware failures from the flush.
+    pub fn persist_barrier(&self) -> Result<OpReport, VpimError> {
+        let report = self.flush_batch()?;
+        {
+            let _order = simkit::ordered(simkit::LockLevel::Frontend, front_lock::STATE);
+            let mut st = self.state.lock();
+            st.prefetch.invalidate();
+            if let Some(a) = st.adapt.as_mut() {
+                a.on_barrier();
+            }
+        }
+        Ok(report)
+    }
+
     fn write_direct(&self, entries: &[(u32, u64, &[u8])]) -> Result<OpReport, VpimError> {
         {
             // A write can only stale the segments of the DPUs it touches;

@@ -66,6 +66,7 @@ pub mod frontend;
 pub mod load;
 pub mod manager;
 pub mod matrix;
+pub mod pheap;
 pub mod report;
 pub mod sched;
 pub mod spec;
@@ -84,6 +85,10 @@ pub use error::VpimError;
 pub use frontend::{Frontend, ProbeOpts};
 pub use load::{LoadHarness, LoadReport, LoadSpec};
 pub use manager::MANAGER_RPC_POINT;
+pub use pheap::{
+    PersistReport, Pheap, PheapOptions, RecoverReport, PHEAP_PERSIST_DROP_POINT,
+    PHEAP_WAL_TORN_POINT,
+};
 pub use report::OpReport;
 pub use sched::{SchedPolicy, SchedStats, Scheduler, SnapshotStore, CKPT_STALL_POINT};
 pub use system::{StartOpts, TenantSpec, VpimSystem, VpimVm};
@@ -108,6 +113,7 @@ pub mod prelude {
         Arrival, Execution, LoadHarness, LoadReport, LoadSpec, OpOutcome, TenantMix,
         TenantProfile,
     };
+    pub use crate::pheap::{PersistReport, Pheap, PheapOptions, RecoverReport};
     pub use crate::report::OpReport;
     pub use crate::system::{StartOpts, TenantSpec, VpimSystem, VpimVm};
     pub use upmem_driver::UpmemDriver;

@@ -1,0 +1,206 @@
+//! Bump-then-free-list allocator over the pheap's MRAM data region.
+//!
+//! All bookkeeping lives in guest RAM; the serialized state rides in the
+//! root table ([`super::wal`]) so it is replayed atomically with the
+//! objects it describes. Offsets handed out are **absolute** MRAM
+//! offsets; internally everything is relative to the region start.
+//!
+//! Placement policy: exhaust the free list first (first-fit with split),
+//! fall back to the bump frontier. Frees coalesce with both neighbours,
+//! and a free run that touches the frontier retracts it — so a
+//! fully-freed heap returns to its pristine `bump == 0` state, which the
+//! conservation invariant in [`check`](PAllocator::check) relies on.
+
+/// Rounds an object length up to the 8-byte MRAM transfer granule.
+#[must_use]
+pub(crate) const fn round8(len: u64) -> u64 {
+    (len + 7) & !7
+}
+
+/// The data-region allocator (see module docs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct PAllocator {
+    region_off: u64,
+    region_size: u64,
+    /// Bump frontier, relative to `region_off`.
+    bump: u64,
+    /// Free spans `(rel_off, len)`, sorted by offset, never adjacent
+    /// (adjacent spans coalesce on insert).
+    free: Vec<(u64, u64)>,
+}
+
+impl PAllocator {
+    /// A fresh allocator owning `[region_off, region_off + region_size)`.
+    pub(crate) fn new(region_off: u64, region_size: u64) -> Self {
+        PAllocator { region_off, region_size, bump: 0, free: Vec::new() }
+    }
+
+    /// Rebuilds an allocator from root-table state.
+    pub(crate) fn from_parts(
+        region_off: u64,
+        region_size: u64,
+        bump: u64,
+        free: Vec<(u64, u64)>,
+    ) -> Self {
+        PAllocator { region_off, region_size, bump, free }
+    }
+
+    pub(crate) fn bump(&self) -> u64 {
+        self.bump
+    }
+
+    pub(crate) fn free_spans(&self) -> &[(u64, u64)] {
+        &self.free
+    }
+
+    /// Total bytes available without growing past the frontier.
+    pub(crate) fn free_bytes(&self) -> u64 {
+        let listed: u64 = self.free.iter().map(|&(_, l)| l).sum();
+        listed + (self.region_size - self.bump)
+    }
+
+    /// Allocates `len` bytes (rounded to the 8-byte granule), returning
+    /// the **absolute** MRAM offset, or `None` when no span fits.
+    pub(crate) fn alloc(&mut self, len: u64) -> Option<u64> {
+        let need = round8(len);
+        if need == 0 || need > self.region_size {
+            return None;
+        }
+        if let Some(i) = self.free.iter().position(|&(_, l)| l >= need) {
+            let (off, l) = self.free[i];
+            if l == need {
+                self.free.remove(i);
+            } else {
+                self.free[i] = (off + need, l - need);
+            }
+            return Some(self.region_off + off);
+        }
+        if self.bump + need <= self.region_size {
+            let off = self.bump;
+            self.bump += need;
+            return Some(self.region_off + off);
+        }
+        None
+    }
+
+    /// Returns `[abs_off, abs_off + round8(len))` to the free list,
+    /// coalescing neighbours and retracting the bump frontier when the
+    /// freed run touches it.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a span outside the allocated region or a double free —
+    /// both are heap-metadata corruption the caller must have prevented.
+    pub(crate) fn free(&mut self, abs_off: u64, len: u64) {
+        let need = round8(len);
+        assert!(abs_off >= self.region_off, "pheap: free below data region");
+        let off = abs_off - self.region_off;
+        assert!(off + need <= self.bump, "pheap: free beyond bump frontier");
+        let i = self.free.partition_point(|&(o, _)| o < off);
+        if i > 0 {
+            let (po, pl) = self.free[i - 1];
+            assert!(po + pl <= off, "pheap: double free (prev overlap)");
+        }
+        if i < self.free.len() {
+            assert!(off + need <= self.free[i].0, "pheap: double free (next overlap)");
+        }
+        self.free.insert(i, (off, need));
+        // Coalesce with the next span, then the previous one.
+        if i + 1 < self.free.len() && self.free[i].0 + self.free[i].1 == self.free[i + 1].0 {
+            self.free[i].1 += self.free[i + 1].1;
+            self.free.remove(i + 1);
+        }
+        if i > 0 && self.free[i - 1].0 + self.free[i - 1].1 == self.free[i].0 {
+            self.free[i - 1].1 += self.free[i].1;
+            self.free.remove(i);
+        }
+        // Retract the frontier over a trailing free run.
+        if let Some(&(o, l)) = self.free.last() {
+            if o + l == self.bump {
+                self.bump = o;
+                self.free.pop();
+            }
+        }
+    }
+
+    /// Metadata invariants: spans sorted, disjoint, non-adjacent, inside
+    /// the frontier, and byte conservation against the live object list
+    /// (`(abs_off, len)` pairs). Returns a description of the first
+    /// violation.
+    pub(crate) fn check(&self, objects: &[(u64, u64)]) -> Result<(), String> {
+        if self.bump > self.region_size {
+            return Err(format!("bump {} beyond region {}", self.bump, self.region_size));
+        }
+        let mut prev_end = 0u64;
+        for &(o, l) in &self.free {
+            if l == 0 || l % 8 != 0 || o % 8 != 0 {
+                return Err(format!("unaligned free span ({o}, {l})"));
+            }
+            if o < prev_end || (prev_end != 0 && o == prev_end) {
+                return Err(format!("free span ({o}, {l}) overlaps or touches previous"));
+            }
+            if o + l > self.bump {
+                return Err(format!("free span ({o}, {l}) beyond bump {}", self.bump));
+            }
+            prev_end = o + l;
+        }
+        // No object may overlap another object or a free span.
+        let mut spans: Vec<(u64, u64, bool)> = self
+            .free
+            .iter()
+            .map(|&(o, l)| (o, l, true))
+            .chain(objects.iter().map(|&(o, l)| (o - self.region_off, round8(l), false)))
+            .collect();
+        spans.sort_unstable();
+        for w in spans.windows(2) {
+            if w[0].0 + w[0].1 > w[1].0 {
+                return Err(format!("span overlap at rel {} and {}", w[0].0, w[1].0));
+            }
+        }
+        // Conservation: everything below the frontier is an object or free.
+        let used: u64 = objects.iter().map(|&(_, l)| round8(l)).sum();
+        let listed: u64 = self.free.iter().map(|&(_, l)| l).sum();
+        if used + listed != self.bump {
+            return Err(format!(
+                "conservation violated: used {used} + free {listed} != bump {}",
+                self.bump
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_coalesce_roundtrip() {
+        let mut a = PAllocator::new(1000, 64);
+        let x = a.alloc(8).unwrap();
+        let y = a.alloc(9).unwrap(); // rounds to 16
+        let z = a.alloc(8).unwrap();
+        assert_eq!((x, y, z), (1000, 1008, 1024));
+        a.check(&[(x, 8), (y, 9), (z, 8)]).unwrap();
+        a.free(y, 9);
+        a.check(&[(x, 8), (z, 8)]).unwrap();
+        // First-fit reuses the hole.
+        assert_eq!(a.alloc(16).unwrap(), 1008);
+        a.free(1008, 16);
+        a.free(z, 8); // touches frontier through the hole: full retract
+        assert_eq!(a.bump(), 8);
+        assert!(a.free_spans().is_empty());
+        a.free(x, 8);
+        assert_eq!(a.bump(), 0);
+        assert_eq!(a.free_bytes(), 64);
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let mut a = PAllocator::new(0, 32);
+        assert!(a.alloc(24).is_some());
+        assert!(a.alloc(16).is_none());
+        assert!(a.alloc(8).is_some());
+        assert!(a.alloc(1).is_none());
+    }
+}

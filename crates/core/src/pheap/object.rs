@@ -1,0 +1,214 @@
+//! Object directory entries and the bounded guest-RAM resident set.
+//!
+//! The resident set is the vNV-Heap-style ownership window: an object
+//! must be resident to be read through the cache, written, or pinned,
+//! and the set never holds more than `budget` bytes. Dirty residents
+//! cannot be evicted (their bytes exist nowhere else — home locations
+//! hold only committed data), so the heap persists *before* a write
+//! would push the dirty total past the budget; clean residents are
+//! evicted LRU to make room.
+
+use std::collections::BTreeMap;
+
+/// Directory entry: where an object lives in MRAM. `off` is absolute;
+/// `len` is the user-visible length (the allocator rounds to 8 bytes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct ObjectMeta {
+    pub off: u64,
+    pub len: u64,
+}
+
+/// A resident copy of one object.
+#[derive(Debug, Clone)]
+pub(crate) struct Resident {
+    pub data: Vec<u8>,
+    pub dirty: bool,
+    pub pins: u32,
+    /// LRU stamp (monotone clock; larger = more recently used).
+    stamp: u64,
+}
+
+/// The bounded resident set (see module docs).
+#[derive(Debug)]
+pub(crate) struct ResidentSet {
+    map: BTreeMap<u64, Resident>,
+    budget: u64,
+    bytes: u64,
+    dirty_bytes: u64,
+    clock: u64,
+}
+
+impl ResidentSet {
+    pub(crate) fn new(budget: u64) -> Self {
+        ResidentSet { map: BTreeMap::new(), budget, bytes: 0, dirty_bytes: 0, clock: 0 }
+    }
+
+    pub(crate) fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    pub(crate) fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    pub(crate) fn dirty_bytes(&self) -> u64 {
+        self.dirty_bytes
+    }
+
+    pub(crate) fn contains(&self, id: u64) -> bool {
+        self.map.contains_key(&id)
+    }
+
+    pub(crate) fn is_dirty(&self, id: u64) -> bool {
+        self.map.get(&id).is_some_and(|r| r.dirty)
+    }
+
+    pub(crate) fn pins(&self, id: u64) -> u32 {
+        self.map.get(&id).map_or(0, |r| r.pins)
+    }
+
+    /// Borrows a resident's bytes, touching its LRU stamp.
+    pub(crate) fn touch(&mut self, id: u64) -> Option<&[u8]> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.map.get_mut(&id).map(|r| {
+            r.stamp = clock;
+            r.data.as_slice()
+        })
+    }
+
+    /// Mutably borrows a resident's bytes; the caller must have marked
+    /// it dirty first (the set's byte accounting assumes it).
+    pub(crate) fn data_mut(&mut self, id: u64) -> Option<&mut Vec<u8>> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.map.get_mut(&id).map(|r| {
+            r.stamp = clock;
+            &mut r.data
+        })
+    }
+
+    /// Evicts clean, unpinned residents (LRU-first) until `need` bytes
+    /// fit inside the budget. Returns the evicted ids, or `None` when
+    /// the room cannot be made (everything left is dirty or pinned).
+    pub(crate) fn make_room(&mut self, need: u64) -> Option<Vec<u64>> {
+        let mut evicted = Vec::new();
+        while self.bytes + need > self.budget {
+            let victim = self
+                .map
+                .iter()
+                .filter(|(_, r)| !r.dirty && r.pins == 0)
+                .min_by_key(|(_, r)| r.stamp)
+                .map(|(&id, _)| id)?;
+            self.remove(victim);
+            evicted.push(victim);
+        }
+        Some(evicted)
+    }
+
+    /// Inserts a resident copy. The caller is responsible for having
+    /// called [`make_room`](Self::make_room); inserting past the budget
+    /// is a logic error.
+    pub(crate) fn insert(&mut self, id: u64, data: Vec<u8>, dirty: bool) {
+        let len = data.len() as u64;
+        assert!(self.bytes + len <= self.budget, "pheap: resident budget overflow");
+        self.clock += 1;
+        self.bytes += len;
+        if dirty {
+            self.dirty_bytes += len;
+        }
+        let prev = self.map.insert(id, Resident { data, dirty, pins: 0, stamp: self.clock });
+        assert!(prev.is_none(), "pheap: double-insert of resident {id}");
+    }
+
+    /// Marks a resident dirty (no-op when already dirty).
+    pub(crate) fn mark_dirty(&mut self, id: u64) {
+        if let Some(r) = self.map.get_mut(&id) {
+            if !r.dirty {
+                r.dirty = true;
+                self.dirty_bytes += r.data.len() as u64;
+            }
+        }
+    }
+
+    /// Clears every dirty flag (after a successful persist).
+    pub(crate) fn clean_all(&mut self) {
+        for r in self.map.values_mut() {
+            r.dirty = false;
+        }
+        self.dirty_bytes = 0;
+    }
+
+    /// Drops a resident (freed object or eviction).
+    pub(crate) fn remove(&mut self, id: u64) -> Option<Vec<u8>> {
+        let r = self.map.remove(&id)?;
+        self.bytes -= r.data.len() as u64;
+        if r.dirty {
+            self.dirty_bytes -= r.data.len() as u64;
+        }
+        Some(r.data)
+    }
+
+    pub(crate) fn pin(&mut self, id: u64) {
+        if let Some(r) = self.map.get_mut(&id) {
+            r.pins += 1;
+        }
+    }
+
+    /// Returns the remaining pin count.
+    pub(crate) fn unpin(&mut self, id: u64) -> u32 {
+        let r = self.map.get_mut(&id).expect("pheap: unpin of non-resident");
+        r.pins -= 1;
+        r.pins
+    }
+
+    /// Dirty ids in ascending order — the deterministic record order of
+    /// a persist transaction.
+    pub(crate) fn dirty_ids(&self) -> Vec<u64> {
+        self.map.iter().filter(|(_, r)| r.dirty).map(|(&id, _)| id).collect()
+    }
+
+    /// Byte-accounting invariants; returns the first violation.
+    pub(crate) fn check(&self) -> Result<(), String> {
+        let bytes: u64 = self.map.values().map(|r| r.data.len() as u64).sum();
+        let dirty: u64 =
+            self.map.values().filter(|r| r.dirty).map(|r| r.data.len() as u64).sum();
+        if bytes != self.bytes {
+            return Err(format!("resident bytes {} != tracked {}", bytes, self.bytes));
+        }
+        if dirty != self.dirty_bytes {
+            return Err(format!("dirty bytes {} != tracked {}", dirty, self.dirty_bytes));
+        }
+        if self.bytes > self.budget {
+            return Err(format!("resident {} over budget {}", self.bytes, self.budget));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_eviction_skips_dirty_and_pinned() {
+        let mut s = ResidentSet::new(24);
+        s.insert(1, vec![0; 8], false);
+        s.insert(2, vec![0; 8], true);
+        s.insert(3, vec![0; 8], false);
+        s.pin(3);
+        // Only object 1 is evictable; 8 more bytes need exactly that.
+        assert_eq!(s.make_room(8), Some(vec![1]));
+        s.insert(4, vec![0; 8], false);
+        // Now nothing clean+unpinned is left except 4 itself.
+        s.pin(4);
+        assert_eq!(s.make_room(8), None);
+        s.check().unwrap();
+        assert_eq!(s.dirty_bytes(), 8);
+        s.clean_all();
+        assert_eq!(s.dirty_bytes(), 0);
+        assert_eq!(s.unpin(4), 0);
+        // Object 2 (now clean, never re-touched) is the LRU victim.
+        assert_eq!(s.make_room(8), Some(vec![2]));
+    }
+}

@@ -18,7 +18,7 @@ use prim::ScaleParams;
 use upmem_sdk::SdkError;
 use upmem_sim::{PimConfig, PimMachine};
 use vpim::load::{OpOutcome, TenantMix, TenantOp, TenantProfile};
-use vpim::{TenantSpec, VpimError};
+use vpim::{Pheap, PheapOptions, TenantSpec, VpimError};
 
 /// Registers every kernel the mixes need (all 16 PrIM applications plus
 /// the UPIS index-search kernel). Call before starting the system.
@@ -83,6 +83,79 @@ pub fn upis_op(nr_dpus: usize, params: IndexSearchParams) -> TenantOp {
             Ok(OpOutcome::new(cost, checksum))
         }),
     )
+}
+
+/// The seeded value of KV entry `i` for an episode keyed by `seed`.
+fn kv_value(seed: u64, i: usize, len: usize) -> Vec<u8> {
+    (0..len)
+        .map(|j| {
+            let x = seed ^ ((i as u64) << 32) ^ (j as u64).wrapping_mul(0x9e37_79b9);
+            (x.wrapping_mul(2_654_435_761) >> 11) as u8
+        })
+        .collect()
+}
+
+fn fold_bytes(acc: u64, bytes: &[u8]) -> u64 {
+    bytes.iter().fold(acc, |h, &b| (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3))
+}
+
+/// A [`TenantOp`] running one persistent-KV episode over [`vpim::pheap`]:
+/// format a heap in the tenant's rank MRAM, insert `entries` values of
+/// `value_len` bytes derived from the op seed (persisting every third
+/// insert and once at the end), drop the handle as a simulated crash,
+/// [`Pheap::recover`], and verify every committed value bit-exactly. The
+/// checksum folds all recovered bytes plus the recovery report, so data
+/// loss, leakage, or a replay divergence anywhere poisons the session
+/// report; the cost is the heap's accumulated virtual-time MRAM traffic.
+/// With `pheap.wal.torn`/`pheap.persist.drop` armed, the persist calls
+/// fail typed (keyed purely by transaction sequence) and the episode
+/// surfaces as a deterministic op failure. The report key is `pheap.kv`.
+#[must_use]
+pub fn pheap_kv_op(opts: PheapOptions, entries: usize, value_len: usize) -> TenantOp {
+    TenantOp::new(
+        "pheap.kv",
+        Arc::new(move |vm, seed| {
+            let front = vm.frontend(0).clone();
+            let mut heap = Pheap::format(front.clone(), opts.clone())?;
+            let mut ids = Vec::with_capacity(entries);
+            for i in 0..entries {
+                let id = heap.alloc(value_len as u64)?;
+                heap.write(id, 0, &kv_value(seed, i, value_len))?;
+                ids.push(id);
+                if i % 3 == 2 {
+                    heap.persist()?;
+                }
+            }
+            heap.persist()?;
+            let mut cost = heap.drain_cost();
+            drop(heap); // crash: the resident window dies with the guest
+
+            let (mut rec, report) = Pheap::recover(front, opts.clone())?;
+            let mut checksum = 0xcbf2_9ce4_8422_2325u64;
+            for (i, &id) in ids.iter().enumerate() {
+                let got = rec.read(id, 0, value_len as u64)?;
+                if got != kv_value(seed, i, value_len) {
+                    return Err(VpimError::BadRequest(format!(
+                        "pheap.kv: recovered value {i} diverged from the committed write"
+                    )));
+                }
+                checksum = fold_bytes(checksum, &got);
+            }
+            checksum ^= (report.applied_seq << 1) | u64::from(report.replayed);
+            cost += rec.drain_cost();
+            Ok(OpOutcome::new(cost, checksum))
+        }),
+    )
+}
+
+/// A persistent-KV tenant: sessions run one [`pheap_kv_op`] episode at a
+/// size that exercises multiple WAL transactions per episode.
+#[must_use]
+pub fn pheap_kv_profile(opts: PheapOptions) -> TenantProfile {
+    TenantProfile::new("pheap-kv", TenantSpec::new("pheap-kv").mem_mib(16))
+        .op(pheap_kv_op(opts, 12, 512))
+        .think_mean_ns(2_500)
+        .weight(2)
 }
 
 /// The PrIM-derived session mix at the given scale, following the suite's

@@ -21,7 +21,10 @@ use upmem_driver::UpmemDriver;
 use upmem_sim::error::DpuFault;
 use upmem_sim::kernel::{DpuKernel, KernelImage};
 use upmem_sim::{DpuContext, PimConfig, PimMachine};
-use vpim::{FaultSite, StartOpts, TenantSpec, VpimConfig, VpimSystem, VpimVm};
+use vpim::{
+    FaultSite, Pheap, PheapOptions, StartOpts, TenantSpec, VpimConfig, VpimSystem, VpimVm,
+    PHEAP_PERSIST_DROP_POINT, PHEAP_WAL_TORN_POINT,
+};
 
 /// A kernel that always succeeds — DPU faults in this suite come from the
 /// fault plane, not from kernel logic.
@@ -511,4 +514,198 @@ fn disabled_injection_is_pure_passthrough() {
     assert_eq!(snap.count("retry.attempts"), 0);
     drop(vm);
     sys.shutdown();
+}
+
+// ------------------------------------------------------- persistent heap
+
+/// Pheap geometry that fits `PimConfig::small()`'s 1 MiB banks.
+fn pheap_opts(sys: &VpimSystem) -> PheapOptions {
+    PheapOptions::new()
+        .base(64 << 10)
+        .wal_size(16 << 10)
+        .root_size(8 << 10)
+        .data_size(64 << 10)
+        .resident_budget(8 << 10)
+        .attach(sys)
+}
+
+/// A torn WAL append surfaces typed, the `inject.*` totals are exact
+/// (persist attempts are keyed by sequence number, so `Nth(2)` spares
+/// the first persist and tears the second), and recovery discards the
+/// torn tail — the committed payload survives bit-identically in both
+/// dispatch modes.
+#[test]
+fn torn_pheap_wal_append_is_typed_and_recovery_discards_the_tail() {
+    let seed = sweep_seed();
+    let plan = FaultPlan::Nth(2);
+    let mut per_mode = Vec::new();
+    for parallel in [false, true] {
+        let (sys, vm, plane) = chaos_system(parallel, seed);
+        let mut heap = Pheap::format(vm.frontend(0).clone(), pheap_opts(&sys)).unwrap();
+        plane.arm(PHEAP_WAL_TORN_POINT, plan);
+
+        let a = heap.alloc(512).unwrap();
+        heap.write(a, 0, &payload(0, 512, seed)).unwrap();
+        heap.persist().unwrap(); // seq 1 → key 0: spared by Nth(2)
+        heap.write(a, 0, &payload(0, 512, !seed)).unwrap();
+        let err = heap.persist().unwrap_err(); // seq 2 → key 1: torn
+        assert_eq!(err.kind(), ErrorKind::Injected, "untyped error: {err}");
+
+        let stats = plane.point_stats(PHEAP_WAL_TORN_POINT).unwrap();
+        assert_eq!((stats.hits, stats.fired), (2, 1), "parallel={parallel}");
+        assert_eq!(stats.fired, plan.count_fires(seed, PHEAP_WAL_TORN_POINT, stats.hits));
+        let snap = sys.registry().snapshot();
+        assert_eq!(snap.count("inject.fired"), 1);
+        assert_eq!(snap.count("pheap.persist.failures"), 1);
+
+        // Crash here: recovery must discard the torn tail and come back
+        // at the first persist, with zero leakage of the second write.
+        plane.disarm_all();
+        drop(heap);
+        let (mut rec, report) =
+            Pheap::recover(vm.frontend(0).clone(), pheap_opts(&sys)).unwrap();
+        assert!(report.discarded_tail, "{report:?}");
+        assert!(!report.replayed, "{report:?}");
+        assert_eq!(report.applied_seq, 1);
+        let got = rec.read(a, 0, 512).unwrap();
+        assert_eq!(got, payload(0, 512, seed), "uncommitted write leaked");
+        per_mode.push((got, stats.hits, stats.fired));
+        drop(rec);
+        drop(vm);
+        sys.shutdown();
+    }
+    assert_eq!(per_mode[0], per_mode[1], "dispatch modes must agree bit-for-bit");
+}
+
+/// A dropped commit record leaves a *fully written* transaction body that
+/// recovery must still discard: durability begins at the commit record,
+/// not at the append.
+#[test]
+fn dropped_pheap_commit_discards_a_fully_written_body() {
+    let seed = sweep_seed();
+    let plan = FaultPlan::Nth(2);
+    let mut per_mode = Vec::new();
+    for parallel in [false, true] {
+        let (sys, vm, plane) = chaos_system(parallel, seed);
+        let mut heap = Pheap::format(vm.frontend(0).clone(), pheap_opts(&sys)).unwrap();
+        plane.arm(PHEAP_PERSIST_DROP_POINT, plan);
+
+        let a = heap.alloc(768).unwrap();
+        heap.write(a, 0, &payload(1, 768, seed)).unwrap();
+        heap.persist().unwrap(); // seq 1 → key 0: spared
+        let b = heap.alloc(64).unwrap(); // born after the commit point
+        heap.write(a, 256, &payload(2, 256, seed)).unwrap();
+        heap.write(b, 0, &payload(3, 64, seed)).unwrap();
+        let err = heap.persist().unwrap_err(); // seq 2 → key 1: commit dropped
+        assert_eq!(err.kind(), ErrorKind::Injected, "untyped error: {err}");
+
+        let stats = plane.point_stats(PHEAP_PERSIST_DROP_POINT).unwrap();
+        assert_eq!((stats.hits, stats.fired), (2, 1), "parallel={parallel}");
+        assert_eq!(
+            stats.fired,
+            plan.count_fires(seed, PHEAP_PERSIST_DROP_POINT, stats.hits)
+        );
+        assert_eq!(sys.registry().snapshot().count("inject.fired"), 1);
+
+        plane.disarm_all();
+        drop(heap);
+        let (mut rec, report) =
+            Pheap::recover(vm.frontend(0).clone(), pheap_opts(&sys)).unwrap();
+        assert!(report.discarded_tail && !report.replayed, "{report:?}");
+        assert_eq!(report.applied_seq, 1);
+        // Object `a` is exactly at persist #1; `b` was allocated after
+        // that commit point, so recovery must not know it at all.
+        assert_eq!(rec.read(a, 0, 768).unwrap(), payload(1, 768, seed));
+        assert!(rec.read(b, 0, 64).is_err(), "uncommitted alloc leaked");
+        per_mode.push((rec.ids(), stats.hits, stats.fired));
+        drop(rec);
+        drop(vm);
+        sys.shutdown();
+    }
+    assert_eq!(per_mode[0], per_mode[1], "dispatch modes must agree bit-for-bit");
+}
+
+/// The 8-seed crash matrix (derived from `CHAOS_SEED` like the gate's
+/// fixed-seed sweep): each seed picks a fault site and schedule, runs a
+/// deterministic write/persist stream until the injected crash, kills
+/// the VM via rank snapshot, restores into a fresh VM, and recovers.
+/// The recovered heap must equal the committed prefix bit-for-bit, with
+/// exact injection totals, identically in both dispatch modes.
+#[test]
+fn pheap_crash_matrix_recovers_committed_state_across_seeds() {
+    let base = sweep_seed();
+    for k in 0..8u64 {
+        let seed = base ^ k.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let site = if seed & 1 == 0 { PHEAP_WAL_TORN_POINT } else { PHEAP_PERSIST_DROP_POINT };
+        let plan = FaultPlan::Nth(1 + seed % 4);
+        let mut per_mode = Vec::new();
+        for parallel in [false, true] {
+            let (sys, vm, plane) = chaos_system(parallel, seed);
+            let mut heap = Pheap::format(vm.frontend(0).clone(), pheap_opts(&sys)).unwrap();
+            let a = heap.alloc(512).unwrap();
+            let b = heap.alloc(512).unwrap();
+            plane.arm(site, plan);
+
+            // Committed-prefix oracle: updated only when persist returns Ok.
+            let mut committed: Option<u64> = None; // last committed round
+            let mut crashed_at = None;
+            let mut persists = 0u64;
+            for round in 0..6u64 {
+                heap.write(a, 0, &payload(0, 512, seed ^ round)).unwrap();
+                heap.write(b, 0, &payload(1, 512, !seed ^ round)).unwrap();
+                match heap.persist() {
+                    Ok(_) => {
+                        committed = Some(round);
+                        persists += 1;
+                    }
+                    Err(e) => {
+                        assert_eq!(e.kind(), ErrorKind::Injected, "untyped error: {e}");
+                        crashed_at = Some(round);
+                        break;
+                    }
+                }
+            }
+            let crashed_at = crashed_at.expect("Nth(1..=4) fires within 6 persists");
+            let stats = plane.point_stats(site).unwrap();
+            assert_eq!((stats.hits, stats.fired), (persists + 1, 1), "seed {seed:#x}");
+            assert_eq!(stats.fired, plan.count_fires(seed, site, stats.hits));
+
+            // Kill-at-site: snapshot before the manager can reset the rank.
+            let expected_seq = heap.applied_seq();
+            let rid = vm.devices()[0].backend().linked_rank().unwrap();
+            let snap = sys.driver().machine().rank(rid).unwrap().snapshot();
+            drop(heap);
+            drop(vm);
+            plane.disarm_all();
+
+            let vm2 = sys.launch(TenantSpec::new("chaos")).unwrap();
+            let rid2 = vm2.devices()[0].backend().linked_rank().unwrap();
+            sys.driver().machine().rank(rid2).unwrap().restore(&snap).unwrap();
+            let (mut rec, report) =
+                Pheap::recover(vm2.frontend(0).clone(), pheap_opts(&sys)).unwrap();
+            assert_eq!(report.applied_seq, expected_seq, "seed {seed:#x}");
+            assert!(report.discarded_tail, "seed {seed:#x}: {report:?}");
+            rec.check_invariants().unwrap();
+            let got = match committed {
+                Some(r) => {
+                    let ga = rec.read(a, 0, 512).unwrap();
+                    let gb = rec.read(b, 0, 512).unwrap();
+                    assert_eq!(ga, payload(0, 512, seed ^ r), "seed {seed:#x}");
+                    assert_eq!(gb, payload(1, 512, !seed ^ r), "seed {seed:#x}");
+                    Some((ga, gb))
+                }
+                // Crash on the very first persist: the allocs were never
+                // committed, so recovery must not know the objects at all.
+                None => {
+                    assert_eq!(rec.object_count(), 0, "seed {seed:#x}: allocs leaked");
+                    None
+                }
+            };
+            per_mode.push((got, crashed_at, stats.hits, stats.fired, report));
+            drop(rec);
+            drop(vm2);
+            sys.shutdown();
+        }
+        assert_eq!(per_mode[0], per_mode[1], "seed {seed:#x}: modes diverged");
+    }
 }

@@ -263,3 +263,66 @@ fn thousand_concurrent_sessions_smoke() {
     assert!(json.contains("\"peak_concurrent\""));
     let _: LoadReport = par; // keep the type in the public API
 }
+
+#[test]
+fn persistent_kv_mix_is_deterministic_with_faults_armed() {
+    use vpim::{PheapOptions, PHEAP_WAL_TORN_POINT};
+
+    // One persistent-KV tenant (multi-transaction pheap episodes) next to
+    // a plain write tenant. With `pheap.wal.torn` armed `Nth(4)`, every
+    // episode's fourth (last non-noop) persist tears (persist faults are
+    // keyed purely by transaction sequence, identical in every mode)
+    // while the plain tenant sails through — the report must contain both
+    // failures and successes, bit-identically across phase-A execution
+    // modes and host dispatch modes.
+    let plain = || {
+        TenantProfile::new("plain", TenantSpec::new("plain").mem_mib(16)).op(TenantOp::new(
+            "write",
+            Arc::new(|vm, seed| {
+                let data = vec![(seed & 0xff) as u8; 2048];
+                let r = vm.frontend(0).write_rank(&[(0, 4096, &data)])?;
+                Ok(OpOutcome::new(r.duration(), seed.rotate_left(7)))
+            }),
+        ))
+    };
+    let spec = LoadSpec::new(33, 10).arrival(Arrival::Poisson { mean_gap_ns: 4_000 });
+
+    let run_armed = |parallel: bool, exec: Execution| {
+        let mut b = VpimConfig::builder().inject_seed(0x9EA9_5EED);
+        if !parallel {
+            b = b.parallel(false);
+        }
+        let sys = host_with(b.build(), 2);
+        sys.fault_plane().expect("inject enabled").arm(PHEAP_WAL_TORN_POINT, FaultPlan::Nth(4));
+        let mix = TenantMix::new()
+            .profile(loadmix::pheap_kv_profile(PheapOptions::new().attach(&sys)))
+            .profile(plain());
+        LoadHarness::run(&sys, &spec.execution(exec), &mix)
+    };
+    let a = run_armed(true, Execution::Sequential);
+    let b = run_armed(true, Execution::Pooled);
+    let c = run_armed(false, Execution::Pooled);
+    assert_eq!(a, b, "armed KV run depends on phase-A execution mode");
+    assert_eq!(a, c, "armed KV run depends on host dispatch mode");
+    assert_eq!(a.sessions, 10);
+    assert!(a.op_failures > 0, "torn persists never surfaced: {a:?}");
+
+    // Clean variant: same mix without the fault plane — every episode
+    // recovers and verifies, still bit-identically across modes.
+    let run_clean = |parallel: bool, exec: Execution| {
+        let sys = host_with(
+            if parallel { VpimConfig::full() } else { sequential_dispatch() },
+            2,
+        );
+        let mix = TenantMix::new()
+            .profile(loadmix::pheap_kv_profile(PheapOptions::new().attach(&sys)))
+            .profile(plain());
+        LoadHarness::run(&sys, &spec.execution(exec), &mix)
+    };
+    let x = run_clean(true, Execution::Pooled);
+    let y = run_clean(false, Execution::Sequential);
+    assert_eq!(x, y, "clean KV run depends on dispatch/execution mode");
+    assert_eq!(x.op_failures, 0, "clean KV episodes must verify: {x:?}");
+    assert!(x.checksum != 0);
+    assert_ne!(a, x, "armed run left no trace in the report");
+}

@@ -131,3 +131,87 @@ fn restore_rejects_geometry_mismatch() {
     let other = other_machine.rank(0).unwrap();
     assert!(other.restore(&snap).is_err(), "4-DPU rank cannot take an 8-DPU snapshot");
 }
+
+// -------------------------------------------------- persistent-heap WAL
+
+/// Regression for `vpim::pheap` over checkpoint/restore: a rank holding a
+/// *mid-WAL uncommitted tail* (a persist torn by `pheap.wal.torn`) must
+/// round-trip through snapshot→restore bit-exactly, and recovery must
+/// truncate that tail identically whether it runs before or after the
+/// restore. The discard path is read-only, so the post-recovery MRAM
+/// image is also bit-identical to the crashed one.
+#[test]
+fn pheap_uncommitted_wal_tail_roundtrips_and_truncates_identically() {
+    use simkit::{ErrorKind, FaultPlan, HasErrorKind};
+    use vpim::{
+        Pheap, PheapOptions, StartOpts, TenantSpec, VpimConfig, VpimSystem,
+        PHEAP_WAL_TORN_POINT,
+    };
+
+    let vcfg = VpimConfig::builder()
+        .batching(false)
+        .prefetch(false)
+        .inject_seed(11)
+        .build();
+    let sys = VpimSystem::start(host(), vcfg, StartOpts::default());
+    let vm = sys.launch(TenantSpec::new("pheap-ckpt")).unwrap();
+    let plane = sys.fault_plane().unwrap().clone();
+    let opts = || {
+        PheapOptions::new()
+            .base(64 << 10)
+            .wal_size(16 << 10)
+            .root_size(8 << 10)
+            .data_size(64 << 10)
+            .resident_budget(8 << 10)
+            .attach(&sys)
+    };
+
+    let mut heap = Pheap::format(vm.frontend(0).clone(), opts()).unwrap();
+    let a = heap.alloc(600).unwrap();
+    heap.write(a, 0, &[0xA5; 600]).unwrap();
+    heap.persist().unwrap(); // committed point
+
+    // Tear the next persist mid-WAL: the rank now holds a torn tail.
+    // (Persist faults are keyed by sequence number: seq 2 carries key 1,
+    // which is what `Nth(2)` fires on.)
+    plane.arm(PHEAP_WAL_TORN_POINT, FaultPlan::Nth(2));
+    heap.write(a, 0, &[0x3C; 600]).unwrap();
+    let err = heap.persist().unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::Injected, "{err}");
+    plane.disarm_all();
+    drop(heap);
+
+    let rid = vm.devices()[0].backend().linked_rank().unwrap();
+    let rank = sys.driver().machine().rank(rid).unwrap();
+    let crashed = rank.snapshot();
+
+    // Recovery before the restore: discards the tail, reads the committed
+    // payload, and — because discarding writes nothing — leaves the MRAM
+    // image untouched.
+    let (mut rec, pre_report) = Pheap::recover(vm.frontend(0).clone(), opts()).unwrap();
+    assert!(pre_report.discarded_tail && !pre_report.replayed, "{pre_report:?}");
+    assert_eq!(pre_report.applied_seq, 1);
+    let pre_read = rec.read(a, 0, 600).unwrap();
+    assert_eq!(pre_read, vec![0xA5; 600], "torn write leaked");
+    drop(rec);
+    let post_pre = rank.snapshot();
+    assert_eq!(post_pre.diff_bytes(&crashed), 0, "discard recovery must be read-only");
+
+    // Restore the crashed image: bit-exact, torn tail included.
+    rank.restore(&crashed).unwrap();
+    assert_eq!(rank.snapshot().diff_bytes(&crashed), 0, "restore must be bit-exact");
+
+    // Recovery after the restore truncates identically.
+    let (mut rec2, post_report) = Pheap::recover(vm.frontend(0).clone(), opts()).unwrap();
+    assert_eq!(post_report, pre_report);
+    assert_eq!(rec2.read(a, 0, 600).unwrap(), pre_read);
+    assert_eq!(rank.snapshot().diff_bytes(&post_pre), 0, "recoveries must agree bit-exactly");
+
+    // The recovered heap is fully usable: the lost update can be redone.
+    rec2.write(a, 0, &[0x3C; 600]).unwrap();
+    rec2.persist().unwrap();
+    assert_eq!(rec2.read(a, 0, 600).unwrap(), vec![0x3C; 600]);
+    drop(rec2);
+    drop(vm);
+    sys.shutdown();
+}
